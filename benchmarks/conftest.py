@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+underlying experiment objects are expensive to build, so they are shared
+session-wide; each benchmark writes its regenerated rows/series both to
+stdout and to ``results/<name>.txt`` next to this file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.eval import CalibratedExperiment  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where regenerated tables/series are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def experiment() -> CalibratedExperiment:
+    """Calibrated experiment with the paper's RF difficulty detector."""
+    return CalibratedExperiment.build(seed=0, n_subjects=9, activity_duration_s=80.0)
+
+
+@pytest.fixture(scope="session")
+def oracle_experiment() -> CalibratedExperiment:
+    """Calibrated experiment with an oracle difficulty detector (ablation)."""
+    return CalibratedExperiment.build(
+        seed=0, n_subjects=9, activity_duration_s=80.0, use_oracle_difficulty=True
+    )
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

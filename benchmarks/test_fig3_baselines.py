@@ -1,0 +1,76 @@
+"""Figure 3 — energy breakdown and MAE of the three baseline models.
+
+The left panel of Fig. 3 stacks, per model, the smartwatch computation
+energy (green, includes idle between predictions), the phone computation
+energy (dark blue) and the BLE transmission energy (light blue); the right
+panel shows the average MAE on PPG-DaLiA.  This benchmark regenerates both
+series and verifies the qualitative conclusions of Sec. IV-A.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig3_baseline_bars
+from repro.eval.reporting import format_table
+from repro.hw.profiles import ExecutionTarget
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_baseline_bars(benchmark, experiment, results_dir):
+    series = benchmark(fig3_baseline_bars, experiment)
+
+    rows = [
+        [name, f"{watch:.3f}", f"{phone:.2f}", f"{ble:.3f}", f"{mae:.2f}"]
+        for name, watch, phone, ble, mae in zip(
+            series.model_names, series.watch_compute_mj, series.phone_compute_mj,
+            series.ble_mj, series.mae_bpm,
+        )
+    ]
+    emit(
+        results_dir,
+        "fig3_baselines",
+        format_table(
+            ["model", "watch compute+idle [mJ]", "phone compute [mJ]", "BLE [mJ]", "MAE [BPM]"],
+            rows,
+        ),
+    )
+
+    watch = dict(zip(series.model_names, series.watch_compute_mj))
+    ble = series.ble_mj[0]
+    phone = dict(zip(series.model_names, series.phone_compute_mj))
+
+    # Sec. IV-A conclusions:
+    # 1. Offloading AT is clearly sub-optimal (BLE alone costs more than
+    #    running it, and the phone burns more too).
+    assert ble > watch["AT"]
+    assert phone["AT"] > watch["AT"]
+    # 2. For TimePPG-Small, offloading is slightly cheaper for the watch.
+    assert ble < watch["TimePPG-Small"]
+    # 3. For TimePPG-Big, local execution is never convenient.
+    assert ble < watch["TimePPG-Big"] / 20
+    assert phone["TimePPG-Big"] < watch["TimePPG-Big"]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_offload_decision_per_model(benchmark, experiment, results_dir):
+    """The per-model local-vs-offload comparison behind Fig. 3's discussion."""
+
+    def decide():
+        decisions = {}
+        for entry in experiment.zoo:
+            local = experiment.system.local_prediction_cost(entry.deployment).watch_total_j
+            offloaded = experiment.system.offloaded_prediction_cost(entry.deployment).watch_total_j
+            decisions[entry.name] = (local, offloaded)
+        return decisions
+
+    decisions = benchmark(decide)
+    rows = [
+        [name, f"{local * 1e3:.3f}", f"{off * 1e3:.3f}",
+         "offload" if off < local else "local"]
+        for name, (local, off) in decisions.items()
+    ]
+    emit(results_dir, "fig3_offload_decision",
+         format_table(["model", "local [mJ]", "offloaded [mJ]", "cheaper for watch"], rows))
+
+    assert decisions["AT"][0] < decisions["AT"][1]
+    assert decisions["TimePPG-Big"][1] < decisions["TimePPG-Big"][0]

@@ -1,0 +1,105 @@
+"""Figure 4 — the CHRIS configuration cloud in the MAE vs. watch-energy plane.
+
+Regenerates the 60-point cloud (local configurations in "black", hybrid
+ones in "red", single-model baselines as "green diamonds"), extracts the
+Pareto front, and applies the paper's two constraint lines:
+
+* Constraint 1: MAE <= 5.60 BPM (TimePPG-Small's accuracy) -> "Sel. Model 1";
+* Constraint 2: MAE <= 7.20 BPM -> "Sel. Model 2".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.configuration import ExecutionMode
+from repro.eval.figures import fig4_configuration_space
+from repro.eval.reporting import ComparisonRow, comparison_table, format_table
+from repro.hw.profiles import ExecutionTarget
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_configuration_space(benchmark, experiment, results_dir):
+    series = benchmark(fig4_configuration_space, experiment)
+
+    cloud_rows = [["hybrid", f"{mae:.2f}", f"{energy:.3f}"] for mae, energy in series.hybrid_points]
+    cloud_rows += [["local", f"{mae:.2f}", f"{energy:.3f}"] for mae, energy in series.local_points]
+    cloud = format_table(["kind", "MAE [BPM]", "E watch [mJ]"], cloud_rows)
+
+    baselines = format_table(
+        ["baseline", "MAE [BPM]", "E watch [mJ]"],
+        [[label, f"{mae:.2f}", f"{energy:.3f}"] for label, mae, energy in series.baseline_points],
+    )
+    front = format_table(
+        ["MAE [BPM]", "E watch [mJ]"],
+        [[f"{mae:.2f}", f"{energy:.3f}"] for mae, energy in series.pareto_points],
+    )
+
+    sel1, sel2 = series.selection_constraint1, series.selection_constraint2
+    small_local = experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+    stream_all = experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+    selections = format_table(
+        ["selection", "configuration", "MAE [BPM]", "E watch [mJ]", "offloaded"],
+        [
+            ["Sel. Model 1 (MAE<=5.60)", sel1.label(), f"{sel1.mae_bpm:.2f}",
+             f"{sel1.watch_energy_mj:.3f}", f"{100 * sel1.offload_fraction:.0f}%"],
+            ["Sel. Model 2 (MAE<=7.20)", sel2.label(), f"{sel2.mae_bpm:.2f}",
+             f"{sel2.watch_energy_mj:.3f}", f"{100 * sel2.offload_fraction:.0f}%"],
+        ],
+    )
+    comparison = comparison_table([
+        ComparisonRow("Sel.1 MAE", 5.54, sel1.mae_bpm, "BPM"),
+        ComparisonRow("Sel.1 energy reduction vs Small-local", 2.03,
+                      small_local.watch_energy_j / sel1.watch_energy_j, "x"),
+        ComparisonRow("Sel.2 watch energy", 0.179, sel2.watch_energy_mj, "mJ"),
+        ComparisonRow("Sel.2 reduction vs Small-local", 3.03,
+                      small_local.watch_energy_j / sel2.watch_energy_j, "x"),
+        ComparisonRow("Sel.2 reduction vs stream-all", 1.82,
+                      stream_all.watch_energy_j / sel2.watch_energy_j, "x"),
+        ComparisonRow("local-only Pareto points", 19,
+                      len(experiment.table.pareto(connected=False))),
+    ])
+
+    emit(
+        results_dir,
+        "fig4_configuration_space",
+        "\n\n".join([
+            f"configuration cloud ({series.n_configurations} points)\n{cloud}",
+            f"single-model baselines\n{baselines}",
+            f"Pareto front (connected)\n{front}",
+            f"constraint selections\n{selections}",
+            f"paper vs measured\n{comparison}",
+        ]),
+    )
+
+    # Shape checks matching the paper's reading of Fig. 4.
+    assert series.n_configurations == 60
+    assert sel1.mae_bpm <= 5.60
+    assert sel1.configuration.mode is ExecutionMode.HYBRID
+    assert sel1.configuration.models == ("AT", "TimePPG-Big")
+    assert small_local.watch_energy_j / sel1.watch_energy_j > 1.5
+    assert sel2.mae_bpm <= 7.20
+    assert sel2.watch_energy_j < sel1.watch_energy_j
+    assert small_local.watch_energy_j / sel2.watch_energy_j > 2.0
+    assert stream_all.watch_energy_j / sel2.watch_energy_j > 1.5
+    # The hybrid AT+Big family Pareto-dominates: every front point at
+    # MAE <= 7.2 with offloading belongs to it.
+    hybrid_front = [
+        c for c in experiment.table.pareto()
+        if not c.is_local and c.mae_bpm <= 7.2
+    ]
+    assert hybrid_front
+    assert all(c.configuration.models == ("AT", "TimePPG-Big") for c in hybrid_front)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_connection_loss_front(benchmark, experiment, results_dir):
+    """The local-only Pareto front available when the BLE link is lost."""
+    front = benchmark(experiment.table.pareto, False)
+    rows = [[c.label(), f"{c.mae_bpm:.2f}", f"{c.watch_energy_mj:.3f}"] for c in front]
+    emit(results_dir, "fig4_local_only_front",
+         format_table(["configuration", "MAE [BPM]", "E watch [mJ]"], rows))
+    assert all(c.is_local for c in front)
+    assert len(front) >= 5
+    # Spans the cheap AT-like regime up to the accurate tens-of-mJ regime.
+    assert min(c.watch_energy_mj for c in front) < 0.3
+    assert max(c.watch_energy_mj for c in front) > 20.0

@@ -1,0 +1,71 @@
+"""Figure 5 — MAE and energy breakdown vs. the number of "easy" activities.
+
+The paper sweeps the difficulty threshold of the hybrid AT + TimePPG-Big
+configuration (the red Pareto curve of Fig. 4): as more activities are
+declared "easy", more windows stay on the watch with AT, the BLE/offload
+energy shrinks and the MAE grows.  This benchmark regenerates the ten-point
+sweep with the per-window profiling data (so activity-recognition
+mispredictions are included, as in the paper).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.configuration import ExecutionMode
+from repro.eval.figures import fig5_threshold_sweep
+from repro.eval.reporting import format_table
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_threshold_sweep(benchmark, experiment, results_dir):
+    series = benchmark(fig5_threshold_sweep, experiment)
+
+    rows = []
+    for i, threshold in enumerate(series.thresholds):
+        rows.append([
+            threshold,
+            f"{series.mae_bpm[i]:.2f}",
+            f"{series.watch_compute_mj[i]:.3f}",
+            f"{series.watch_radio_mj[i]:.3f}",
+            f"{series.watch_idle_mj[i]:.3f}",
+            f"{series.watch_total_mj[i]:.3f}",
+            f"{100 * series.offload_fraction[i]:.0f}%",
+        ])
+    emit(
+        results_dir,
+        "fig5_threshold_sweep",
+        format_table(
+            ["# easy activities", "MAE [BPM]", "compute [mJ]", "radio [mJ]",
+             "idle [mJ]", "total watch [mJ]", "offloaded"],
+            rows,
+        ),
+    )
+
+    # Paper shape: energy decreases monotonically with the threshold while
+    # the MAE rises from TimePPG-Big's to AT's level, roughly linearly in
+    # the mid-range.
+    totals = series.watch_total_mj
+    assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:]))
+    assert series.offload_fraction[0] == pytest.approx(1.0)
+    assert series.offload_fraction[-1] == pytest.approx(0.0)
+    assert series.mae_bpm[0] == pytest.approx(experiment.data.model_mae("TimePPG-Big"), rel=0.02)
+    assert series.mae_bpm[-1] == pytest.approx(experiment.data.model_mae("AT"), rel=0.02)
+    # The radio component scales with the offloaded share.
+    for radio, fraction in zip(series.watch_radio_mj, series.offload_fraction):
+        assert radio == pytest.approx(fraction * series.watch_radio_mj[0], abs=1e-3)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_local_pair_sweep(benchmark, experiment, results_dir):
+    """The same sweep for the local AT + TimePPG-Small pair (black curve)."""
+    series = benchmark(
+        fig5_threshold_sweep, experiment, "AT", "TimePPG-Small", ExecutionMode.LOCAL
+    )
+    rows = [
+        [t, f"{mae:.2f}", f"{total:.3f}"]
+        for t, mae, total in zip(series.thresholds, series.mae_bpm, series.watch_total_mj)
+    ]
+    emit(results_dir, "fig5_local_pair_sweep",
+         format_table(["# easy activities", "MAE [BPM]", "total watch [mJ]"], rows))
+    assert all(r == 0.0 for r in series.watch_radio_mj)
+    assert series.watch_total_mj[-1] < series.watch_total_mj[0]

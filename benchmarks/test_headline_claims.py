@@ -1,0 +1,109 @@
+"""Headline claims of the abstract / Sec. IV-B, end to end through the runtime.
+
+Unlike the Fig. 4 benchmark (which works on profiled expectations), this
+one replays fresh synthetic subjects through the CHRIS runtime with the
+decision engine in the loop, and measures the achieved MAE, per-prediction
+smartwatch energy, offload share and the energy-reduction factors against
+the single-model baselines — the quantities the abstract reports.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime
+from repro.data import SyntheticDaliaGenerator, SyntheticDatasetConfig
+from repro.eval.reporting import ComparisonRow, comparison_table
+from repro.hw.battery import estimate_lifetime_hours
+from repro.hw.profiles import ExecutionTarget
+
+
+def replay(experiment, constraint):
+    """Run CHRIS over two held-out synthetic subjects under a constraint."""
+    config = SyntheticDatasetConfig(n_subjects=2, activity_duration_s=80.0, seed=123)
+    fresh = SyntheticDaliaGenerator(config).generate_windowed()
+    runtime = CHRISRuntime(
+        zoo=experiment.zoo, engine=experiment.engine, system=experiment.system
+    )
+    results = [
+        runtime.run(subject, constraint, use_oracle_difficulty=True) for subject in fresh
+    ]
+    mae = sum(r.mae_bpm * r.n_windows for r in results) / sum(r.n_windows for r in results)
+    energy = sum(r.total_watch_energy_j for r in results) / sum(r.n_windows for r in results)
+    offload = sum(r.offload_fraction * r.n_windows for r in results) / sum(
+        r.n_windows for r in results
+    )
+    return {"mae": mae, "energy_j": energy, "offload": offload, "configuration": results[0].configuration}
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_constraint1(benchmark, experiment, results_dir):
+    """MAE parity with TimePPG-Small at a fraction of the smartwatch energy."""
+    outcome = benchmark(replay, experiment, Constraint.max_mae(5.60))
+    small_local = experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+    stream_all = experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+    reduction_small = small_local.watch_energy_j / outcome["energy_j"]
+    reduction_stream = stream_all.watch_energy_j / outcome["energy_j"]
+
+    emit(results_dir, "headline_constraint1", comparison_table([
+        ComparisonRow("MAE", 5.54, outcome["mae"], "BPM"),
+        ComparisonRow("energy reduction vs TimePPG-Small local", 2.03, reduction_small, "x"),
+        ComparisonRow("energy reduction vs stream-all", 1.0 / 0.78, reduction_stream, "x"),
+        ComparisonRow("offloaded windows", 0.80, outcome["offload"], "fraction"),
+        ComparisonRow("battery life vs Small-local", 2.03,
+                      estimate_lifetime_hours(outcome["energy_j"])
+                      / estimate_lifetime_hours(small_local.watch_energy_j), "x"),
+    ]) + f"\n\nselected configuration: {outcome['configuration'].label()}")
+
+    assert outcome["mae"] < 5.60 * 1.15
+    assert reduction_small > 1.5
+    assert reduction_stream > 1.2
+    assert outcome["configuration"].configuration.models == ("AT", "TimePPG-Big")
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_constraint2(benchmark, experiment, results_dir):
+    """Relaxed accuracy (<=7.2 BPM) for a sub-0.35 mJ operating point."""
+    outcome = benchmark(replay, experiment, Constraint.max_mae(7.2))
+    small_local = experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+    stream_all = experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+    reduction_small = small_local.watch_energy_j / outcome["energy_j"]
+    reduction_stream = stream_all.watch_energy_j / outcome["energy_j"]
+
+    emit(results_dir, "headline_constraint2", comparison_table([
+        ComparisonRow("MAE", 7.16, outcome["mae"], "BPM"),
+        ComparisonRow("energy per prediction", 0.179, outcome["energy_j"] * 1e3, "mJ"),
+        ComparisonRow("reduction vs TimePPG-Small local", 3.03, reduction_small, "x"),
+        ComparisonRow("reduction vs stream-all", 1.82, reduction_stream, "x"),
+    ]) + f"\n\nselected configuration: {outcome['configuration'].label()}")
+
+    assert outcome["mae"] < 7.2 * 1.15
+    assert outcome["energy_j"] < 0.40e-3
+    assert reduction_small > 2.0
+    assert reduction_stream > 1.5
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_connection_loss(benchmark, experiment, results_dir):
+    """CHRIS keeps operating, local-only, when the BLE link disappears."""
+
+    def with_connection_lost():
+        experiment.system.ble.disconnect()
+        try:
+            selected = experiment.select(Constraint.max_mae(7.2), connected=False)
+        finally:
+            experiment.system.ble.reconnect()
+        return selected
+
+    selected = benchmark(with_connection_lost)
+    connected = experiment.select(Constraint.max_mae(7.2), connected=True)
+    emit(results_dir, "headline_connection_loss", comparison_table([
+        ComparisonRow("local-only Pareto points", 19,
+                      len(experiment.table.pareto(connected=False))),
+        ComparisonRow("energy penalty of losing BLE", 1.0,
+                      selected.watch_energy_j / connected.watch_energy_j, "x"),
+    ]) + f"\n\nlocal fallback configuration: {selected.label()}")
+
+    assert selected.is_local
+    assert selected.mae_bpm <= 7.2
+    assert selected.watch_energy_j >= connected.watch_energy_j

@@ -1,0 +1,53 @@
+"""Table I — per-model characterization used to build CHRIS configurations.
+
+Paper Table I reports, for each of the three HR models, the MAE and the
+energy of one prediction on the board (smartwatch), on the phone, and over
+BLE.  This benchmark regenerates those rows from the calibrated model zoo
+and the hardware co-model, and times the zoo characterization step.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.figures import fig3_baseline_bars
+from repro.eval.reporting import ComparisonRow, comparison_table, format_table
+from repro.models.registry import PAPER_BLE_ENERGY_MJ, PAPER_MODEL_STATS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_zoo(benchmark, experiment, results_dir):
+    series = benchmark(fig3_baseline_bars, experiment)
+
+    rows = []
+    for name, watch, phone, ble, mae in zip(
+        series.model_names,
+        series.watch_compute_mj,
+        series.phone_compute_mj,
+        series.ble_mj,
+        series.mae_bpm,
+    ):
+        rows.append([name, f"{mae:.2f}", f"{watch:.3f}", f"{phone:.2f}", f"{ble:.3f}"])
+    table = format_table(
+        ["model", "MAE [BPM]", "E board [mJ]", "E phone [mJ]", "E BLE [mJ]"], rows
+    )
+
+    comparison = comparison_table([
+        ComparisonRow("AT board energy", 0.23, series.watch_compute_mj[0], "mJ"),
+        ComparisonRow("TimePPG-Small board energy", PAPER_MODEL_STATS["TimePPG-Small"].watch_energy_mj,
+                      series.watch_compute_mj[1], "mJ"),
+        ComparisonRow("TimePPG-Big board energy", 41.11, series.watch_compute_mj[2], "mJ"),
+        ComparisonRow("BLE energy per window", PAPER_BLE_ENERGY_MJ, series.ble_mj[0], "mJ"),
+        ComparisonRow("AT MAE", 10.99, series.mae_bpm[0], "BPM"),
+        ComparisonRow("TimePPG-Small MAE", 5.60, series.mae_bpm[1], "BPM"),
+        ComparisonRow("TimePPG-Big MAE", 4.87, series.mae_bpm[2], "BPM"),
+    ])
+    emit(results_dir, "table1_model_zoo", table + "\n\npaper vs measured\n" + comparison)
+
+    # Shape assertions: orderings of Table I hold.
+    maes = dict(zip(series.model_names, series.mae_bpm))
+    board = dict(zip(series.model_names, series.watch_compute_mj))
+    phone = dict(zip(series.model_names, series.phone_compute_mj))
+    assert maes["TimePPG-Big"] < maes["TimePPG-Small"] < maes["AT"]
+    assert board["AT"] < board["TimePPG-Small"] < board["TimePPG-Big"]
+    assert phone["AT"] < phone["TimePPG-Small"] < phone["TimePPG-Big"]
+    assert series.ble_mj[0] == pytest.approx(PAPER_BLE_ENERGY_MJ, rel=0.02)

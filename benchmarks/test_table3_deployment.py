@@ -1,0 +1,93 @@
+"""Table III — deployment of the baseline models on STM32WB55 and RPi3.
+
+Regenerates cycles, execution time and energy per prediction on the two
+devices (plus the BLE row) from the calibrated hardware models, and
+compares every cell against the published value.  The timed kernel is the
+device-model characterization of the whole zoo.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import ComparisonRow, comparison_table, format_table
+from repro.hw.ble import BLELink
+from repro.hw.mcu import STM32WB55
+from repro.hw.mobile import RaspberryPi3
+from repro.hw.platform import WearableSystem
+from repro.hw.profiles import PAPER_DEPLOYMENTS
+from repro.models.registry import PAPER_BLE_ENERGY_MJ, PAPER_BLE_TIME_MS, PAPER_MODEL_STATS
+
+
+def characterize_zoo():
+    """Re-derive Table III from the calibrated device models."""
+    mcu, phone, system = STM32WB55(), RaspberryPi3(), WearableSystem()
+    rows = {}
+    for name, stats in PAPER_MODEL_STATS.items():
+        watch_exec = mcu.execute_operations(stats.operations)
+        phone_exec = phone.execute_operations(stats.operations)
+        local = system.local_prediction_cost(PAPER_DEPLOYMENTS[name])
+        rows[name] = {
+            "cycles": watch_exec.cycles,
+            "watch_time_ms": watch_exec.time_ms,
+            "watch_energy_mj": local.watch_total_j * 1e3,
+            "phone_time_ms": phone_exec.time_ms,
+            "phone_energy_mj": phone_exec.energy_mj,
+            "mae": stats.mae_bpm,
+        }
+    ble_time, ble_energy = BLELink.calibrated_to_paper().window_transmission()
+    rows["Bluetooth"] = {
+        "cycles": 0,
+        "watch_time_ms": ble_time * 1e3,
+        "watch_energy_mj": ble_energy * 1e3,
+        "phone_time_ms": float("nan"),
+        "phone_energy_mj": float("nan"),
+        "mae": float("nan"),
+    }
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_deployment(benchmark, results_dir):
+    rows = benchmark(characterize_zoo)
+
+    formatted = []
+    for name, row in rows.items():
+        formatted.append([
+            name,
+            f"{row['cycles']:,}",
+            f"{row['watch_time_ms']:.3f}",
+            f"{row['watch_energy_mj']:.3f}",
+            f"{row['phone_time_ms']:.2f}",
+            f"{row['phone_energy_mj']:.2f}",
+            f"{row['mae']:.2f}",
+        ])
+    table = format_table(
+        ["model", "cycles (watch)", "t watch [ms]", "E watch [mJ]",
+         "t phone [ms]", "E phone [mJ]", "MAE [BPM]"],
+        formatted,
+    )
+
+    comparisons = []
+    for name, stats in PAPER_MODEL_STATS.items():
+        comparisons.extend([
+            ComparisonRow(f"{name} cycles", stats.watch_cycles, rows[name]["cycles"]),
+            ComparisonRow(f"{name} watch time", stats.watch_time_ms, rows[name]["watch_time_ms"], "ms"),
+            ComparisonRow(f"{name} watch energy", stats.watch_energy_mj,
+                          rows[name]["watch_energy_mj"], "mJ"),
+            ComparisonRow(f"{name} phone time", stats.phone_time_ms, rows[name]["phone_time_ms"], "ms"),
+            ComparisonRow(f"{name} phone energy", stats.phone_energy_mj,
+                          rows[name]["phone_energy_mj"], "mJ"),
+        ])
+    comparisons.append(ComparisonRow("BLE time", PAPER_BLE_TIME_MS, rows["Bluetooth"]["watch_time_ms"], "ms"))
+    comparisons.append(ComparisonRow("BLE energy", PAPER_BLE_ENERGY_MJ,
+                                     rows["Bluetooth"]["watch_energy_mj"], "mJ"))
+    emit(results_dir, "table3_deployment", table + "\n\npaper vs measured\n"
+         + comparison_table(comparisons))
+
+    # Every regenerated cell is within 25 % of the published value (the
+    # cycle/latency models are power-law fits, not lookups).
+    for name, stats in PAPER_MODEL_STATS.items():
+        assert rows[name]["cycles"] == pytest.approx(stats.watch_cycles, rel=0.25)
+        assert rows[name]["watch_energy_mj"] == pytest.approx(stats.watch_energy_mj, rel=0.10)
+        assert rows[name]["phone_time_ms"] == pytest.approx(stats.phone_time_ms, rel=0.25)
+    assert rows["Bluetooth"]["watch_energy_mj"] == pytest.approx(PAPER_BLE_ENERGY_MJ, rel=0.02)

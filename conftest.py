@@ -1,0 +1,15 @@
+"""Pytest bootstrap.
+
+Makes the test and benchmark suites runnable straight from a source
+checkout (``pytest tests/``) even when the package has not been installed,
+which matters on offline machines where ``pip install -e .`` cannot fetch
+the ``wheel`` build dependency.  When the package *is* installed the
+inserted path is harmless (same code).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate the paper's Figs. 4 and 5 as text.
+
+The script sweeps the CHRIS configuration space (model pair x difficulty
+threshold x placement), prints the MAE-vs-smartwatch-energy cloud with its
+Pareto front, applies the paper's two constraints, shows the threshold
+sweep of the hybrid AT + TimePPG-Big pair (Fig. 5), and finally simulates
+a BLE connection loss.
+
+Run with:  python examples/offload_exploration.py
+"""
+
+from repro.core import Constraint
+from repro.eval import CalibratedExperiment, fig4_configuration_space, fig5_threshold_sweep
+from repro.hw import ExecutionTarget
+
+
+def ascii_scatter(points, width=68, height=18, marker="·", overlay=None):
+    """Very small ASCII scatter plot of (mae, energy_mj) points (log-free)."""
+    overlay = overlay or {}
+    all_points = list(points) + [p for pts in overlay.values() for p in pts]
+    max_mae = max(p[0] for p in all_points) * 1.05
+    min_mae = min(p[0] for p in all_points) * 0.95
+    max_energy = max(min(p[1], 1.0) for p in all_points) * 1.1
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(mae, energy, symbol):
+        if energy > max_energy:
+            return
+        col = int((mae - min_mae) / (max_mae - min_mae) * (width - 1))
+        row = height - 1 - int(energy / max_energy * (height - 1))
+        grid[row][max(0, min(width - 1, col))] = symbol
+
+    for mae, energy in points:
+        place(mae, energy, marker)
+    for symbol, pts in overlay.items():
+        for mae, energy in pts:
+            place(mae, energy, symbol)
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"x: MAE {min_mae:.1f} -> {max_mae:.1f} BPM   "
+                 f"y: watch energy 0 -> {max_energy:.2f} mJ   "
+                 "(points above 1 mJ clipped)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    experiment = CalibratedExperiment.build(seed=0, n_subjects=6, activity_duration_s=60.0)
+
+    print("== Fig. 4: configuration cloud (o local, x hybrid, * Pareto) ==")
+    series = fig4_configuration_space(experiment)
+    print(ascii_scatter(
+        series.local_points, marker="o",
+        overlay={"x": series.hybrid_points, "*": series.pareto_points},
+    ))
+    print()
+
+    sel1, sel2 = series.selection_constraint1, series.selection_constraint2
+    small_local = experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+    stream_all = experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+    print("constraint 1 (MAE <= 5.60):", sel1.label(),
+          f"-> {sel1.mae_bpm:.2f} BPM, {sel1.watch_energy_mj:.3f} mJ, "
+          f"{small_local.watch_energy_j / sel1.watch_energy_j:.2f}x less than Small-local")
+    print("constraint 2 (MAE <= 7.20):", sel2.label(),
+          f"-> {sel2.mae_bpm:.2f} BPM, {sel2.watch_energy_mj:.3f} mJ, "
+          f"{small_local.watch_energy_j / sel2.watch_energy_j:.2f}x less than Small-local, "
+          f"{stream_all.watch_energy_j / sel2.watch_energy_j:.2f}x less than streaming all")
+    print()
+
+    print("== Fig. 5: threshold sweep of the hybrid AT + TimePPG-Big pair ==")
+    sweep = fig5_threshold_sweep(experiment)
+    header = f"{'# easy acts':>11} {'MAE [BPM]':>10} {'compute':>9} {'radio':>8} {'idle':>8} {'total':>8} {'offloaded':>10}"
+    print(header)
+    for i, threshold in enumerate(sweep.thresholds):
+        print(f"{threshold:>11d} {sweep.mae_bpm[i]:>10.2f} {sweep.watch_compute_mj[i]:>9.3f} "
+              f"{sweep.watch_radio_mj[i]:>8.3f} {sweep.watch_idle_mj[i]:>8.3f} "
+              f"{sweep.watch_total_mj[i]:>8.3f} {100 * sweep.offload_fraction[i]:>9.0f}%")
+    print()
+
+    print("== connection loss: local-only fallback ==")
+    experiment.system.ble.disconnect()
+    local_front = experiment.table.pareto(connected=False)
+    print(f"{len(local_front)} local-only Pareto configurations remain, e.g.:")
+    for config in local_front[:5]:
+        print(f"  {config.label():<38} {config.mae_bpm:5.2f} BPM  {config.watch_energy_mj:7.3f} mJ")
+    fallback = experiment.select(Constraint.max_mae(7.2), connected=False)
+    print(f"fallback selection for MAE <= 7.2: {fallback.label()} "
+          f"({fallback.watch_energy_mj:.3f} mJ)")
+    experiment.system.ble.reconnect()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build CHRIS, pick a configuration, run it on a subject.
+
+This mirrors the end-to-end story of the paper in a couple of minutes of
+CPU time:
+
+1. generate a synthetic PPG-DaLiA-like corpus;
+2. build the calibrated model zoo (AT, TimePPG-Small, TimePPG-Big with the
+   paper's Table III deployment profiles);
+3. profile the 60 CHRIS configurations and keep the Pareto-optimal ones;
+4. ask the decision engine for the best configuration under an accuracy
+   constraint (MAE <= 5.60 BPM, TimePPG-Small's accuracy);
+5. replay a held-out subject through the CHRIS runtime and compare the
+   smartwatch energy against the single-model baselines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import CHRISRuntime, Constraint
+from repro.data import SyntheticDaliaGenerator, SyntheticDatasetConfig
+from repro.eval import CalibratedExperiment
+from repro.hw import ExecutionTarget, estimate_lifetime_hours
+
+
+def main() -> None:
+    print("== assembling the calibrated CHRIS experiment ==")
+    experiment = CalibratedExperiment.build(seed=0, n_subjects=6, activity_duration_s=60.0)
+    print(f"profiled {len(experiment.table)} configurations "
+          f"({len(experiment.table.pareto())} Pareto-optimal while connected)\n")
+
+    print("== stored configuration table (Pareto subset) ==")
+    print(experiment.table.to_text(only_pareto=True))
+    print()
+
+    constraint = Constraint.max_mae(5.60)
+    selected = experiment.select(constraint)
+    print("== decision engine selection for MAE <= 5.60 BPM ==")
+    print(f"configuration: {selected.label()}")
+    print(f"expected MAE:  {selected.mae_bpm:.2f} BPM")
+    print(f"expected energy: {selected.watch_energy_mj:.3f} mJ per prediction "
+          f"({100 * selected.offload_fraction:.0f}% of windows offloaded)\n")
+
+    print("== single-model baselines (smartwatch energy per prediction) ==")
+    for baseline in experiment.baselines:
+        print(f"  {baseline.label():<22} {baseline.watch_energy_mj:7.3f} mJ   "
+              f"MAE {baseline.mae_bpm:5.2f} BPM")
+    small_local = experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+    print(f"\nenergy reduction vs. running TimePPG-Small on the watch: "
+          f"{small_local.watch_energy_j / selected.watch_energy_j:.2f}x\n")
+
+    print("== replaying a fresh subject through the CHRIS runtime ==")
+    fresh = SyntheticDaliaGenerator(
+        SyntheticDatasetConfig(n_subjects=1, activity_duration_s=60.0, seed=99)
+    ).generate_windowed().subjects[0]
+    runtime = CHRISRuntime(experiment.zoo, experiment.engine, experiment.system)
+    result = runtime.run(fresh, constraint, use_oracle_difficulty=True)
+    print(result.summary())
+    print(f"battery life at this operating point: "
+          f"{estimate_lifetime_hours(result.mean_watch_energy_j) / 24:.1f} days "
+          f"(vs {estimate_lifetime_hours(small_local.watch_energy_j) / 24:.1f} days "
+          f"for TimePPG-Small always on the watch)")
+
+
+if __name__ == "__main__":
+    main()

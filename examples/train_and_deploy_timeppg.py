@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Full trained-model pipeline: data -> TCN training -> int8 -> CHRIS zoo.
+
+This example exercises the *real* (non-calibrated) model path:
+
+1. synthesize a small PPG-DaLiA-like corpus and split it by subject;
+2. train a compact TimePPG-style temporal convolutional network with the
+   NumPy framework (dilated/strided Conv1d, Adam, early stopping);
+3. quantize it to int8 and measure the accuracy cost of quantization;
+4. characterize the trained network (parameters, MACs, estimated cycles,
+   latency and energy on the STM32WB55 and the Raspberry Pi3);
+5. build a CHRIS zoo out of the trained network plus the classical AT and
+   spectral predictors, profile the configurations and select one.
+
+The network trained here is narrower than the paper's TimePPG-Small so the
+script finishes in a couple of minutes on a laptop; pass --full to train
+the actual TimePPG-Small geometry instead.
+
+Run with:  python examples/train_and_deploy_timeppg.py [--full]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import ConfigurationProfiler, Constraint, DecisionEngine, ModelsZoo, ZooEntry
+from repro.core.profiling import ProfilingData
+from repro.data import SyntheticDaliaGenerator, SyntheticDatasetConfig, WindowedDataset
+from repro.hw import STM32WB55, RaspberryPi3, WearableSystem, build_deployment_table
+from repro.ml import ActivityClassifier
+from repro.ml.metrics import mean_absolute_error
+from repro.models import (
+    AdaptiveThresholdPredictor,
+    SpectralHRPredictor,
+    TimePPGConfig,
+    TimePPGPredictor,
+    TIMEPPG_SMALL_CONFIG,
+)
+from repro.nn import HuberLoss, Trainer, TrainerConfig, count_macs, count_parameters, quantize_network
+
+COMPACT_CONFIG = TimePPGConfig(
+    name="TimePPG-Compact",
+    block_channels=(4, 6, 8),
+    kernel_size=3,
+    head_pool=4,
+    head_hidden=24,
+)
+
+
+def train_network(config, train, val, epochs, seed=0):
+    """Train one TimePPG variant; returns the predictor and its history."""
+    predictor = TimePPGPredictor(config=config, seed=seed)
+    x_train = predictor.prepare_input(train.ppg_windows, train.accel_windows)
+    x_val = predictor.prepare_input(val.ppg_windows, val.accel_windows)
+    # Standardized targets converge much faster; fold the inverse transform
+    # back into the output layer afterwards.
+    mean, std = float(train.hr.mean()), float(train.hr.std()) + 1e-6
+    trainer = Trainer(
+        predictor.network,
+        loss=HuberLoss(delta=1.0),
+        config=TrainerConfig(epochs=epochs, batch_size=32, learning_rate=2e-3,
+                             patience=5, seed=seed, verbose=True),
+    )
+    history = trainer.fit(x_train, (train.hr - mean) / std, x_val, (val.hr - mean) / std)
+    output = predictor.network.layers[-1]
+    output.params["weight"] *= std
+    output.params["bias"] = output.params["bias"] * std + mean
+    return predictor, history
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="train the actual TimePPG-Small geometry (slower)")
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--subjects", type=int, default=6)
+    args = parser.parse_args()
+
+    config = TIMEPPG_SMALL_CONFIG if args.full else COMPACT_CONFIG
+
+    print("== 1. synthetic corpus ==")
+    dataset = SyntheticDaliaGenerator(
+        SyntheticDatasetConfig(n_subjects=args.subjects, activity_duration_s=60.0, seed=13)
+    ).generate_windowed()
+    train = WindowedDataset(dataset.subjects[:-3]).concatenated()
+    val = dataset.subjects[-3]
+    profiling_subject = dataset.subjects[-2]
+    test_subject = dataset.subjects[-1]
+    print(f"{len(dataset)} subjects, {train.n_windows} training windows\n")
+
+    print(f"== 2. training {config.name} ==")
+    start = time.time()
+    predictor, history = train_network(config, train, val, epochs=args.epochs)
+    print(f"trained for {history.n_epochs} epochs in {time.time() - start:.1f} s "
+          f"(best epoch {history.best_epoch})")
+    info = predictor.info
+    float_mae = mean_absolute_error(
+        test_subject.hr, predictor.predict(test_subject.ppg_windows, test_subject.accel_windows)
+    )
+    print(f"{info.name}: {info.n_parameters:,} parameters, "
+          f"{info.macs_per_window:,} MACs/window, test MAE {float_mae:.2f} BPM\n")
+
+    print("== 3. int8 post-training quantization ==")
+    calibration = predictor.prepare_input(train.ppg_windows[:128], train.accel_windows[:128])
+    predictor.quantized = quantize_network(predictor.network, calibration)
+    quant_mae = mean_absolute_error(
+        test_subject.hr, predictor.predict(test_subject.ppg_windows, test_subject.accel_windows)
+    )
+    print(f"int8 weights: {predictor.quantized.weight_bytes / 1024:.1f} kB, "
+          f"test MAE {quant_mae:.2f} BPM "
+          f"(float was {float_mae:.2f} BPM)\n")
+
+    print("== 4. hardware characterization ==")
+    mcu, phone = STM32WB55(), RaspberryPi3()
+    watch_exec = mcu.execute_operations(info.macs_per_window)
+    phone_exec = phone.execute_operations(info.macs_per_window)
+    print(f"STM32WB55: {watch_exec.cycles:,} cycles, {watch_exec.time_ms:.2f} ms, "
+          f"{watch_exec.energy_mj:.3f} mJ (active)")
+    print(f"RPi3:      {phone_exec.time_ms:.2f} ms, {phone_exec.energy_mj:.3f} mJ\n")
+
+    print("== 5. building a CHRIS zoo around the trained model ==")
+    classical = {"AT": AdaptiveThresholdPredictor(), "SpectralTracker": SpectralHRPredictor()}
+    predictors = {**classical, info.name: predictor}
+    maes = {}
+    for name, model in predictors.items():
+        model.reset() if hasattr(model, "reset") else None
+        predictions = model.predict(profiling_subject.ppg_windows, profiling_subject.accel_windows)
+        maes[name] = mean_absolute_error(profiling_subject.hr, predictions)
+        print(f"  profiling MAE of {name:<16} {maes[name]:.2f} BPM")
+    deployments = build_deployment_table([m.info for m in predictors.values()], maes=maes)
+    zoo = ModelsZoo([ZooEntry(predictors[name], deployments[name]) for name in predictors])
+
+    classifier = ActivityClassifier(random_state=0)
+    classifier.fit(train.accel_windows, train.activity)
+    system = WearableSystem()
+    data = ProfilingData.from_zoo_predictions(zoo, profiling_subject, classifier)
+    table = ConfigurationProfiler(zoo, system).profile_all(data)
+    engine = DecisionEngine(table)
+    constraint = Constraint.max_mae(maes[info.name] * 1.1)
+    selected = engine.select_or_closest(constraint)
+    print(f"\nselected configuration for MAE <= {constraint.value:.2f}: {selected.label()}")
+    print(f"expected: {selected.mae_bpm:.2f} BPM at {selected.watch_energy_mj:.3f} mJ/prediction "
+          f"({100 * selected.offload_fraction:.0f}% offloaded)")
+
+
+if __name__ == "__main__":
+    main()

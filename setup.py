@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only
+exists so that editable installs keep working on machines without the
+``wheel`` package (offline environments cannot fetch it, and PEP 660
+editable wheels need it).  ``pip install -e . --no-build-isolation``
+falls back to this legacy path automatically when needed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Reproduction of CHRIS (DATE 2023).
+
+CHRIS — the Collaborative Heart Rate Inference System — orchestrates heart
+rate estimation between a PPG-equipped smartwatch and a connected phone:
+an activity-recognition model estimates the difficulty of each PPG window,
+and a decision engine picks which HR model to run and on which device so
+that a user-defined error or energy constraint is met at minimal
+smartwatch energy.
+
+Package layout
+--------------
+``repro.signal``
+    DSP primitives (filters, peaks, spectra, windowing, features).
+``repro.data``
+    Synthetic PPG-DaLiA-like corpus, containers, cross-validation splits.
+``repro.ml``
+    From-scratch decision trees / random forests and the activity
+    recognizer.
+``repro.nn``
+    NumPy deep-learning framework (dilated 1-D convolutions, training,
+    int8 quantization, complexity counting).
+``repro.models``
+    HR predictors: Adaptive Threshold, TimePPG-Small/Big, a spectral
+    baseline, and the paper-calibrated error models.
+``repro.hw``
+    STM32WB55 / Raspberry Pi3 / BLE / battery energy models calibrated to
+    the paper's Table III.
+``repro.core``
+    CHRIS itself: model zoo, configurations, offline profiling, Pareto
+    analysis, decision engine, runtime simulator.
+``repro.eval``
+    Experiment assembly, figure data series, cross-validation, reporting.
+
+Quickstart
+----------
+>>> from repro.eval import CalibratedExperiment
+>>> from repro.core import Constraint
+>>> experiment = CalibratedExperiment.build(seed=0, n_subjects=3,
+...                                          activity_duration_s=30.0)
+>>> selected = experiment.select(Constraint.max_mae(5.60))
+>>> selected.watch_energy_mj < experiment.baseline(
+...     "TimePPG-Small", __import__("repro.hw", fromlist=["ExecutionTarget"]).ExecutionTarget.WATCH
+... ).watch_energy_mj
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "data",
+    "eval",
+    "hw",
+    "ml",
+    "models",
+    "nn",
+    "signal",
+]

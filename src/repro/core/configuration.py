@@ -1,0 +1,184 @@
+"""CHRIS configurations and their enumeration.
+
+A *configuration* (paper Sec. III-A) is a pair of HR prediction models —
+a simpler/cheaper one and a more accurate/expensive one — together with a
+difficulty threshold and an execution mapping.  For every input window the
+activity recognizer estimates a difficulty level from 1 (least motion
+artifacts) to 9 (most); windows whose difficulty does not exceed the
+threshold are handled by the simple model, the others by the complex one.
+The execution mapping states where the complex model runs: on the
+smartwatch (*local* configuration) or offloaded to the phone (*hybrid*
+configuration).  The simple model always runs on the watch.
+
+With three zoo models, ten threshold values (0–9) and two placements of
+the complex model, 60 configurations exist (paper Sec. III-C); they are
+profiled offline and only the Pareto-optimal ones are stored in the MCU
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import combinations
+
+from repro.hw.profiles import ExecutionTarget
+
+#: Number of difficulty levels (and activities).
+NUM_DIFFICULTY_LEVELS = 9
+
+#: All difficulty-threshold values: 0 (everything is "hard", the complex
+#: model handles every window) through 9 (everything is "easy").
+ALL_THRESHOLDS = tuple(range(0, NUM_DIFFICULTY_LEVELS + 1))
+
+
+class ExecutionMode(Enum):
+    """Where the configuration's complex model executes."""
+
+    LOCAL = "local"     # both models on the smartwatch
+    HYBRID = "hybrid"   # complex model offloaded to the phone
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One CHRIS operating configuration.
+
+    Attributes
+    ----------
+    simple_model:
+        Name of the cheap model (always executed on the smartwatch).
+    complex_model:
+        Name of the accurate model.
+    difficulty_threshold:
+        Largest difficulty level (0–9) still handled by the simple model.
+    mode:
+        Whether the complex model runs locally or on the phone.
+    """
+
+    simple_model: str
+    complex_model: str
+    difficulty_threshold: int
+    mode: ExecutionMode
+
+    def __post_init__(self) -> None:
+        if self.simple_model == self.complex_model:
+            raise ValueError("a configuration needs two distinct models")
+        if not 0 <= self.difficulty_threshold <= NUM_DIFFICULTY_LEVELS:
+            raise ValueError(
+                f"difficulty_threshold must be in [0, {NUM_DIFFICULTY_LEVELS}], "
+                f"got {self.difficulty_threshold}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True when no window is ever offloaded."""
+        return self.mode is ExecutionMode.LOCAL
+
+    @property
+    def models(self) -> tuple[str, str]:
+        """(simple, complex) model names."""
+        return (self.simple_model, self.complex_model)
+
+    def model_for_difficulty(self, difficulty: int) -> tuple[str, ExecutionTarget]:
+        """Which model handles a window of the given difficulty, and where.
+
+        Parameters
+        ----------
+        difficulty:
+            Predicted difficulty level, 1–9.
+        """
+        if not 1 <= difficulty <= NUM_DIFFICULTY_LEVELS:
+            raise ValueError(f"difficulty must be in [1, {NUM_DIFFICULTY_LEVELS}], got {difficulty}")
+        if difficulty <= self.difficulty_threshold:
+            return self.simple_model, ExecutionTarget.WATCH
+        target = ExecutionTarget.WATCH if self.is_local else ExecutionTarget.PHONE
+        return self.complex_model, target
+
+    def label(self) -> str:
+        """Compact identifier used in reports, e.g. ``AT+TimePPG-Big/hybrid/t6``."""
+        return (
+            f"{self.simple_model}+{self.complex_model}/"
+            f"{self.mode.value}/t{self.difficulty_threshold}"
+        )
+
+
+@dataclass(frozen=True)
+class ProfiledConfiguration:
+    """A configuration with its offline profiling results attached.
+
+    This is what the paper's Table II stores in the MCU memory: the
+    expected MAE and smartwatch energy (per prediction) of the
+    configuration on the profiling dataset, plus bookkeeping quantities
+    used by the evaluation (offload fraction, phone energy, latency).
+    """
+
+    configuration: Configuration
+    mae_bpm: float
+    watch_energy_j: float
+    phone_energy_j: float
+    mean_latency_s: float
+    offload_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.mae_bpm < 0:
+            raise ValueError(f"mae_bpm must be >= 0, got {self.mae_bpm}")
+        if self.watch_energy_j < 0 or self.phone_energy_j < 0:
+            raise ValueError("energies must be >= 0")
+        if not 0.0 <= self.offload_fraction <= 1.0:
+            raise ValueError(f"offload_fraction must lie in [0, 1], got {self.offload_fraction}")
+
+    @property
+    def watch_energy_mj(self) -> float:
+        """Smartwatch energy per prediction in millijoules."""
+        return self.watch_energy_j * 1e3
+
+    @property
+    def is_local(self) -> bool:
+        """True when the configuration never offloads."""
+        return self.configuration.is_local
+
+    def label(self) -> str:
+        """Compact identifier of the underlying configuration."""
+        return self.configuration.label()
+
+
+def enumerate_configurations(
+    model_names_by_cost: list[str],
+    thresholds: tuple[int, ...] = ALL_THRESHOLDS,
+    modes: tuple[ExecutionMode, ...] = (ExecutionMode.LOCAL, ExecutionMode.HYBRID),
+) -> list[Configuration]:
+    """Enumerate the CHRIS configuration design space.
+
+    Parameters
+    ----------
+    model_names_by_cost:
+        Zoo model names ordered from cheapest to most expensive; within
+        each pair the cheaper model plays the "simple" role.
+    thresholds:
+        Difficulty thresholds to enumerate (0–9 in the paper).
+    modes:
+        Execution mappings to enumerate.
+
+    Returns
+    -------
+    list[Configuration]
+        ``C(n_models, 2) * len(thresholds) * len(modes)`` configurations —
+        60 for the paper's three models.
+    """
+    if len(model_names_by_cost) < 2:
+        raise ValueError("need at least two models to build configurations")
+    if len(set(model_names_by_cost)) != len(model_names_by_cost):
+        raise ValueError("model names must be unique")
+    configurations = []
+    for simple, complex_ in combinations(model_names_by_cost, 2):
+        for mode in modes:
+            for threshold in thresholds:
+                configurations.append(
+                    Configuration(
+                        simple_model=simple,
+                        complex_model=complex_,
+                        difficulty_threshold=threshold,
+                        mode=mode,
+                    )
+                )
+    return configurations

@@ -1,0 +1,155 @@
+"""The CHRIS Decision Engine (paper Sec. III-B).
+
+The engine makes two decisions:
+
+1. **Constraint-dependent configuration selection** — from the profiled
+   configuration table it keeps only the configurations compatible with
+   the current BLE connection status (local-only when the phone is
+   unreachable), then applies the user-defined constraint:
+
+   * a maximum expected MAE (``ThMAE``): pick the feasible configuration
+     with the lowest smartwatch energy whose profiled MAE does not exceed
+     the threshold;
+   * or a maximum expected energy (``ThEn``): pick the feasible
+     configuration with the best MAE among those whose profiled energy
+     does not exceed the threshold.
+
+   The constraint is *soft*: it holds on field data only to the extent
+   that the field data is distributed like the profiling dataset.
+
+2. **Input-dependent model selection** — given the selected configuration
+   and the difficulty level predicted by the activity recognizer for the
+   current window, route the window to the configuration's simple model
+   (difficulty ≤ threshold, executed on the watch) or to its complex model
+   (executed on the watch or the phone depending on the configuration
+   mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.configuration import ProfiledConfiguration
+from repro.core.profiling import ConfigurationTable
+from repro.hw.profiles import ExecutionTarget
+
+
+class ConstraintKind(Enum):
+    """Type of user-defined threshold."""
+
+    MAX_MAE = "max_mae"
+    MAX_ENERGY = "max_energy"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A user-defined soft constraint on MAE or smartwatch energy.
+
+    Attributes
+    ----------
+    kind:
+        Whether the bound applies to the MAE (BPM) or to the per-prediction
+        smartwatch energy (joules).
+    value:
+        The bound itself (BPM for :attr:`ConstraintKind.MAX_MAE`, joules
+        for :attr:`ConstraintKind.MAX_ENERGY`).
+    """
+
+    kind: ConstraintKind
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"constraint value must be positive, got {self.value}")
+
+    @classmethod
+    def max_mae(cls, bpm: float) -> "Constraint":
+        """Constraint: expected MAE must not exceed ``bpm``."""
+        return cls(ConstraintKind.MAX_MAE, bpm)
+
+    @classmethod
+    def max_energy_mj(cls, millijoules: float) -> "Constraint":
+        """Constraint: expected smartwatch energy must not exceed ``millijoules``."""
+        return cls(ConstraintKind.MAX_ENERGY, millijoules * 1e-3)
+
+
+class NoFeasibleConfigurationError(RuntimeError):
+    """Raised when no stored configuration satisfies the constraint."""
+
+
+class DecisionEngine:
+    """Constraint- and connection-aware configuration/model selection."""
+
+    def __init__(self, table: ConfigurationTable, use_pareto_only: bool = True) -> None:
+        self.table = table
+        self.use_pareto_only = use_pareto_only
+
+    # ----------------------------------------------- configuration selection
+    def _candidates(self, connected: bool) -> list[ProfiledConfiguration]:
+        if self.use_pareto_only:
+            return self.table.pareto(connected=connected)
+        return self.table.feasible(connected=connected)
+
+    def select_configuration(
+        self, constraint: Constraint, connected: bool = True
+    ) -> ProfiledConfiguration:
+        """The stored configuration best matching the constraint.
+
+        Raises
+        ------
+        NoFeasibleConfigurationError
+            If no feasible configuration satisfies the constraint; callers
+            may fall back to :meth:`closest_configuration`.
+        """
+        candidates = self._candidates(connected)
+        if not candidates:
+            raise NoFeasibleConfigurationError("no feasible configuration available")
+        if constraint.kind is ConstraintKind.MAX_MAE:
+            admissible = [c for c in candidates if c.mae_bpm <= constraint.value]
+            if not admissible:
+                raise NoFeasibleConfigurationError(
+                    f"no configuration reaches MAE <= {constraint.value:.2f} BPM "
+                    f"({'connected' if connected else 'disconnected'})"
+                )
+            return min(admissible, key=lambda c: (c.watch_energy_j, c.mae_bpm))
+        admissible = [c for c in candidates if c.watch_energy_j <= constraint.value]
+        if not admissible:
+            raise NoFeasibleConfigurationError(
+                f"no configuration stays below {constraint.value * 1e3:.3f} mJ "
+                f"({'connected' if connected else 'disconnected'})"
+            )
+        return min(admissible, key=lambda c: (c.mae_bpm, c.watch_energy_j))
+
+    def closest_configuration(
+        self, constraint: Constraint, connected: bool = True
+    ) -> ProfiledConfiguration:
+        """Best-effort selection when the constraint cannot be met.
+
+        Returns the feasible configuration closest to the constrained
+        objective: the lowest-MAE one for an unreachable MAE bound, the
+        lowest-energy one for an unreachable energy bound.
+        """
+        candidates = self._candidates(connected)
+        if not candidates:
+            raise NoFeasibleConfigurationError("no feasible configuration available")
+        if constraint.kind is ConstraintKind.MAX_MAE:
+            return min(candidates, key=lambda c: (c.mae_bpm, c.watch_energy_j))
+        return min(candidates, key=lambda c: (c.watch_energy_j, c.mae_bpm))
+
+    def select_or_closest(
+        self, constraint: Constraint, connected: bool = True
+    ) -> ProfiledConfiguration:
+        """:meth:`select_configuration` with automatic best-effort fallback."""
+        try:
+            return self.select_configuration(constraint, connected=connected)
+        except NoFeasibleConfigurationError:
+            return self.closest_configuration(constraint, connected=connected)
+
+    # --------------------------------------------------- per-window dispatch
+    @staticmethod
+    def select_model(
+        configuration: ProfiledConfiguration, predicted_difficulty: int
+    ) -> tuple[str, ExecutionTarget]:
+        """Which model handles a window of the given predicted difficulty."""
+        return configuration.configuration.model_for_difficulty(predicted_difficulty)

@@ -1,0 +1,69 @@
+"""Pareto-front utilities over the (MAE, smartwatch energy) plane.
+
+The paper stores only the Pareto-optimal configurations in the MCU (30 of
+the 60 enumerated ones) and plots the whole cloud in Fig. 4.  Both
+objectives are minimized.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configuration import ProfiledConfiguration
+
+
+def is_dominated(point: tuple[float, float], others: Sequence[tuple[float, float]]) -> bool:
+    """Whether ``point`` is dominated by any point in ``others``.
+
+    A point ``(a, b)`` dominates ``(c, d)`` when it is no worse in both
+    objectives and strictly better in at least one (minimization).
+    """
+    a, b = point
+    for c, d in others:
+        if (c, d) == (a, b):
+            continue
+        if c <= a and d <= b and (c < a or d < b):
+            return True
+    return False
+
+
+def pareto_indices(points: Sequence[tuple[float, float]]) -> list[int]:
+    """Indices of the non-dominated points (minimization in both axes)."""
+    if len(points) == 0:
+        return []
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array of points, got shape {arr.shape}")
+    indices = []
+    for i, point in enumerate(arr):
+        dominated = np.any(
+            np.all(arr <= point, axis=1) & np.any(arr < point, axis=1)
+        )
+        if not dominated:
+            indices.append(i)
+    return indices
+
+
+def pareto_front(
+    configurations: Sequence[ProfiledConfiguration],
+) -> list[ProfiledConfiguration]:
+    """Non-dominated configurations in (MAE, watch energy), sorted by energy.
+
+    Duplicate (MAE, energy) pairs are collapsed to a single representative
+    so the stored table stays minimal, as in the paper.
+    """
+    if not configurations:
+        return []
+    points = [(c.mae_bpm, c.watch_energy_j) for c in configurations]
+    front = [configurations[i] for i in pareto_indices(points)]
+    front.sort(key=lambda c: (c.watch_energy_j, c.mae_bpm))
+    unique: list[ProfiledConfiguration] = []
+    seen: set[tuple[float, float]] = set()
+    for config in front:
+        key = (round(config.mae_bpm, 9), round(config.watch_energy_j, 15))
+        if key not in seen:
+            seen.add(key)
+            unique.append(config)
+    return unique

@@ -1,0 +1,278 @@
+"""CHRIS runtime simulator.
+
+The runtime plays a windowed recording through the full CHRIS loop: the
+decision engine selects a configuration from the stored table according to
+the user constraint and the BLE connection status, then for every window
+the activity recognizer predicts a difficulty level, the configuration
+routes the window to one of its two models (watch or phone), the selected
+predictor produces the HR estimate, and the hardware co-model charges the
+corresponding energy.  The result mirrors what the paper measures on the
+real system: per-window decisions, overall MAE, per-prediction smartwatch
+energy, and offload statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.configuration import ProfiledConfiguration
+from repro.core.decision_engine import Constraint, DecisionEngine
+from repro.core.zoo import ModelsZoo
+from repro.data.dataset import WindowedSubject
+from repro.hw.platform import PredictionCost, WearableSystem
+from repro.hw.profiles import ExecutionTarget
+from repro.ml.activity_classifier import ActivityClassifier
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """The outcome of processing one window."""
+
+    window_index: int
+    predicted_difficulty: int
+    true_difficulty: int
+    model_name: str
+    target: ExecutionTarget
+    predicted_hr: float
+    true_hr: float
+    cost: PredictionCost
+
+    @property
+    def absolute_error(self) -> float:
+        """Absolute HR error (BPM) of this prediction."""
+        return abs(self.predicted_hr - self.true_hr)
+
+    @property
+    def offloaded(self) -> bool:
+        """Whether the window was processed on the phone."""
+        return self.target is ExecutionTarget.PHONE
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of a CHRIS run over a recording."""
+
+    configuration: ProfiledConfiguration
+    decisions: list[WindowDecision] = field(default_factory=list)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of processed windows."""
+        return len(self.decisions)
+
+    @property
+    def mae_bpm(self) -> float:
+        """Mean absolute HR error over the run."""
+        if not self.decisions:
+            return float("nan")
+        return float(np.mean([d.absolute_error for d in self.decisions]))
+
+    @property
+    def mean_watch_energy_j(self) -> float:
+        """Average smartwatch energy per prediction (J)."""
+        if not self.decisions:
+            return float("nan")
+        return float(np.mean([d.cost.watch_total_j for d in self.decisions]))
+
+    @property
+    def mean_watch_energy_mj(self) -> float:
+        """Average smartwatch energy per prediction (mJ)."""
+        return self.mean_watch_energy_j * 1e3
+
+    @property
+    def mean_phone_energy_j(self) -> float:
+        """Average phone energy per prediction (J)."""
+        if not self.decisions:
+            return float("nan")
+        return float(np.mean([d.cost.phone_compute_j for d in self.decisions]))
+
+    @property
+    def total_watch_energy_j(self) -> float:
+        """Total smartwatch energy over the run (J)."""
+        return float(np.sum([d.cost.watch_total_j for d in self.decisions]))
+
+    @property
+    def offload_fraction(self) -> float:
+        """Fraction of windows processed on the phone."""
+        if not self.decisions:
+            return 0.0
+        return float(np.mean([d.offloaded for d in self.decisions]))
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average end-to-end prediction latency (s)."""
+        if not self.decisions:
+            return float("nan")
+        return float(np.mean([d.cost.latency_s for d in self.decisions]))
+
+    def per_model_counts(self) -> dict[str, int]:
+        """Number of windows handled by each model."""
+        counts: dict[str, int] = {}
+        for decision in self.decisions:
+            counts[decision.model_name] = counts.get(decision.model_name, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """Compact one-paragraph report of the run."""
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(self.per_model_counts().items()))
+        return (
+            f"configuration {self.configuration.label()}: "
+            f"MAE {self.mae_bpm:.2f} BPM, "
+            f"watch energy {self.mean_watch_energy_mj:.3f} mJ/prediction, "
+            f"{100 * self.offload_fraction:.1f}% offloaded over {self.n_windows} windows "
+            f"({counts})"
+        )
+
+
+class CHRISRuntime:
+    """End-to-end CHRIS execution over windowed recordings."""
+
+    def __init__(
+        self,
+        zoo: ModelsZoo,
+        engine: DecisionEngine,
+        system: WearableSystem | None = None,
+        activity_classifier: ActivityClassifier | None = None,
+    ) -> None:
+        self.zoo = zoo
+        self.engine = engine
+        self.system = system or WearableSystem()
+        self.activity_classifier = activity_classifier
+
+    # ------------------------------------------------------------ difficulty
+    def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
+        if use_oracle or self.activity_classifier is None:
+            return windows.difficulty
+        return self.activity_classifier.predict_difficulty(windows.accel_windows)
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self,
+        windows: WindowedSubject,
+        constraint: Constraint,
+        use_oracle_difficulty: bool = False,
+    ) -> RunResult:
+        """Process a windowed recording under a user constraint.
+
+        The configuration is selected once at the start of the run from
+        the current connection status (as the paper does: re-selection
+        only happens when the constraint or the connection changes).
+        """
+        configuration = self.engine.select_or_closest(
+            constraint, connected=self.system.connected
+        )
+        return self.run_with_configuration(
+            windows, configuration, use_oracle_difficulty=use_oracle_difficulty
+        )
+
+    def run_with_connection_trace(
+        self,
+        windows: WindowedSubject,
+        constraint: Constraint,
+        connected: np.ndarray,
+        use_oracle_difficulty: bool = False,
+    ) -> RunResult:
+        """Process a recording while the BLE connection comes and goes.
+
+        ``connected`` is a boolean array with one entry per window.  The
+        decision engine re-selects the operating configuration every time
+        the connection status changes (the behaviour Sec. III-B describes:
+        the connection status restricts the feasible set), so the run may
+        switch between hybrid and local-only configurations mid-stream.
+        The returned :class:`RunResult` carries the configuration active at
+        the *end* of the run; per-window decisions record what actually
+        executed.
+        """
+        connected = np.asarray(connected, dtype=bool)
+        if connected.shape != (windows.n_windows,):
+            raise ValueError(
+                f"connected must have one entry per window "
+                f"({windows.n_windows}), got shape {connected.shape}"
+            )
+        if windows.n_windows == 0:
+            raise ValueError("the recording contains no windows")
+
+        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
+        true_difficulties = windows.difficulty
+        previous_status = self.system.ble.connected
+        configuration = self.engine.select_or_closest(constraint, connected=bool(connected[0]))
+        result = RunResult(configuration=configuration)
+        try:
+            current_status: bool | None = None
+            for i in range(windows.n_windows):
+                status = bool(connected[i])
+                if status != current_status:
+                    configuration = self.engine.select_or_closest(constraint, connected=status)
+                    current_status = status
+                self.system.ble.connected = status
+                model_name, target = self.engine.select_model(configuration, int(difficulties[i]))
+                if target is ExecutionTarget.PHONE and not status:
+                    target = ExecutionTarget.WATCH
+                entry = self.zoo.entry(model_name)
+                predicted_hr = entry.predictor.predict_window(
+                    windows.ppg_windows[i],
+                    windows.accel_windows[i],
+                    true_hr=float(windows.hr[i]),
+                    activity=int(windows.activity[i]),
+                )
+                cost = self.system.prediction_cost(entry.deployment, target)
+                result.decisions.append(
+                    WindowDecision(
+                        window_index=i,
+                        predicted_difficulty=int(difficulties[i]),
+                        true_difficulty=int(true_difficulties[i]),
+                        model_name=model_name,
+                        target=target,
+                        predicted_hr=float(predicted_hr),
+                        true_hr=float(windows.hr[i]),
+                        cost=cost,
+                    )
+                )
+        finally:
+            self.system.ble.connected = previous_status
+        result.configuration = configuration
+        return result
+
+    def run_with_configuration(
+        self,
+        windows: WindowedSubject,
+        configuration: ProfiledConfiguration,
+        use_oracle_difficulty: bool = False,
+    ) -> RunResult:
+        """Process a recording with an explicitly chosen configuration."""
+        if windows.n_windows == 0:
+            raise ValueError("the recording contains no windows")
+        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
+        true_difficulties = windows.difficulty
+        result = RunResult(configuration=configuration)
+
+        for i in range(windows.n_windows):
+            model_name, target = self.engine.select_model(configuration, int(difficulties[i]))
+            if target is ExecutionTarget.PHONE and not self.system.connected:
+                # Degraded mode: if the link drops mid-run the complex model
+                # falls back to local execution (the configuration itself
+                # would be re-selected at the next decision point).
+                target = ExecutionTarget.WATCH
+            entry = self.zoo.entry(model_name)
+            predicted_hr = entry.predictor.predict_window(
+                windows.ppg_windows[i],
+                windows.accel_windows[i],
+                true_hr=float(windows.hr[i]),
+                activity=int(windows.activity[i]),
+            )
+            cost = self.system.prediction_cost(entry.deployment, target)
+            result.decisions.append(
+                WindowDecision(
+                    window_index=i,
+                    predicted_difficulty=int(difficulties[i]),
+                    true_difficulty=int(true_difficulties[i]),
+                    model_name=model_name,
+                    target=target,
+                    predicted_hr=float(predicted_hr),
+                    true_hr=float(windows.hr[i]),
+                    cost=cost,
+                )
+            )
+        return result

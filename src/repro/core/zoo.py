@@ -1,0 +1,98 @@
+"""The CHRIS Models Zoo.
+
+The zoo is the collection of HR predictors available to the system, each
+characterized by its deployment profile (accuracy plus per-device energy
+and latency).  CHRIS only ever stores the models' profiles and — for the
+models that can run locally — their weights; at most three HR models need
+to live in the smartwatch memory (paper Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.profiles import ModelDeployment
+from repro.models.base import HeartRatePredictor
+
+
+@dataclass
+class ZooEntry:
+    """One zoo member: a predictor plus its deployment characterization."""
+
+    predictor: HeartRatePredictor
+    deployment: ModelDeployment
+
+    @property
+    def name(self) -> str:
+        """Model name (shared by the predictor and its deployment)."""
+        return self.deployment.name
+
+
+class ModelsZoo:
+    """Ordered collection of HR predictors with deployment profiles."""
+
+    def __init__(self, entries: list[ZooEntry] | None = None) -> None:
+        self._entries: dict[str, ZooEntry] = {}
+        for entry in entries or []:
+            self.add(entry)
+
+    def add(self, entry: ZooEntry) -> "ModelsZoo":
+        """Register a model (name must be unique); returns ``self``."""
+        if entry.name in self._entries:
+            raise ValueError(f"model {entry.name!r} already registered in the zoo")
+        self._entries[entry.name] = entry
+        return self
+
+    def add_model(self, predictor: HeartRatePredictor, deployment: ModelDeployment) -> "ModelsZoo":
+        """Convenience wrapper around :meth:`add`."""
+        return self.add(ZooEntry(predictor=predictor, deployment=deployment))
+
+    # -------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    @property
+    def names(self) -> list[str]:
+        """Model names in registration order."""
+        return list(self._entries)
+
+    def entry(self, name: str) -> ZooEntry:
+        """Look up a zoo member by name."""
+        if name not in self._entries:
+            raise KeyError(f"model {name!r} not in zoo (have {self.names})")
+        return self._entries[name]
+
+    def predictor(self, name: str) -> HeartRatePredictor:
+        """The predictor object of a zoo member."""
+        return self.entry(name).predictor
+
+    def deployment(self, name: str) -> ModelDeployment:
+        """The deployment profile of a zoo member."""
+        return self.entry(name).deployment
+
+    # ------------------------------------------------------------- ordering
+    def ordered_by_cost(self) -> list[ZooEntry]:
+        """Zoo members sorted by increasing smartwatch execution energy."""
+        return sorted(self._entries.values(), key=lambda e: e.deployment.watch_active_energy_j)
+
+    def ordered_by_accuracy(self) -> list[ZooEntry]:
+        """Zoo members sorted by increasing MAE (best first)."""
+        return sorted(self._entries.values(), key=lambda e: e.deployment.mae_bpm)
+
+    def memory_footprint_bytes(self, bytes_per_parameter: int = 1) -> int:
+        """Total weight storage needed on the watch (int8 deployment).
+
+        Only models with trainable parameters contribute; the classical
+        algorithms are pure code.
+        """
+        if bytes_per_parameter <= 0:
+            raise ValueError(f"bytes_per_parameter must be positive, got {bytes_per_parameter}")
+        return int(
+            sum(e.predictor.info.n_parameters * bytes_per_parameter for e in self._entries.values())
+        )

@@ -1,0 +1,62 @@
+"""Dataset substrate: a synthetic PPG-DaLiA-like corpus.
+
+PPG-DaLiA (Reiss et al., 2019) is the dataset used by the paper: 15
+subjects, roughly 2.5 hours each, performing eight daily activities plus
+rest while wrist PPG, 3-axis acceleration, and ECG-derived ground-truth
+heart rate are recorded.  The dataset is public but cannot be downloaded
+in this offline environment, so this package provides:
+
+* a physiologically-motivated synthetic generator
+  (:class:`repro.data.synthetic.SyntheticDaliaGenerator`) producing
+  per-subject sessions with the same structure — a PPG channel, three
+  acceleration channels, per-sample activity labels, and a ground-truth
+  HR trace — where the amount of motion artifact injected into the PPG
+  depends on the activity, reproducing the "difficulty" ordering the
+  paper's decision engine relies on;
+* container types (:class:`repro.data.dataset.SubjectRecording`,
+  :class:`repro.data.dataset.WindowedDataset`) and the paper's windowing
+  (256 samples / stride 64 at 32 Hz);
+* the leave-subjects-out cross-validation protocol of the paper
+  (:mod:`repro.data.splits`); and
+* an optional loader for the real PPG-DaLiA pickle files
+  (:mod:`repro.data.dalia_loader`) for users who have the original data.
+"""
+
+from repro.data.activities import (
+    ACTIVITIES,
+    ACTIVITY_DIFFICULTY,
+    Activity,
+    activities_by_difficulty,
+    difficulty_of,
+)
+from repro.data.hr_dynamics import HeartRateDynamics
+from repro.data.ppg_model import PPGSynthesizer
+from repro.data.motion import AccelerometerSynthesizer, MotionArtifactModel
+from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
+from repro.data.dataset import (
+    SubjectRecording,
+    WindowedDataset,
+    WindowedSubject,
+    window_subject,
+)
+from repro.data.splits import CrossValidationSplit, leave_subjects_out_folds
+
+__all__ = [
+    "ACTIVITIES",
+    "ACTIVITY_DIFFICULTY",
+    "Activity",
+    "activities_by_difficulty",
+    "difficulty_of",
+    "HeartRateDynamics",
+    "PPGSynthesizer",
+    "AccelerometerSynthesizer",
+    "MotionArtifactModel",
+    "SyntheticDaliaGenerator",
+    "SyntheticDatasetConfig",
+    "SubjectRecording",
+    "WindowedDataset",
+    "WindowedSubject",
+    "window_subject",
+    "CrossValidationSplit",
+    "leave_subjects_out_folds",
+]

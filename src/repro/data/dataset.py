@@ -1,0 +1,193 @@
+"""Dataset containers and windowing.
+
+:class:`SubjectRecording` holds one subject's continuous recording (PPG,
+3-axis acceleration, per-sample activity labels and ground-truth HR), and
+:func:`window_subject` cuts it into the paper's 8-second windows, yielding
+a :class:`WindowedSubject` with per-window arrays.  A
+:class:`WindowedDataset` is simply the collection of windowed subjects
+with convenience accessors used by the training and evaluation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.activities import Activity, difficulty_of
+from repro.signal.windowing import DEFAULT_WINDOW_SPEC, WindowSpec, label_windows, sliding_windows
+
+
+@dataclass
+class SubjectRecording:
+    """One subject's continuous multi-channel recording.
+
+    Attributes
+    ----------
+    subject_id:
+        Identifier of the subject (e.g. ``"S1"``).
+    ppg:
+        PPG signal, shape ``(n_samples,)``.
+    accel:
+        3-axis acceleration, shape ``(n_samples, 3)``.
+    activity:
+        Per-sample activity identifiers, shape ``(n_samples,)``.
+    hr:
+        Per-sample ground-truth heart rate in BPM, shape ``(n_samples,)``.
+    fs:
+        Sampling frequency in Hz (common to all channels).
+    """
+
+    subject_id: str
+    ppg: np.ndarray
+    accel: np.ndarray
+    activity: np.ndarray
+    hr: np.ndarray
+    fs: float = 32.0
+
+    def __post_init__(self) -> None:
+        self.ppg = np.asarray(self.ppg, dtype=float)
+        self.accel = np.asarray(self.accel, dtype=float)
+        self.activity = np.asarray(self.activity, dtype=int)
+        self.hr = np.asarray(self.hr, dtype=float)
+        n = self.ppg.shape[0]
+        if self.accel.shape != (n, 3):
+            raise ValueError(
+                f"accel must have shape ({n}, 3), got {self.accel.shape}"
+            )
+        if self.activity.shape != (n,):
+            raise ValueError(f"activity must have shape ({n},), got {self.activity.shape}")
+        if self.hr.shape != (n,):
+            raise ValueError(f"hr must have shape ({n},), got {self.hr.shape}")
+        if self.fs <= 0:
+            raise ValueError(f"fs must be positive, got {self.fs}")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the recording."""
+        return self.ppg.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        """Recording duration in seconds."""
+        return self.n_samples / self.fs
+
+
+@dataclass
+class WindowedSubject:
+    """Windowed view of one subject's recording.
+
+    Attributes
+    ----------
+    subject_id:
+        Identifier of the subject.
+    ppg_windows:
+        ``(n_windows, window_length)`` PPG windows.
+    accel_windows:
+        ``(n_windows, window_length, 3)`` acceleration windows.
+    activity:
+        ``(n_windows,)`` majority activity identifier of each window.
+    hr:
+        ``(n_windows,)`` ground-truth HR of each window (mean HR over the
+        window, the PPG-DaLiA convention).
+    spec:
+        Window geometry used to produce the arrays.
+    """
+
+    subject_id: str
+    ppg_windows: np.ndarray
+    accel_windows: np.ndarray
+    activity: np.ndarray
+    hr: np.ndarray
+    spec: WindowSpec = DEFAULT_WINDOW_SPEC
+
+    def __post_init__(self) -> None:
+        n = self.ppg_windows.shape[0]
+        for name in ("accel_windows", "activity", "hr"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(
+                    f"{name} has {getattr(self, name).shape[0]} windows, expected {n}"
+                )
+
+    @property
+    def n_windows(self) -> int:
+        """Number of windows."""
+        return self.ppg_windows.shape[0]
+
+    @property
+    def difficulty(self) -> np.ndarray:
+        """Ground-truth difficulty level (1–9) of each window."""
+        return np.array([difficulty_of(Activity(a)) for a in self.activity], dtype=int)
+
+
+def window_subject(recording: SubjectRecording, spec: WindowSpec = DEFAULT_WINDOW_SPEC) -> WindowedSubject:
+    """Cut a continuous recording into the paper's sliding windows."""
+    ppg_windows = sliding_windows(recording.ppg, spec)
+    accel_windows = sliding_windows(recording.accel, spec)
+    activity = label_windows(recording.activity, spec)
+    hr_windows = sliding_windows(recording.hr, spec)
+    hr = hr_windows.mean(axis=1) if hr_windows.size else np.empty(0)
+    return WindowedSubject(
+        subject_id=recording.subject_id,
+        ppg_windows=ppg_windows,
+        accel_windows=accel_windows,
+        activity=activity,
+        hr=hr,
+        spec=spec,
+    )
+
+
+@dataclass
+class WindowedDataset:
+    """Collection of windowed subjects with concatenation helpers."""
+
+    subjects: list[WindowedSubject] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [s.subject_id for s in self.subjects]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate subject identifiers in dataset: {ids}")
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    def __iter__(self):
+        return iter(self.subjects)
+
+    @property
+    def subject_ids(self) -> list[str]:
+        """Identifiers of all subjects, in insertion order."""
+        return [s.subject_id for s in self.subjects]
+
+    def subject(self, subject_id: str) -> WindowedSubject:
+        """Look up a subject by identifier."""
+        for s in self.subjects:
+            if s.subject_id == subject_id:
+                return s
+        raise KeyError(f"subject {subject_id!r} not in dataset (have {self.subject_ids})")
+
+    def select(self, subject_ids: list[str]) -> "WindowedDataset":
+        """A new dataset restricted to the given subjects (order preserved)."""
+        return WindowedDataset([self.subject(sid) for sid in subject_ids])
+
+    @property
+    def n_windows(self) -> int:
+        """Total number of windows across subjects."""
+        return int(sum(s.n_windows for s in self.subjects))
+
+    def concatenated(self) -> WindowedSubject:
+        """All subjects' windows concatenated into a single pseudo-subject.
+
+        Useful for training models on a set of subjects at once.
+        """
+        if not self.subjects:
+            raise ValueError("cannot concatenate an empty dataset")
+        spec = self.subjects[0].spec
+        return WindowedSubject(
+            subject_id="+".join(self.subject_ids),
+            ppg_windows=np.concatenate([s.ppg_windows for s in self.subjects]),
+            accel_windows=np.concatenate([s.accel_windows for s in self.subjects]),
+            activity=np.concatenate([s.activity for s in self.subjects]),
+            hr=np.concatenate([s.hr for s in self.subjects]),
+            spec=spec,
+        )

@@ -1,0 +1,126 @@
+"""PPG waveform synthesis.
+
+A clean photoplethysmographic signal is quasi-periodic at the heart-rate
+frequency: each cardiac cycle produces a systolic upstroke followed by a
+dicrotic notch and a slower diastolic decay.  We model one cardiac cycle
+as the sum of two Gaussian lobes over the cycle phase (a common
+lightweight PPG model) and render the full signal by integrating the
+instantaneous heart-rate trace into a phase signal, so the waveform's
+local period always matches the ground-truth HR.
+
+On top of the clean pulse train the synthesizer adds:
+
+* respiratory baseline wander (a slow sinusoid around 0.2–0.3 Hz whose
+  amplitude modulates the pulse train slightly), and
+* broadband sensor noise.
+
+Motion artifacts are *not* added here — they are produced by
+:class:`repro.data.motion.MotionArtifactModel` from the accelerometer
+trace so that PPG corruption and measured motion stay correlated, exactly
+the property CHRIS exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PPGSynthesizer:
+    """Generate clean PPG from an instantaneous heart-rate trace.
+
+    Parameters
+    ----------
+    fs:
+        Sampling frequency in Hz.
+    systolic_width:
+        Width (as a fraction of the cardiac cycle) of the systolic Gaussian
+        lobe.
+    dicrotic_width:
+        Width of the dicrotic/diastolic lobe.
+    dicrotic_delay:
+        Phase offset (fraction of the cycle) of the dicrotic lobe relative
+        to the systolic peak.
+    dicrotic_amplitude:
+        Amplitude of the dicrotic lobe relative to the systolic lobe.
+    respiration_rate_hz:
+        Frequency of the respiratory baseline wander.
+    respiration_amplitude:
+        Amplitude of the baseline wander relative to the systolic peak.
+    noise_std:
+        Standard deviation of the additive white sensor noise.
+    rng:
+        NumPy random generator.
+    """
+
+    fs: float = 32.0
+    systolic_width: float = 0.12
+    dicrotic_width: float = 0.18
+    dicrotic_delay: float = 0.35
+    dicrotic_amplitude: float = 0.45
+    respiration_rate_hz: float = 0.25
+    respiration_amplitude: float = 0.15
+    noise_std: float = 0.02
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ValueError(f"fs must be positive, got {self.fs}")
+        for name in ("systolic_width", "dicrotic_width"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def pulse_shape(self, phase: np.ndarray) -> np.ndarray:
+        """PPG amplitude for a given cardiac phase in [0, 1).
+
+        The waveform is the sum of a systolic Gaussian centred at phase
+        0.2 and a smaller dicrotic Gaussian delayed by ``dicrotic_delay``.
+        """
+        phase = np.mod(np.asarray(phase, dtype=float), 1.0)
+        systolic_center = 0.2
+        systolic = np.exp(-0.5 * ((phase - systolic_center) / self.systolic_width) ** 2)
+        dicrotic_center = systolic_center + self.dicrotic_delay
+        dicrotic = self.dicrotic_amplitude * np.exp(
+            -0.5 * ((phase - dicrotic_center) / self.dicrotic_width) ** 2
+        )
+        return systolic + dicrotic
+
+    def synthesize(self, hr_bpm: np.ndarray) -> np.ndarray:
+        """Render a clean PPG trace following a per-sample HR trace.
+
+        Parameters
+        ----------
+        hr_bpm:
+            Per-sample ground-truth heart rate in BPM (sampled at ``fs``).
+
+        Returns
+        -------
+        numpy.ndarray
+            Clean PPG of the same length, zero-mean, with unit systolic
+            amplitude before respiration modulation and sensor noise.
+        """
+        hr = np.asarray(hr_bpm, dtype=float)
+        if hr.ndim != 1:
+            raise ValueError(f"hr_bpm must be 1-D, got shape {hr.shape}")
+        if hr.size == 0:
+            return np.empty(0)
+        if np.any(hr <= 0):
+            raise ValueError("heart rate must be strictly positive everywhere")
+
+        # Integrate instantaneous frequency (Hz) into cardiac phase.
+        freq_hz = hr / 60.0
+        phase = np.cumsum(freq_hz) / self.fs
+        ppg = self.pulse_shape(phase)
+
+        # Respiratory modulation: both additive baseline wander and a small
+        # amplitude modulation of the pulses.
+        t = np.arange(hr.size) / self.fs
+        resp_phase = self.rng.uniform(0.0, 2.0 * np.pi)
+        respiration = np.sin(2.0 * np.pi * self.respiration_rate_hz * t + resp_phase)
+        ppg = ppg * (1.0 + 0.1 * respiration) + self.respiration_amplitude * respiration
+
+        if self.noise_std > 0:
+            ppg = ppg + self.rng.normal(0.0, self.noise_std, size=hr.size)
+        return ppg - ppg.mean()

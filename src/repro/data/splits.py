@@ -1,0 +1,89 @@
+"""Cross-validation protocol of the paper.
+
+Section IV-2 of the paper: the 15 subjects are split into 5 folds of 3
+subjects each.  In each iteration, 4 folds (12 subjects) are used for
+training, two subjects of the held-out fold for validation and the
+remaining one for testing; the test subject is then rotated within the
+held-out fold before moving to the next fold, so every subject is the test
+subject exactly once (15 evaluations in total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrossValidationSplit:
+    """One train / validation / test assignment of subject identifiers."""
+
+    fold: int
+    train_subjects: tuple[str, ...]
+    val_subjects: tuple[str, ...]
+    test_subject: str
+
+    def __post_init__(self) -> None:
+        overlap = set(self.train_subjects) & set(self.val_subjects)
+        if overlap:
+            raise ValueError(f"train and validation subjects overlap: {sorted(overlap)}")
+        if self.test_subject in self.train_subjects or self.test_subject in self.val_subjects:
+            raise ValueError(f"test subject {self.test_subject} also appears in train/val")
+
+    @property
+    def all_subjects(self) -> tuple[str, ...]:
+        """Every subject involved in this split."""
+        return self.train_subjects + self.val_subjects + (self.test_subject,)
+
+
+def leave_subjects_out_folds(
+    subject_ids: list[str],
+    fold_size: int = 3,
+) -> list[CrossValidationSplit]:
+    """Enumerate the paper's cross-validation splits.
+
+    Parameters
+    ----------
+    subject_ids:
+        All subject identifiers, in a fixed order.
+    fold_size:
+        Number of subjects per fold (3 in the paper).  ``len(subject_ids)``
+        must be divisible by ``fold_size``.
+
+    Returns
+    -------
+    list[CrossValidationSplit]
+        One split per (fold, test-subject) combination —
+        ``len(subject_ids)`` splits in total, since each subject is the
+        test subject exactly once.
+    """
+    if fold_size <= 0:
+        raise ValueError(f"fold_size must be positive, got {fold_size}")
+    n = len(subject_ids)
+    if n == 0:
+        raise ValueError("subject_ids is empty")
+    if n % fold_size != 0:
+        raise ValueError(
+            f"number of subjects ({n}) must be divisible by fold_size ({fold_size})"
+        )
+    if len(set(subject_ids)) != n:
+        raise ValueError("subject_ids contains duplicates")
+
+    n_folds = n // fold_size
+    folds = [tuple(subject_ids[i * fold_size:(i + 1) * fold_size]) for i in range(n_folds)]
+
+    splits: list[CrossValidationSplit] = []
+    for fold_idx, held_out in enumerate(folds):
+        train = tuple(
+            sid for other_idx, fold in enumerate(folds) if other_idx != fold_idx for sid in fold
+        )
+        for test_subject in held_out:
+            val = tuple(sid for sid in held_out if sid != test_subject)
+            splits.append(
+                CrossValidationSplit(
+                    fold=fold_idx,
+                    train_subjects=train,
+                    val_subjects=val,
+                    test_subject=test_subject,
+                )
+            )
+    return splits

@@ -1,0 +1,207 @@
+"""Data series behind the paper's figures.
+
+Nothing here draws plots (the environment is headless); each function
+returns the numerical series a figure displays, which the benchmarks print
+and compare against the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.configuration import ExecutionMode, ProfiledConfiguration
+from repro.core.decision_engine import Constraint
+from repro.core.pareto import pareto_front
+from repro.core.profiling import ConfigurationTable
+from repro.eval.experiment import BaselinePoint, CalibratedExperiment
+from repro.hw.profiles import ExecutionTarget
+
+
+@dataclass(frozen=True)
+class Fig3Series:
+    """Fig. 3: per-baseline energy breakdown and MAE bars."""
+
+    model_names: tuple[str, ...]
+    watch_compute_mj: tuple[float, ...]
+    phone_compute_mj: tuple[float, ...]
+    ble_mj: tuple[float, ...]
+    mae_bpm: tuple[float, ...]
+
+
+def fig3_baseline_bars(experiment: CalibratedExperiment) -> Fig3Series:
+    """Energy breakdown (watch compute incl. idle, phone compute, BLE) per model.
+
+    Matches the paper's Fig. 3: the green bar is the on-watch computation
+    energy (including idle between predictions), the dark-blue bar the
+    phone computation energy, and the light-blue bar the (model-independent)
+    BLE transmission energy.
+    """
+    names = []
+    watch = []
+    phone = []
+    ble = []
+    maes = []
+    for entry in experiment.zoo.ordered_by_cost():
+        local = experiment.system.local_prediction_cost(entry.deployment)
+        offloaded = experiment.system.offloaded_prediction_cost(entry.deployment)
+        names.append(entry.name)
+        watch.append(local.watch_total_j * 1e3)
+        phone.append(offloaded.phone_compute_j * 1e3)
+        ble.append(offloaded.watch_radio_j * 1e3)
+        maes.append(experiment.data.model_mae(entry.name))
+    return Fig3Series(
+        model_names=tuple(names),
+        watch_compute_mj=tuple(watch),
+        phone_compute_mj=tuple(phone),
+        ble_mj=tuple(ble),
+        mae_bpm=tuple(maes),
+    )
+
+
+@dataclass(frozen=True)
+class Fig4Series:
+    """Fig. 4: the CHRIS configuration cloud in (MAE, watch energy)."""
+
+    local_points: tuple[tuple[float, float], ...]
+    hybrid_points: tuple[tuple[float, float], ...]
+    baseline_points: tuple[tuple[str, float, float], ...]
+    pareto_points: tuple[tuple[float, float], ...]
+    selection_constraint1: ProfiledConfiguration
+    selection_constraint2: ProfiledConfiguration
+
+    @property
+    def n_configurations(self) -> int:
+        """Total number of plotted CHRIS configurations."""
+        return len(self.local_points) + len(self.hybrid_points)
+
+
+def fig4_configuration_space(
+    experiment: CalibratedExperiment,
+    constraint1_mae: float = 5.60,
+    constraint2_mae: float = 7.20,
+) -> Fig4Series:
+    """The full configuration cloud plus the paper's two constraint selections.
+
+    * black diamonds: local configurations (both models on the watch),
+    * red diamonds: hybrid configurations (complex model on the phone),
+    * green diamonds: single-model baselines,
+    * Constraint 1: MAE <= 5.60 BPM (TimePPG-Small's accuracy),
+    * Constraint 2: MAE <= 7.20 BPM.
+    """
+    local = []
+    hybrid = []
+    for config in experiment.table:
+        point = (config.mae_bpm, config.watch_energy_mj)
+        if config.configuration.mode is ExecutionMode.LOCAL:
+            local.append(point)
+        else:
+            hybrid.append(point)
+    baselines = [
+        (point.label(), point.mae_bpm, point.watch_energy_mj)
+        for point in experiment.baselines
+        if point.target is ExecutionTarget.WATCH or point.model_name == "TimePPG-Big"
+    ]
+    front = [
+        (c.mae_bpm, c.watch_energy_mj) for c in experiment.table.pareto(connected=True)
+    ]
+    selection1 = experiment.select(Constraint.max_mae(constraint1_mae))
+    selection2 = experiment.select(Constraint.max_mae(constraint2_mae))
+    return Fig4Series(
+        local_points=tuple(local),
+        hybrid_points=tuple(hybrid),
+        baseline_points=tuple(baselines),
+        pareto_points=tuple(front),
+        selection_constraint1=selection1,
+        selection_constraint2=selection2,
+    )
+
+
+@dataclass(frozen=True)
+class Fig5Series:
+    """Fig. 5: MAE and energy breakdown vs. number of "easy" activities."""
+
+    thresholds: tuple[int, ...]
+    mae_bpm: tuple[float, ...]
+    watch_compute_mj: tuple[float, ...]
+    watch_radio_mj: tuple[float, ...]
+    watch_idle_mj: tuple[float, ...]
+    offload_fraction: tuple[float, ...]
+
+    @property
+    def watch_total_mj(self) -> tuple[float, ...]:
+        """Total smartwatch energy per prediction at each threshold."""
+        return tuple(
+            c + r + i
+            for c, r, i in zip(self.watch_compute_mj, self.watch_radio_mj, self.watch_idle_mj)
+        )
+
+
+def fig5_threshold_sweep(
+    experiment: CalibratedExperiment,
+    simple_model: str = "AT",
+    complex_model: str = "TimePPG-Big",
+    mode: ExecutionMode = ExecutionMode.HYBRID,
+) -> Fig5Series:
+    """Sweep the difficulty threshold for one model pair (the red curve of Fig. 4).
+
+    Threshold ``t`` means the ``t`` easiest activities are processed by the
+    simple model on the watch; the remaining ``9 - t`` are handled by the
+    complex model (offloaded when ``mode`` is hybrid).  The energy
+    breakdown is recomputed window by window from the profiling data so
+    the effect of activity-recognition mispredictions is included, as in
+    the paper.
+    """
+    from repro.core.configuration import Configuration
+    from repro.core.profiling import ConfigurationProfiler
+
+    profiler = ConfigurationProfiler(experiment.zoo, experiment.system)
+    data = experiment.data
+    thresholds = []
+    maes = []
+    compute = []
+    radio = []
+    idle = []
+    offload = []
+    costs = profiler._prediction_costs()
+    for threshold in range(0, 10):
+        config = Configuration(
+            simple_model=simple_model,
+            complex_model=complex_model,
+            difficulty_threshold=threshold,
+            mode=mode,
+        )
+        n = data.n_windows
+        err = np.empty(n)
+        comp = np.empty(n)
+        rad = np.empty(n)
+        idl = np.empty(n)
+        off = np.zeros(n, dtype=bool)
+        for i in range(n):
+            model, target = config.model_for_difficulty(int(data.predicted_difficulty[i]))
+            cost = costs[(model, target)]
+            err[i] = data.errors[model][i]
+            comp[i] = cost.watch_compute_j
+            rad[i] = cost.watch_radio_j
+            idl[i] = cost.watch_idle_j
+            off[i] = target is ExecutionTarget.PHONE
+        thresholds.append(threshold)
+        maes.append(float(err.mean()))
+        compute.append(float(comp.mean()) * 1e3)
+        radio.append(float(rad.mean()) * 1e3)
+        idle.append(float(idl.mean()) * 1e3)
+        offload.append(float(off.mean()))
+    return Fig5Series(
+        thresholds=tuple(thresholds),
+        mae_bpm=tuple(maes),
+        watch_compute_mj=tuple(compute),
+        watch_radio_mj=tuple(radio),
+        watch_idle_mj=tuple(idle),
+        offload_fraction=tuple(offload),
+    )
+
+
+def local_only_pareto(table: ConfigurationTable) -> list[ProfiledConfiguration]:
+    """Pareto front restricted to local configurations (BLE-lost scenario)."""
+    return pareto_front(table.feasible(connected=False))

@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers.
+
+The benchmarks print the same rows the paper's tables report, plus
+"paper vs. measured" comparison tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a header separator.
+
+    Column widths are derived from the longest cell in each column; all
+    cells are converted with ``str``.
+    """
+    if not headers:
+        raise ValueError("headers must not be empty")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in str_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison entry."""
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (``nan`` when the paper value is zero)."""
+        if self.paper_value == 0:
+            return float("nan")
+        return self.measured_value / self.paper_value
+
+
+def comparison_table(rows: Sequence[ComparisonRow]) -> str:
+    """Text table comparing measured values against the paper's."""
+    table_rows = [
+        [
+            row.quantity,
+            f"{row.paper_value:.4g}",
+            f"{row.measured_value:.4g}",
+            row.unit,
+            f"{row.ratio:.2f}x" if row.paper_value else "n/a",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["quantity", "paper", "measured", "unit", "measured/paper"], table_rows
+    )

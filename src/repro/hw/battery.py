@@ -1,0 +1,92 @@
+"""Battery model and lifetime estimation.
+
+The HWatch is powered by a 370 mAh Li-Ion battery at a 3.7 V nominal
+voltage through a TPS63031 buck-boost converter (~90 % efficiency in the
+acquisition/processing modes).  The battery model converts the
+per-prediction smartwatch energies produced by the rest of the hardware
+substrate into the quantity a user actually cares about: how many hours or
+days of continuous HR tracking a configuration sustains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal HWatch battery: 370 mAh @ 3.7 V.
+HWATCH_BATTERY_CAPACITY_MAH = 370.0
+HWATCH_BATTERY_VOLTAGE_V = 3.7
+
+
+@dataclass(frozen=True)
+class Battery:
+    """Simple energy-reservoir battery model.
+
+    Attributes
+    ----------
+    capacity_mah:
+        Rated capacity in milliamp-hours.
+    voltage_v:
+        Nominal voltage.
+    usable_fraction:
+        Fraction of the rated capacity actually usable before the device
+        shuts down (protects against deep discharge).
+    """
+
+    capacity_mah: float = HWATCH_BATTERY_CAPACITY_MAH
+    voltage_v: float = HWATCH_BATTERY_VOLTAGE_V
+    usable_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError(f"capacity_mah must be positive, got {self.capacity_mah}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage_v must be positive, got {self.voltage_v}")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ValueError(f"usable_fraction must lie in (0, 1], got {self.usable_fraction}")
+
+    @property
+    def capacity_j(self) -> float:
+        """Total rated energy content in joules."""
+        return self.capacity_mah * 1e-3 * 3600.0 * self.voltage_v
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Usable energy content in joules."""
+        return self.capacity_j * self.usable_fraction
+
+    def lifetime_hours(self, average_power_w: float) -> float:
+        """Hours of operation at a constant average power draw."""
+        if average_power_w <= 0:
+            raise ValueError(f"average_power_w must be positive, got {average_power_w}")
+        return self.usable_energy_j / average_power_w / 3600.0
+
+    def predictions_per_charge(self, energy_per_prediction_j: float) -> int:
+        """Number of HR predictions a full charge sustains."""
+        if energy_per_prediction_j <= 0:
+            raise ValueError(
+                f"energy_per_prediction_j must be positive, got {energy_per_prediction_j}"
+            )
+        return int(self.usable_energy_j // energy_per_prediction_j)
+
+
+def estimate_lifetime_hours(
+    energy_per_prediction_j: float,
+    prediction_period_s: float = 2.0,
+    battery: Battery | None = None,
+) -> float:
+    """Battery lifetime for continuous HR tracking.
+
+    Parameters
+    ----------
+    energy_per_prediction_j:
+        Smartwatch energy per prediction (computation + radio + idle).
+    prediction_period_s:
+        Time between predictions (the 2-second window stride).
+    battery:
+        Battery model (the HWatch default when omitted).
+    """
+    if prediction_period_s <= 0:
+        raise ValueError(f"prediction_period_s must be positive, got {prediction_period_s}")
+    battery = battery or Battery()
+    average_power_w = energy_per_prediction_j / prediction_period_s
+    return battery.lifetime_hours(average_power_w)

@@ -1,0 +1,153 @@
+"""Generic compute-device model.
+
+A device is characterized by its clock frequency, a power profile
+(active / idle), and a latency model mapping an operation count (MACs per
+prediction) to an execution time.  The latency model is a power law
+``cycles = A * ops^b`` fitted on calibration points — the (operations,
+cycles) pairs published in the paper's Table III.  A power law captures
+the empirically observed behaviour that small workloads are overhead-
+dominated (AT spends ~33 cycles/op on the MCU) while large ones approach
+the marginal cost (TimePPG-Big spends ~8.4 cycles/op), without needing a
+micro-architectural simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.power import PowerProfile
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One measured (operations, cycles) pair used to fit the latency model."""
+
+    operations: int
+    cycles: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ValueError(f"operations must be positive, got {self.operations}")
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Latency and energy of executing one workload on a device."""
+
+    cycles: int
+    time_s: float
+    energy_j: float
+
+    @property
+    def time_ms(self) -> float:
+        """Execution time in milliseconds."""
+        return self.time_s * 1e3
+
+    @property
+    def energy_mj(self) -> float:
+        """Energy in millijoules."""
+        return self.energy_j * 1e3
+
+
+class PowerLawLatencyModel:
+    """``cycles = A * operations^b`` fitted on calibration points.
+
+    With a single calibration point the exponent defaults to 1 (pure
+    proportionality); with two or more points, ``A`` and ``b`` are obtained
+    with a least-squares fit in log-log space.
+    """
+
+    def __init__(self, points: list[CalibrationPoint], exponent: float | None = None) -> None:
+        if not points:
+            raise ValueError("at least one calibration point is required")
+        self.points = list(points)
+        log_ops = np.log(np.array([p.operations for p in points], dtype=float))
+        log_cycles = np.log(np.array([p.cycles for p in points], dtype=float))
+        if exponent is not None:
+            self.exponent = float(exponent)
+            self.log_scale = float(np.mean(log_cycles - self.exponent * log_ops))
+        elif len(points) == 1:
+            self.exponent = 1.0
+            self.log_scale = float(log_cycles[0] - log_ops[0])
+        else:
+            self.exponent, self.log_scale = np.polyfit(log_ops, log_cycles, 1)
+            self.exponent = float(self.exponent)
+            self.log_scale = float(self.log_scale)
+
+    @property
+    def scale(self) -> float:
+        """The multiplicative constant ``A`` of the power law."""
+        return float(np.exp(self.log_scale))
+
+    def cycles_for(self, operations: int) -> int:
+        """Predicted cycle count for a workload of ``operations`` MACs."""
+        if operations <= 0:
+            raise ValueError(f"operations must be positive, got {operations}")
+        return int(round(self.scale * operations ** self.exponent))
+
+    def relative_error(self) -> float:
+        """Largest relative error of the fit over its calibration points."""
+        errors = [
+            abs(self.cycles_for(p.operations) - p.cycles) / p.cycles for p in self.points
+        ]
+        return float(max(errors))
+
+
+class ComputeDevice:
+    """A processor with a clock, a power profile, and a latency model.
+
+    Parameters
+    ----------
+    name:
+        Device name used in reports.
+    frequency_hz:
+        Clock frequency.
+    power:
+        Active/idle power profile.
+    latency_model:
+        Operations→cycles model; when a model is profiled directly (its
+        measured cycle count is known), callers may bypass the model via
+        ``execute_cycles``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        frequency_hz: float,
+        power: PowerProfile,
+        latency_model: PowerLawLatencyModel,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+        self.name = name
+        self.frequency_hz = frequency_hz
+        self.power = power
+        self.latency_model = latency_model
+
+    # ------------------------------------------------------------- execute
+    def execute_cycles(self, cycles: int) -> ExecutionResult:
+        """Latency/energy of a workload with a known cycle count."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        time_s = cycles / self.frequency_hz
+        energy_j = self.power.active_w * time_s
+        return ExecutionResult(cycles=int(cycles), time_s=time_s, energy_j=energy_j)
+
+    def execute_operations(self, operations: int) -> ExecutionResult:
+        """Latency/energy of a workload characterized by its MAC count."""
+        cycles = self.latency_model.cycles_for(operations)
+        return self.execute_cycles(cycles)
+
+    def idle_energy(self, duration_s: float) -> float:
+        """Energy (J) spent idling for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        return self.power.idle_w * duration_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name}, {self.frequency_hz / 1e6:.0f} MHz)"

@@ -1,0 +1,71 @@
+"""Raspberry Pi3 phone-proxy model.
+
+The paper uses a Raspberry Pi3 (Arm Cortex-A53) as a stand-in for the
+smartphone, running the deep models with the TensorFlow Lite interpreter
+at a 600 MHz operating point.  The model is calibrated on Table III:
+
+=================  ===========  ==========  ============
+model              operations   time [ms]   energy [mJ]
+=================  ===========  ==========  ============
+AT                 ≈3 k         1.00        1.60
+TimePPG-Small      77.63 k      3.45        5.54
+TimePPG-Big        12.27 M      15.96       25.60
+=================  ===========  ==========  ============
+
+The three rows are consistent with a constant ~1.6 W package power; the
+latency grows sub-linearly with the operation count (the Cortex-A53 has
+SIMD units and a cache hierarchy the tiny workloads cannot saturate),
+which the power-law latency model captures.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import CalibrationPoint, ComputeDevice, PowerLawLatencyModel
+from repro.hw.power import PowerProfile
+
+#: Operating frequency used in the paper's measurements.
+RPI3_FREQUENCY_HZ = 600e6
+
+#: Package power while running inference (Table III: energy / time ≈ 1.6 W
+#: for all three models).
+RPI3_ACTIVE_POWER_W = 1.60
+
+#: Idle power of the Pi; irrelevant for the smartwatch-energy results but
+#: used by the total-system-energy ablation.
+RPI3_IDLE_POWER_W = 0.23
+
+#: Table III (operations, cycles) calibration points; cycles are derived
+#: from the published times at 600 MHz.
+RPI3_CALIBRATION = [
+    CalibrationPoint(operations=3_000, cycles=int(1.00e-3 * RPI3_FREQUENCY_HZ), label="AT"),
+    CalibrationPoint(
+        operations=77_630, cycles=int(3.45e-3 * RPI3_FREQUENCY_HZ), label="TimePPG-Small"
+    ),
+    CalibrationPoint(
+        operations=12_270_000, cycles=int(15.96e-3 * RPI3_FREQUENCY_HZ), label="TimePPG-Big"
+    ),
+]
+
+
+class RaspberryPi3(ComputeDevice):
+    """The phone proxy (Cortex-A53 @ 600 MHz)."""
+
+    def __init__(
+        self,
+        frequency_hz: float = RPI3_FREQUENCY_HZ,
+        active_power_w: float = RPI3_ACTIVE_POWER_W,
+        idle_power_w: float = RPI3_IDLE_POWER_W,
+    ) -> None:
+        power = PowerProfile(active_w=active_power_w, idle_w=idle_power_w)
+        latency_model = PowerLawLatencyModel(RPI3_CALIBRATION)
+        super().__init__(
+            name="RaspberryPi3",
+            frequency_hz=frequency_hz,
+            power=power,
+            latency_model=latency_model,
+        )
+
+
+def make_phone_processor() -> RaspberryPi3:
+    """The default phone-proxy instance used throughout the reproduction."""
+    return RaspberryPi3()

@@ -1,0 +1,49 @@
+"""Power-state description shared by the device models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Average power draw of a device in its operating states.
+
+    Attributes
+    ----------
+    active_w:
+        Power while executing a workload (CPU active), in watts.
+    idle_w:
+        Power while waiting between predictions (low-power sleep with the
+        sensors still sampling), in watts.
+    radio_tx_w:
+        Power while the radio transmits, in watts (0 for devices without a
+        modelled radio).
+    supply_efficiency:
+        Efficiency of the DC-DC converter feeding the device (the HWatch
+        uses a TPS63031 buck-boost converter at ~90 %); energies computed
+        *at the battery* divide by this value.
+    """
+
+    active_w: float
+    idle_w: float
+    radio_tx_w: float = 0.0
+    supply_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.active_w <= 0:
+            raise ValueError(f"active_w must be positive, got {self.active_w}")
+        if self.idle_w < 0:
+            raise ValueError(f"idle_w must be >= 0, got {self.idle_w}")
+        if self.radio_tx_w < 0:
+            raise ValueError(f"radio_tx_w must be >= 0, got {self.radio_tx_w}")
+        if not 0.0 < self.supply_efficiency <= 1.0:
+            raise ValueError(
+                f"supply_efficiency must lie in (0, 1], got {self.supply_efficiency}"
+            )
+
+    def battery_energy_j(self, device_energy_j: float) -> float:
+        """Energy drawn from the battery to deliver ``device_energy_j``."""
+        if device_energy_j < 0:
+            raise ValueError(f"energy must be >= 0, got {device_energy_j}")
+        return device_energy_j / self.supply_efficiency

@@ -1,0 +1,203 @@
+"""Per-model deployment profiles (the rows of the paper's Table III).
+
+A :class:`ModelDeployment` bundles everything the CHRIS profiler needs to
+know about executing one HR model: its accuracy, its cycle/latency/energy
+cost on the smartwatch MCU, and its latency/energy cost on the phone.  Two
+sources are provided:
+
+* :data:`PAPER_DEPLOYMENTS` — the paper's Table III transcribed, used by
+  the benchmarks that reproduce the published tables and figures;
+* :func:`build_deployment_table` — deployments derived from the calibrated
+  device models and a model's measured MAC count, used when
+  characterizing *new* models (e.g. the spectral baseline or a re-trained
+  TimePPG variant) that the paper never measured.
+
+Energies stored here are **active-only** (the energy of the computation or
+transmission itself); the idle energy between predictions is added by
+:class:`repro.hw.platform.WearableSystem`, which knows the prediction
+period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hw.ble import BLELink
+from repro.hw.device import ComputeDevice
+from repro.hw.mcu import STM32WB55
+from repro.hw.mobile import RaspberryPi3
+from repro.models.base import PredictorInfo
+from repro.models.registry import PAPER_BLE_ENERGY_MJ, PAPER_BLE_TIME_MS, PAPER_MODEL_STATS
+
+
+class ExecutionTarget(Enum):
+    """Where a model runs."""
+
+    WATCH = "watch"
+    PHONE = "phone"
+
+
+@dataclass(frozen=True)
+class ModelDeployment:
+    """Deployment characterization of one HR model.
+
+    Attributes
+    ----------
+    name:
+        Model name.
+    mae_bpm:
+        Overall MAE on the profiling dataset.
+    operations:
+        MACs (or elementary operations) per prediction.
+    watch_cycles:
+        Cycle count on the smartwatch MCU.
+    watch_time_s, watch_active_energy_j:
+        Execution time and active energy on the smartwatch.
+    phone_time_s, phone_active_energy_j:
+        Execution time and active energy on the phone.
+    """
+
+    name: str
+    mae_bpm: float
+    operations: int
+    watch_cycles: int
+    watch_time_s: float
+    watch_active_energy_j: float
+    phone_time_s: float
+    phone_active_energy_j: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "watch_time_s",
+            "watch_active_energy_j",
+            "phone_time_s",
+            "phone_active_energy_j",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def time_s(self, target: ExecutionTarget) -> float:
+        """Execution time on the given target."""
+        return self.watch_time_s if target is ExecutionTarget.WATCH else self.phone_time_s
+
+    def active_energy_j(self, target: ExecutionTarget) -> float:
+        """Active energy on the given target."""
+        if target is ExecutionTarget.WATCH:
+            return self.watch_active_energy_j
+        return self.phone_active_energy_j
+
+
+def _paper_deployment(name: str, mcu: STM32WB55) -> ModelDeployment:
+    stats = PAPER_MODEL_STATS[name]
+    watch_time_s = stats.watch_time_ms * 1e-3
+    # The paper's published per-prediction energies include the idle energy
+    # of the remaining window stride; the active-only part is recovered
+    # from the execution time and the calibrated active power.
+    watch_active_energy_j = watch_time_s * mcu.power.active_w
+    return ModelDeployment(
+        name=name,
+        mae_bpm=stats.mae_bpm,
+        operations=stats.operations,
+        watch_cycles=stats.watch_cycles,
+        watch_time_s=watch_time_s,
+        watch_active_energy_j=watch_active_energy_j,
+        phone_time_s=stats.phone_time_ms * 1e-3,
+        phone_active_energy_j=stats.phone_energy_mj * 1e-3,
+    )
+
+
+def _paper_deployments() -> dict[str, ModelDeployment]:
+    mcu = STM32WB55()
+    return {name: _paper_deployment(name, mcu) for name in PAPER_MODEL_STATS}
+
+
+#: Table III transcribed into deployment profiles (active-only energies).
+PAPER_DEPLOYMENTS: dict[str, ModelDeployment] = _paper_deployments()
+
+#: BLE transmission of one window, as published (time s, energy J).
+PAPER_BLE_WINDOW_TX = (PAPER_BLE_TIME_MS * 1e-3, PAPER_BLE_ENERGY_MJ * 1e-3)
+
+
+def deployment_for(name: str) -> ModelDeployment:
+    """The paper-calibrated deployment profile of a zoo model."""
+    if name not in PAPER_DEPLOYMENTS:
+        raise KeyError(
+            f"no paper deployment for {name!r}; available: {sorted(PAPER_DEPLOYMENTS)}"
+        )
+    return PAPER_DEPLOYMENTS[name]
+
+
+def build_deployment(
+    info: PredictorInfo,
+    mae_bpm: float,
+    watch: ComputeDevice | None = None,
+    phone: ComputeDevice | None = None,
+) -> ModelDeployment:
+    """Derive a deployment profile for an arbitrary model from its MAC count.
+
+    Used for models the paper never measured: the calibrated power-law
+    latency models of the two devices estimate cycles and time from the
+    model's operation count, and the device power profiles give the active
+    energies.
+    """
+    watch = watch or STM32WB55()
+    phone = phone or RaspberryPi3()
+    if info.macs_per_window <= 0:
+        raise ValueError(
+            f"model {info.name!r} has a non-positive operation count; "
+            "cannot derive a deployment profile"
+        )
+    watch_exec = watch.execute_operations(info.macs_per_window)
+    phone_exec = phone.execute_operations(info.macs_per_window)
+    return ModelDeployment(
+        name=info.name,
+        mae_bpm=mae_bpm,
+        operations=info.macs_per_window,
+        watch_cycles=watch_exec.cycles,
+        watch_time_s=watch_exec.time_s,
+        watch_active_energy_j=watch_exec.energy_j,
+        phone_time_s=phone_exec.time_s,
+        phone_active_energy_j=phone_exec.energy_j,
+    )
+
+
+def build_deployment_table(
+    infos: list[PredictorInfo],
+    maes: dict[str, float],
+    watch: ComputeDevice | None = None,
+    phone: ComputeDevice | None = None,
+    prefer_paper: bool = True,
+) -> dict[str, ModelDeployment]:
+    """Deployment profiles for a set of models.
+
+    Paper-measured models use the transcribed Table III rows when
+    ``prefer_paper`` is set (so the benchmark harness reproduces the
+    published numbers exactly); all other models are characterized with
+    the calibrated device models.
+    """
+    watch = watch or STM32WB55()
+    phone = phone or RaspberryPi3()
+    table = {}
+    for info in infos:
+        if prefer_paper and info.name in PAPER_DEPLOYMENTS:
+            deployment = PAPER_DEPLOYMENTS[info.name]
+            if info.name in maes and maes[info.name] != deployment.mae_bpm:
+                # Keep the measured MAE (e.g. from a re-trained model) but
+                # the paper's hardware characterization.
+                deployment = ModelDeployment(
+                    name=deployment.name,
+                    mae_bpm=maes[info.name],
+                    operations=deployment.operations,
+                    watch_cycles=deployment.watch_cycles,
+                    watch_time_s=deployment.watch_time_s,
+                    watch_active_energy_j=deployment.watch_active_energy_j,
+                    phone_time_s=deployment.phone_time_s,
+                    phone_active_energy_j=deployment.phone_active_energy_j,
+                )
+            table[info.name] = deployment
+        else:
+            if info.name not in maes:
+                raise KeyError(f"no MAE provided for model {info.name!r}")
+            table[info.name] = build_deployment(info, maes[info.name], watch=watch, phone=phone)
+    return table

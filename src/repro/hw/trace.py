@@ -1,0 +1,152 @@
+"""Energy-trace accounting over a sequence of predictions.
+
+The paper reports averages (energy per prediction, MAE); when studying a
+deployment one usually also wants the *breakdown over time*: how much of
+the smartwatch budget went into computation, radio, and idle, what the
+average power and duty cycle were, and how long the battery would last.
+:class:`EnergyTrace` accumulates the per-prediction costs produced by
+:class:`repro.hw.platform.WearableSystem` (directly, or out of a
+:class:`repro.core.runtime.RunResult`) and answers those questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.battery import Battery
+from repro.hw.platform import PredictionCost
+
+
+@dataclass
+class EnergyBreakdown:
+    """Aggregated energy split of a trace (all values in joules)."""
+
+    watch_compute_j: float = 0.0
+    watch_radio_j: float = 0.0
+    watch_idle_j: float = 0.0
+    phone_compute_j: float = 0.0
+
+    @property
+    def watch_total_j(self) -> float:
+        """Total smartwatch energy."""
+        return self.watch_compute_j + self.watch_radio_j + self.watch_idle_j
+
+    @property
+    def system_total_j(self) -> float:
+        """Total energy over both devices."""
+        return self.watch_total_j + self.phone_compute_j
+
+    def fraction(self, component: str) -> float:
+        """Share of the smartwatch energy spent in one component.
+
+        ``component`` is one of ``"compute"``, ``"radio"``, ``"idle"``.
+        """
+        totals = {
+            "compute": self.watch_compute_j,
+            "radio": self.watch_radio_j,
+            "idle": self.watch_idle_j,
+        }
+        if component not in totals:
+            raise KeyError(f"unknown component {component!r}; expected one of {sorted(totals)}")
+        total = self.watch_total_j
+        return totals[component] / total if total > 0 else 0.0
+
+
+@dataclass
+class EnergyTrace:
+    """Running accumulator of prediction costs.
+
+    Parameters
+    ----------
+    prediction_period_s:
+        Time between predictions (the 2-second window stride); used to turn
+        accumulated energy into average power and battery lifetime.
+    """
+
+    prediction_period_s: float = 2.0
+    costs: list[PredictionCost] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.prediction_period_s <= 0:
+            raise ValueError(
+                f"prediction_period_s must be positive, got {self.prediction_period_s}"
+            )
+
+    # ------------------------------------------------------------ recording
+    def record(self, cost: PredictionCost) -> None:
+        """Append one prediction's cost to the trace."""
+        self.costs.append(cost)
+
+    def extend(self, costs) -> None:
+        """Append many prediction costs."""
+        for cost in costs:
+            self.record(cost)
+
+    @classmethod
+    def from_run_result(cls, result, prediction_period_s: float = 2.0) -> "EnergyTrace":
+        """Build a trace from a :class:`repro.core.runtime.RunResult`."""
+        trace = cls(prediction_period_s=prediction_period_s)
+        trace.extend(decision.cost for decision in result.decisions)
+        return trace
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def n_predictions(self) -> int:
+        """Number of recorded predictions."""
+        return len(self.costs)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock time covered by the trace."""
+        return self.n_predictions * self.prediction_period_s
+
+    def breakdown(self) -> EnergyBreakdown:
+        """Total energy split over the whole trace."""
+        out = EnergyBreakdown()
+        for cost in self.costs:
+            out.watch_compute_j += cost.watch_compute_j
+            out.watch_radio_j += cost.watch_radio_j
+            out.watch_idle_j += cost.watch_idle_j
+            out.phone_compute_j += cost.phone_compute_j
+        return out
+
+    def average_watch_power_w(self) -> float:
+        """Average smartwatch power over the trace."""
+        if not self.costs:
+            raise ValueError("the trace is empty")
+        return self.breakdown().watch_total_j / self.duration_s
+
+    def duty_cycle(self) -> float:
+        """Fraction of time the smartwatch is busy (computing or transmitting).
+
+        The busy time of each prediction is its end-to-end latency (for
+        offloaded windows this slightly over-counts, since the remote
+        execution overlaps with the watch being idle), capped at the
+        prediction period.
+        """
+        if not self.costs:
+            raise ValueError("the trace is empty")
+        busy = sum(min(cost.latency_s, self.prediction_period_s) for cost in self.costs)
+        return busy / self.duration_s
+
+    def battery_lifetime_hours(self, battery: Battery | None = None) -> float:
+        """Projected battery lifetime at this trace's average power."""
+        battery = battery or Battery()
+        return battery.lifetime_hours(self.average_watch_power_w())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        breakdown = self.breakdown()
+        if not self.costs:
+            return "empty trace"
+        return (
+            f"{self.n_predictions} predictions over {self.duration_s:.0f} s: "
+            f"watch {breakdown.watch_total_j * 1e3:.2f} mJ "
+            f"({100 * breakdown.fraction('compute'):.0f}% compute, "
+            f"{100 * breakdown.fraction('radio'):.0f}% radio, "
+            f"{100 * breakdown.fraction('idle'):.0f}% idle), "
+            f"phone {breakdown.phone_compute_j * 1e3:.2f} mJ, "
+            f"average watch power {self.average_watch_power_w() * 1e3:.3f} mW, "
+            f"duty cycle {100 * self.duty_cycle():.1f}%, "
+            f"battery life {self.battery_lifetime_hours() / 24:.1f} days"
+        )

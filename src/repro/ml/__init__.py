@@ -1,0 +1,43 @@
+"""Classical machine-learning substrate.
+
+The CHRIS decision engine relies on a small Random Forest (8 trees,
+maximum depth 5) to recognize the activity being performed — and hence the
+difficulty of the current PPG window — from four accelerometer features.
+scikit-learn is not available in this environment, so the package provides
+a from-scratch implementation of:
+
+* CART decision trees (:mod:`repro.ml.decision_tree`),
+* random forests with bootstrap aggregation and per-split feature
+  sub-sampling (:mod:`repro.ml.random_forest`),
+* classification / regression metrics (:mod:`repro.ml.metrics`),
+* the paper's activity-recognition classifier wrapper
+  (:mod:`repro.ml.activity_classifier`), and
+* the feature grid search that selected the paper's 4 features
+  (:mod:`repro.ml.feature_selection`).
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1_score,
+    mean_absolute_error,
+    rmse,
+)
+from repro.ml.activity_classifier import ActivityClassifier, DEFAULT_RF_PARAMS
+from repro.ml.feature_selection import FeatureSearchResult, grid_search_features
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "macro_f1_score",
+    "mean_absolute_error",
+    "rmse",
+    "ActivityClassifier",
+    "DEFAULT_RF_PARAMS",
+    "FeatureSearchResult",
+    "grid_search_features",
+]

@@ -1,0 +1,246 @@
+"""CART decision-tree classifier (from scratch, NumPy only).
+
+The tree uses the Gini impurity (or entropy) criterion, axis-aligned
+threshold splits evaluated on a configurable number of candidate
+thresholds per feature, and supports the depth / minimum-samples limits
+needed to reproduce the paper's tiny 8-tree, depth-5 forest that fits the
+LSM6DSM ML core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One node of the decision tree.
+
+    Leaf nodes store the class-probability vector; internal nodes store
+    the split (feature index and threshold) plus the two children.
+    """
+
+    prediction: np.ndarray | None = None
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini impurity from a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p ** 2))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) from a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    p = p[p > 0]
+    return float(-np.sum(p * np.log2(p)))
+
+
+_CRITERIA = {"gini": _gini, "entropy": _entropy}
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Axis-aligned CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (the root is at depth 0); ``None`` means
+        unbounded.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples a child must receive for a split to be
+        accepted.
+    criterion:
+        ``"gini"`` or ``"entropy"``.
+    max_features:
+        Number of features examined at each split; ``None`` uses all
+        features, ``"sqrt"`` uses ``ceil(sqrt(n_features))`` (the random
+        forest default).
+    max_thresholds:
+        Maximum number of candidate thresholds per feature (midpoints of
+        sorted unique values are sub-sampled above this limit).
+    random_state:
+        Seed for the per-split feature sub-sampling.
+    """
+
+    max_depth: int | None = 5
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    criterion: str = "gini"
+    max_features: int | str | None = None
+    max_thresholds: int = 32
+    random_state: int | None = None
+
+    n_classes_: int = field(init=False, default=0)
+    n_features_: int = field(init=False, default=0)
+    _root: _Node | None = field(init=False, default=None, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.criterion not in _CRITERIA:
+            raise ValueError(f"criterion must be one of {sorted(_CRITERIA)}, got {self.criterion!r}")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0 or None, got {self.max_depth}")
+        if self.min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {self.min_samples_split}")
+        if self.min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}")
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None) -> "DecisionTreeClassifier":
+        """Grow the tree on a feature matrix ``X`` and integer labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D (n_samples, n_features), got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y must have shape ({X.shape[0]},), got {y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        if y.min() < 0:
+            raise ValueError("class labels must be non-negative integers")
+
+        self.n_classes_ = int(y.max()) + 1 if n_classes is None else int(n_classes)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _n_split_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.ceil(np.sqrt(self.n_features_))))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        return _Node(prediction=counts / counts.sum())
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y.size < self.min_samples_split
+            or np.unique(y).size == 1
+        ):
+            return self._leaf(y)
+
+        split = self._best_split(X, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold, left_mask = split
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(X[left_mask], y[left_mask], depth + 1)
+        node.right = self._grow(X[~left_mask], y[~left_mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, np.ndarray] | None:
+        impurity_fn = _CRITERIA[self.criterion]
+        parent_counts = np.bincount(y, minlength=self.n_classes_)
+        parent_impurity = impurity_fn(parent_counts)
+        n = y.size
+
+        features = np.arange(self.n_features_)
+        k = self._n_split_features()
+        if k < self.n_features_:
+            features = self._rng.choice(features, size=k, replace=False)
+
+        best_gain = 1e-12
+        best: tuple[int, float, np.ndarray] | None = None
+        for feature in features:
+            column = X[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            if thresholds.size > self.max_thresholds:
+                idx = np.linspace(0, thresholds.size - 1, self.max_thresholds).astype(int)
+                thresholds = thresholds[idx]
+            for threshold in thresholds:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(y[left_mask], minlength=self.n_classes_)
+                right_counts = parent_counts - left_counts
+                child_impurity = (
+                    n_left * impurity_fn(left_counts) + n_right * impurity_fn(right_counts)
+                ) / n
+                gain = parent_impurity - child_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), left_mask)
+        return best
+
+    # -------------------------------------------------------------- predict
+    def _check_fitted(self) -> None:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fitted before prediction")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(n_samples, n_classes)``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, the tree was fitted with {self.n_features_}"
+            )
+        out = np.empty((X.shape[0], self.n_classes_))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:  # type: ignore[union-attr]
+                if row[node.feature] <= node.threshold:  # type: ignore[index, operator]
+                    node = node.left  # type: ignore[union-attr]
+                else:
+                    node = node.right  # type: ignore[union-attr]
+            out[i] = node.prediction  # type: ignore[union-attr]
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class for each sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    # ------------------------------------------------------------ inspection
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a single leaf)."""
+        self._check_fitted()
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))  # type: ignore[arg-type]
+
+        return _depth(self._root)  # type: ignore[arg-type]
+
+    def node_count(self) -> int:
+        """Total number of nodes (internal + leaves)."""
+        self._check_fitted()
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + _count(node.left) + _count(node.right)  # type: ignore[arg-type]
+
+        return _count(self._root)  # type: ignore[arg-type]

@@ -1,0 +1,118 @@
+"""Feature grid search for the activity recognizer.
+
+Section III-C of the paper: the four Random-Forest input features (mean,
+energy, standard deviation, number of peaks) were "selected by performing
+a grid search over common statistical features".  This module reproduces
+that search: given labelled accelerometer windows, it evaluates every
+subset of a candidate feature pool of a given size with a small
+cross-validated Random Forest and reports the best subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score
+from repro.ml.random_forest import RandomForestClassifier
+from repro.signal.features import EXTENDED_FEATURE_NAMES, feature_vector
+
+
+@dataclass(frozen=True)
+class FeatureSearchResult:
+    """Outcome of evaluating one feature subset."""
+
+    features: tuple[str, ...]
+    accuracy: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{'+'.join(self.features)}: {self.accuracy:.3f}"
+
+
+def _cv_accuracy(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int,
+    rf_params: dict,
+    seed: int,
+) -> float:
+    """Simple k-fold cross-validated accuracy of a Random Forest."""
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    accuracies = []
+    for i in range(n_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        if train_idx.size == 0 or test_idx.size == 0:
+            continue
+        forest = RandomForestClassifier(random_state=seed + i, **rf_params)
+        forest.fit(X[train_idx], y[train_idx], n_classes=int(y.max()) + 1)
+        accuracies.append(accuracy_score(y[test_idx], forest.predict(X[test_idx])))
+    return float(np.mean(accuracies)) if accuracies else 0.0
+
+
+def grid_search_features(
+    accel_windows: np.ndarray,
+    activity_labels: np.ndarray,
+    subset_size: int = 4,
+    n_folds: int = 3,
+    rf_params: dict | None = None,
+    seed: int = 0,
+    top_k: int = 5,
+) -> list[FeatureSearchResult]:
+    """Evaluate all feature subsets of ``subset_size`` from the extended pool.
+
+    Parameters
+    ----------
+    accel_windows:
+        ``(n_windows, n_samples, 3)`` accelerometer windows.
+    activity_labels:
+        ``(n_windows,)`` activity identifiers.
+    subset_size:
+        Size of each candidate subset (4 in the paper).
+    n_folds:
+        Cross-validation folds used to score each subset.
+    rf_params:
+        Forest hyper-parameters (paper defaults when omitted).
+    seed:
+        Random seed for fold assignment and forests.
+    top_k:
+        Number of best subsets to return (all subsets when 0 or negative).
+
+    Returns
+    -------
+    list[FeatureSearchResult]
+        Subsets sorted by decreasing cross-validated accuracy.
+    """
+    if rf_params is None:
+        rf_params = {"n_estimators": 8, "max_depth": 5}
+    labels = np.asarray(activity_labels, dtype=int)
+    all_features = feature_vector(accel_windows, extended=True)
+    if all_features.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"got {all_features.shape[0]} windows but {labels.shape[0]} labels"
+        )
+    if not 1 <= subset_size <= len(EXTENDED_FEATURE_NAMES):
+        raise ValueError(
+            f"subset_size must be in [1, {len(EXTENDED_FEATURE_NAMES)}], got {subset_size}"
+        )
+
+    # Standardize columns so tree thresholds stay well-scaled.
+    mean = all_features.mean(axis=0)
+    std = all_features.std(axis=0) + 1e-12
+    normalized = (all_features - mean) / std
+
+    results = []
+    for subset in combinations(range(len(EXTENDED_FEATURE_NAMES)), subset_size):
+        X = normalized[:, list(subset)]
+        acc = _cv_accuracy(X, labels, n_folds=n_folds, rf_params=rf_params, seed=seed)
+        names = tuple(EXTENDED_FEATURE_NAMES[i] for i in subset)
+        results.append(FeatureSearchResult(features=names, accuracy=acc))
+    results.sort(key=lambda r: r.accuracy, reverse=True)
+    if top_k and top_k > 0:
+        return results[:top_k]
+    return results

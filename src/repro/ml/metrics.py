@@ -1,0 +1,93 @@
+"""Classification and regression metrics used across the reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred must have the same shape, got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metric computed on empty arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error — the paper's HR metric (in BPM)."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(np.asarray(y_true, dtype=float) - np.asarray(y_pred, dtype=float))))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    diff = np.asarray(y_true, dtype=float) - np.asarray(y_pred, dtype=float)
+    return float(np.sqrt(np.mean(diff ** 2)))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValueError("class labels must be non-negative integers")
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def macro_f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F1 score over the classes present in ``y_true``."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    classes = np.unique(y_true)
+    scores = []
+    for cls in classes:
+        tp = np.sum((y_pred == cls) & (y_true == cls))
+        fp = np.sum((y_pred == cls) & (y_true != cls))
+        fn = np.sum((y_pred != cls) & (y_true == cls))
+        if tp == 0 and (fp > 0 or fn > 0):
+            scores.append(0.0)
+            continue
+        if tp == 0:
+            scores.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def binary_accuracy_at_threshold(
+    true_difficulty: np.ndarray,
+    predicted_difficulty: np.ndarray,
+    threshold: int,
+) -> float:
+    """Accuracy of the easy-vs-hard split induced by a difficulty threshold.
+
+    The paper reports that the Random Forest "consistently achieves an
+    accuracy greater than 90 % in discerning easy from difficult
+    activities"; this metric computes exactly that: both difficulty
+    vectors are binarized at ``threshold`` (difficulty <= threshold means
+    *easy*) and the agreement ratio is returned.
+    """
+    true_difficulty = np.asarray(true_difficulty, dtype=int)
+    predicted_difficulty = np.asarray(predicted_difficulty, dtype=int)
+    if true_difficulty.shape != predicted_difficulty.shape:
+        raise ValueError("difficulty arrays must have the same shape")
+    true_easy = true_difficulty <= threshold
+    pred_easy = predicted_difficulty <= threshold
+    return float(np.mean(true_easy == pred_easy))

@@ -1,0 +1,52 @@
+"""Heart-rate predictors (the CHRIS model zoo members).
+
+The paper builds CHRIS configurations out of three HR predictors:
+
+* **AT** — the Adaptive-Threshold peak-tracking algorithm of Shin et al.
+  (≈3 k operations per window, 10.99 BPM MAE on PPG-DaLiA);
+* **TimePPG-Small** — a temporal convolutional network with 5.09 k
+  parameters / 77.63 k operations (5.60 BPM MAE);
+* **TimePPG-Big** — the same topology scaled up to 232.6 k parameters /
+  12.27 M operations (4.87 BPM MAE).
+
+This package provides from-scratch implementations of all three (plus a
+frequency-domain baseline as an extension), a common predictor interface,
+a *calibrated* error model used by the benchmark harness to reproduce the
+paper's per-model accuracy on a synthetic corpus, and a registry mapping
+model names to constructors and to the paper-reported reference numbers.
+"""
+
+from repro.models.base import HeartRatePredictor, PredictorInfo
+from repro.models.adaptive_threshold import AdaptiveThresholdPredictor
+from repro.models.spectral_tracker import SpectralHRPredictor
+from repro.models.timeppg import (
+    TimePPGConfig,
+    TimePPGPredictor,
+    TIMEPPG_BIG_CONFIG,
+    TIMEPPG_SMALL_CONFIG,
+    build_timeppg_network,
+)
+from repro.models.error_model import (
+    CalibratedHRModel,
+    PAPER_ACTIVITY_MAE_PROFILES,
+    calibrated_model_zoo,
+)
+from repro.models.registry import MODEL_REGISTRY, PAPER_MODEL_STATS, create_model
+
+__all__ = [
+    "HeartRatePredictor",
+    "PredictorInfo",
+    "AdaptiveThresholdPredictor",
+    "SpectralHRPredictor",
+    "TimePPGConfig",
+    "TimePPGPredictor",
+    "TIMEPPG_BIG_CONFIG",
+    "TIMEPPG_SMALL_CONFIG",
+    "build_timeppg_network",
+    "CalibratedHRModel",
+    "PAPER_ACTIVITY_MAE_PROFILES",
+    "calibrated_model_zoo",
+    "MODEL_REGISTRY",
+    "PAPER_MODEL_STATS",
+    "create_model",
+]

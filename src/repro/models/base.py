@@ -1,0 +1,115 @@
+"""Common heart-rate predictor interface.
+
+Every model in the zoo — classical, neural, or calibrated — implements the
+same small API so that the CHRIS runtime, the profiler and the evaluation
+harness can treat them interchangeably:
+
+* :meth:`HeartRatePredictor.predict_window` — HR estimate (BPM) for one
+  window;
+* :meth:`HeartRatePredictor.predict` — vectorized batch prediction;
+* :attr:`HeartRatePredictor.info` — static metadata (name, parameter and
+  operation counts) used by the hardware model to derive per-prediction
+  energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictorInfo:
+    """Static metadata describing an HR predictor.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name (e.g. ``"TimePPG-Small"``).
+    n_parameters:
+        Number of trainable parameters (0 for classical algorithms).
+    macs_per_window:
+        Multiply-accumulate (or elementary-operation) count per prediction,
+        the quantity Table III calls "operations".
+    uses_accelerometer:
+        Whether the model consumes the accelerometer channels in addition
+        to PPG.
+    """
+
+    name: str
+    n_parameters: int
+    macs_per_window: int
+    uses_accelerometer: bool = False
+
+
+class HeartRatePredictor:
+    """Base class for all HR predictors."""
+
+    #: Default prediction (BPM) returned when an estimate cannot be formed
+    #: (e.g. no peaks found); chosen as a typical adult resting HR.
+    FALLBACK_BPM = 70.0
+
+    def __init__(self, fs: float = 32.0) -> None:
+        if fs <= 0:
+            raise ValueError(f"fs must be positive, got {fs}")
+        self.fs = fs
+        self._last_estimate: float | None = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def info(self) -> PredictorInfo:
+        """Static metadata of this predictor."""
+        raise NotImplementedError
+
+    def predict_window(
+        self,
+        ppg_window: np.ndarray,
+        accel_window: np.ndarray | None = None,
+        **context,
+    ) -> float:
+        """Heart-rate estimate in BPM for one window.
+
+        ``context`` carries optional side information (the calibrated
+        model uses the ground-truth HR and activity); real models ignore
+        it.
+        """
+        raise NotImplementedError
+
+    def predict(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Vectorized prediction over ``(n_windows, ...)`` batches.
+
+        The default implementation loops over :meth:`predict_window`;
+        subclasses with a cheaper batched path override it.
+        """
+        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        n = ppg_windows.shape[0]
+        out = np.empty(n)
+        for i in range(n):
+            accel = None if accel_windows is None else accel_windows[i]
+            window_context = {
+                key: (value[i] if isinstance(value, np.ndarray) and value.shape[:1] == (n,) else value)
+                for key, value in context.items()
+            }
+            out[i] = self.predict_window(ppg_windows[i], accel, **window_context)
+        return out
+
+    # -------------------------------------------------------------- helpers
+    def _with_fallback(self, bpm: float) -> float:
+        """Replace NaN estimates with the last valid estimate (or default)."""
+        if np.isnan(bpm):
+            return self._last_estimate if self._last_estimate is not None else self.FALLBACK_BPM
+        self._last_estimate = float(bpm)
+        return float(bpm)
+
+    def reset(self) -> None:
+        """Forget temporal state (the last valid estimate)."""
+        self._last_estimate = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.info.name})"

@@ -1,0 +1,98 @@
+"""Model registry and paper reference numbers.
+
+The registry maps model names to constructors so the examples, the CHRIS
+profiler, and the benchmarks can instantiate zoo members by name;
+:data:`PAPER_MODEL_STATS` collects the reference values of the paper's
+Tables I and III for use in reports and assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.models.adaptive_threshold import AdaptiveThresholdPredictor
+from repro.models.base import HeartRatePredictor
+from repro.models.spectral_tracker import SpectralHRPredictor
+from repro.models.timeppg import TIMEPPG_BIG_CONFIG, TIMEPPG_SMALL_CONFIG, TimePPGPredictor
+
+
+@dataclass(frozen=True)
+class PaperModelStats:
+    """Reference characterization of one model (paper Tables I and III)."""
+
+    name: str
+    mae_bpm: float
+    parameters: int
+    operations: int
+    watch_cycles: int
+    watch_time_ms: float
+    watch_energy_mj: float
+    phone_time_ms: float
+    phone_energy_mj: float
+
+
+#: Table III of the paper, transcribed.
+PAPER_MODEL_STATS: dict[str, PaperModelStats] = {
+    "AT": PaperModelStats(
+        name="AT",
+        mae_bpm=10.99,
+        parameters=0,
+        operations=3_000,
+        watch_cycles=100_000,
+        watch_time_ms=1.563,
+        watch_energy_mj=0.234,
+        phone_time_ms=1.00,
+        phone_energy_mj=1.60,
+    ),
+    "TimePPG-Small": PaperModelStats(
+        name="TimePPG-Small",
+        mae_bpm=5.60,
+        parameters=5_090,
+        operations=77_630,
+        watch_cycles=1_365_000,
+        watch_time_ms=21.326,
+        watch_energy_mj=0.735,
+        phone_time_ms=3.45,
+        phone_energy_mj=5.54,
+    ),
+    "TimePPG-Big": PaperModelStats(
+        name="TimePPG-Big",
+        mae_bpm=4.87,
+        parameters=232_600,
+        operations=12_270_000,
+        watch_cycles=103_160_000,
+        watch_time_ms=1611.88,
+        watch_energy_mj=41.11,
+        phone_time_ms=15.96,
+        phone_energy_mj=25.60,
+    ),
+}
+
+#: BLE transmission of one input window (paper Table III): 10.24 ms, 0.52 mJ.
+PAPER_BLE_TIME_MS = 10.240
+PAPER_BLE_ENERGY_MJ = 0.52
+
+
+MODEL_REGISTRY: dict[str, Callable[..., HeartRatePredictor]] = {
+    "AT": AdaptiveThresholdPredictor,
+    "SpectralTracker": SpectralHRPredictor,
+    "TimePPG-Small": lambda **kwargs: TimePPGPredictor(config=TIMEPPG_SMALL_CONFIG, **kwargs),
+    "TimePPG-Big": lambda **kwargs: TimePPGPredictor(config=TIMEPPG_BIG_CONFIG, **kwargs),
+}
+
+
+def create_model(name: str, **kwargs) -> HeartRatePredictor:
+    """Instantiate a zoo model by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"AT"``, ``"SpectralTracker"``, ``"TimePPG-Small"``,
+        ``"TimePPG-Big"``.
+    kwargs:
+        Forwarded to the model constructor (e.g. ``fs`` or ``seed``).
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](**kwargs)

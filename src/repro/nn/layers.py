@@ -1,0 +1,481 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Every layer follows the same protocol:
+
+* ``forward(x, training)`` computes the output and caches whatever is
+  needed for the backward pass;
+* ``backward(grad_output)`` returns the gradient with respect to the
+  layer input and accumulates parameter gradients in ``grads``;
+* ``params`` / ``grads`` are dictionaries keyed by parameter name, which
+  is what the optimizers consume.
+
+The data layout is ``(batch, channels, length)`` for convolutional layers
+and ``(batch, features)`` for dense layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ API
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output (and cache for backward)."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the output (excluding batch) for a given input shape."""
+        return input_shape
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of trainable parameters in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Conv1d(Layer):
+    """1-D convolution with stride and dilation (the TCN building block).
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Length of the convolution kernel.
+    stride:
+        Hop between output positions.
+    dilation:
+        Spacing between kernel taps (receptive-field expansion without
+        extra parameters — the defining feature of temporal convolutional
+        networks).
+    padding:
+        Zero padding added to both ends of the input; ``"same"`` picks the
+        padding that keeps ``ceil(length / stride)`` output samples.
+    bias:
+        Whether to add a learnable per-channel bias.
+    rng:
+        Generator used for He-uniform weight initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        dilation: int = 1,
+        padding: int | str = "same",
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel_size <= 0 or stride <= 0 or dilation <= 0:
+            raise ValueError("kernel_size, stride and dilation must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.dilation = dilation
+        self.padding_mode = padding
+        self.use_bias = bias
+
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size
+        limit = np.sqrt(6.0 / fan_in)
+        self.params["weight"] = rng.uniform(
+            -limit, limit, size=(out_channels, in_channels, kernel_size)
+        )
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+        self.zero_grad()
+        self._cache: dict = {}
+
+    # ----------------------------------------------------------- geometry
+    @property
+    def effective_kernel(self) -> int:
+        """Kernel span after dilation: ``dilation * (kernel_size - 1) + 1``."""
+        return self.dilation * (self.kernel_size - 1) + 1
+
+    def _padding_amount(self, length: int) -> tuple[int, int]:
+        """(left, right) zero padding for an input of ``length`` samples."""
+        if isinstance(self.padding_mode, int):
+            return self.padding_mode, self.padding_mode
+        if self.padding_mode == "same":
+            target = int(np.ceil(length / self.stride))
+            needed = max(0, (target - 1) * self.stride + self.effective_kernel - length)
+            left = needed // 2
+            return left, needed - left
+        raise ValueError(f"unsupported padding mode {self.padding_mode!r}")
+
+    def output_length(self, length: int) -> int:
+        """Number of output samples for an input of ``length`` samples."""
+        pad_left, pad_right = self._padding_amount(length)
+        numerator = length + pad_left + pad_right - self.effective_kernel
+        if numerator < 0:
+            return 0
+        return numerator // self.stride + 1
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, length = input_shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {channels}"
+            )
+        return (self.out_channels, self.output_length(length))
+
+    # ------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expects input of shape (batch, {self.in_channels}, length), got {x.shape}"
+            )
+        batch, _, length = x.shape
+        pad_left, pad_right = self._padding_amount(length)
+        l_out = self.output_length(length)
+        if l_out <= 0:
+            raise ValueError(
+                f"input length {length} too short for kernel span {self.effective_kernel}"
+            )
+        if pad_left or pad_right:
+            x_padded = np.pad(x, ((0, 0), (0, 0), (pad_left, pad_right)))
+        else:
+            x_padded = x
+
+        # Gather the im2col tensor: (batch, in_ch, kernel, l_out).
+        tap_offsets = np.arange(self.kernel_size) * self.dilation
+        out_positions = np.arange(l_out) * self.stride
+        index = tap_offsets[:, None] + out_positions[None, :]
+        cols = x_padded[:, :, index]
+
+        weight = self.params["weight"]
+        out = np.einsum("oik,bikl->bol", weight, cols, optimize=True)
+        if self.use_bias:
+            out += self.params["bias"][None, :, None]
+
+        if training:
+            self._cache = {
+                "cols": cols,
+                "index": index,
+                "pad_left": pad_left,
+                "input_shape": x.shape,
+                "padded_length": x_padded.shape[-1],
+            }
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        cols = self._cache["cols"]
+        index = self._cache["index"]
+        pad_left = self._cache["pad_left"]
+        batch, _, length = self._cache["input_shape"]
+        padded_length = self._cache["padded_length"]
+
+        weight = self.params["weight"]
+        grad_output = np.asarray(grad_output, dtype=float)
+
+        self.grads["weight"] += np.einsum("bol,bikl->oik", grad_output, cols, optimize=True)
+        if self.use_bias:
+            self.grads["bias"] += grad_output.sum(axis=(0, 2))
+
+        grad_cols = np.einsum("oik,bol->bikl", weight, grad_output, optimize=True)
+        grad_padded = np.zeros((batch, self.in_channels, padded_length))
+        # Scatter-add per kernel tap: output positions for a fixed tap are
+        # distinct, so a direct slice-add is safe (taps overlap each other,
+        # hence the loop).
+        out_positions = np.arange(index.shape[1]) * self.stride
+        for tap in range(self.kernel_size):
+            positions = out_positions + tap * self.dilation
+            np.add.at(grad_padded, (slice(None), slice(None), positions), grad_cols[:, :, tap, :])
+        return grad_padded[:, :, pad_left:pad_left + length]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, d={self.dilation})"
+        )
+
+
+class Dense(Layer):
+    """Fully connected layer operating on ``(batch, features)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = bias
+        rng = rng or np.random.default_rng()
+        limit = np.sqrt(6.0 / in_features)
+        self.params["weight"] = rng.uniform(-limit, limit, size=(out_features, in_features))
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+        self._cache: np.ndarray | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ValueError(f"expected input shape ({self.in_features},), got {input_shape}")
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        if training:
+            self._cache = x
+        out = x @ self.params["weight"].T
+        if self.use_bias:
+            out += self.params["bias"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        grad_output = np.asarray(grad_output, dtype=float)
+        self.grads["weight"] += grad_output.T @ self._cache
+        if self.use_bias:
+            self.grads["bias"] += grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return np.asarray(grad_output, dtype=float) * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over ``(batch, channels, length)`` activations.
+
+    Statistics are computed per channel over the batch and time axes; an
+    exponential moving average of the batch statistics is kept for
+    inference, as in the standard formulation.
+    """
+
+    def __init__(self, num_channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must lie in (0, 1], got {momentum}")
+        self.num_channels = num_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(num_channels)
+        self.params["beta"] = np.zeros(num_channels)
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self.zero_grad()
+        self._cache: dict = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"BatchNorm1d expects (batch, {self.num_channels}, length), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=(0, 2))
+            var = x.var(axis=(0, 2))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None]) * inv_std[None, :, None]
+        out = self.params["gamma"][None, :, None] * x_hat + self.params["beta"][None, :, None]
+        if training:
+            self._cache = {"x_hat": x_hat, "inv_std": inv_std, "n": x.shape[0] * x.shape[2]}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        grad_output = np.asarray(grad_output, dtype=float)
+        x_hat = self._cache["x_hat"]
+        inv_std = self._cache["inv_std"]
+        n = self._cache["n"]
+
+        self.grads["gamma"] += (grad_output * x_hat).sum(axis=(0, 2))
+        self.grads["beta"] += grad_output.sum(axis=(0, 2))
+
+        gamma = self.params["gamma"][None, :, None]
+        grad_xhat = grad_output * gamma
+        sum_grad = grad_xhat.sum(axis=(0, 2), keepdims=True)
+        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2), keepdims=True)
+        return (inv_std[None, :, None] / n) * (n * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm1d({self.num_channels})"
+
+
+class AvgPool1d(Layer):
+    """Non-overlapping average pooling along the time axis."""
+
+    def __init__(self, pool_size: int) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, length = input_shape
+        return (channels, length // self.pool_size)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"AvgPool1d expects (batch, channels, length), got {x.shape}")
+        batch, channels, length = x.shape
+        l_out = length // self.pool_size
+        if l_out == 0:
+            raise ValueError(f"input length {length} shorter than pool size {self.pool_size}")
+        trimmed = x[:, :, : l_out * self.pool_size]
+        out = trimmed.reshape(batch, channels, l_out, self.pool_size).mean(axis=3)
+        if training:
+            self._cache = (x.shape, l_out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        (batch, channels, length), l_out = self._cache
+        grad_output = np.asarray(grad_output, dtype=float)
+        grad = np.zeros((batch, channels, length))
+        expanded = np.repeat(grad_output / self.pool_size, self.pool_size, axis=2)
+        grad[:, :, : l_out * self.pool_size] = expanded
+        return grad
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AvgPool1d({self.pool_size})"
+
+
+class GlobalAvgPool1d(Layer):
+    """Average over the whole time axis, producing ``(batch, channels)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, _ = input_shape
+        return (channels,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"GlobalAvgPool1d expects (batch, channels, length), got {x.shape}")
+        if training:
+            self._cache = x.shape
+        return x.mean(axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        batch, channels, length = self._cache
+        grad_output = np.asarray(grad_output, dtype=float)
+        return np.repeat(grad_output[:, :, None], length, axis=2) / length
+
+
+class Flatten(Layer):
+    """Flatten ``(batch, channels, length)`` into ``(batch, channels * length)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        total = 1
+        for dim in input_shape:
+            total *= dim
+        return (total,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if training:
+            self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return np.asarray(grad_output, dtype=float).reshape(self._cache)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return np.asarray(grad_output, dtype=float) * self._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dropout({self.rate})"

@@ -1,0 +1,83 @@
+"""Regression losses for heart-rate estimation.
+
+The TimePPG papers train with a smooth L1 / LogCosh-style objective; the
+reproduction provides plain MSE, plain L1 (whose value in BPM is directly
+the MAE metric the paper reports) and a Huber loss.  Each loss exposes
+``value`` and ``gradient`` so the trainer can run explicit backward
+passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class: a differentiable scalar objective over predictions."""
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        """Scalar loss value averaged over the batch."""
+        raise NotImplementedError
+
+    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient of the loss with respect to the predictions."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction and target shapes differ: {prediction.shape} vs {target.shape}"
+            )
+        if prediction.size == 0:
+            raise ValueError("loss computed on empty arrays")
+        return prediction, target
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction, target = self._validate(prediction, target)
+        return float(np.mean((prediction - target) ** 2))
+
+    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        prediction, target = self._validate(prediction, target)
+        return 2.0 * (prediction - target) / prediction.size
+
+
+class L1Loss(Loss):
+    """Mean absolute error (the paper's reported metric, in BPM)."""
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction, target = self._validate(prediction, target)
+        return float(np.mean(np.abs(prediction - target)))
+
+    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        prediction, target = self._validate(prediction, target)
+        return np.sign(prediction - target) / prediction.size
+
+
+class HuberLoss(Loss):
+    """Huber (smooth L1) loss with transition point ``delta``."""
+
+    def __init__(self, delta: float = 5.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction, target = self._validate(prediction, target)
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        quadratic = 0.5 * diff ** 2
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+
+    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        prediction, target = self._validate(prediction, target)
+        diff = prediction - target
+        grad = np.clip(diff, -self.delta, self.delta)
+        return grad / prediction.size

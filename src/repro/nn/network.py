@@ -1,0 +1,95 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A plain feed-forward stack of layers.
+
+    The container exposes the same ``forward`` / ``backward`` protocol as
+    the layers, plus convenience accessors used by the optimizers
+    (``parameters`` / ``gradients``), the quantizer and the complexity
+    counters.
+    """
+
+    def __init__(self, layers: list[Layer] | None = None) -> None:
+        self.layers: list[Layer] = list(layers) if layers else []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer and return ``self`` (chainable)."""
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    # ------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the input through every layer in order."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through every layer in reverse order."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ---------------------------------------------------------- parameters
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> list[tuple[str, dict[str, np.ndarray]]]:
+        """Per-layer parameter dictionaries, keyed by a unique layer name."""
+        return [(f"layer{i}_{type(layer).__name__}", layer.params) for i, layer in enumerate(self.layers)]
+
+    def gradients(self) -> list[tuple[str, dict[str, np.ndarray]]]:
+        """Per-layer gradient dictionaries, aligned with :meth:`parameters`."""
+        return [(f"layer{i}_{type(layer).__name__}", layer.grads) for i, layer in enumerate(self.layers)]
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of trainable parameters."""
+        return int(sum(layer.n_parameters for layer in self.layers))
+
+    # -------------------------------------------------------- (de)serialize
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of every parameter array (copied)."""
+        state = {}
+        for name, params in self.parameters():
+            for key, value in params.items():
+                state[f"{name}.{key}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        for name, params in self.parameters():
+            for key in params:
+                full = f"{name}.{key}"
+                if full not in state:
+                    raise KeyError(f"missing parameter {full} in state dict")
+                if state[full].shape != params[key].shape:
+                    raise ValueError(
+                        f"shape mismatch for {full}: "
+                        f"{state[full].shape} vs {params[key].shape}"
+                    )
+                params[key][...] = state[full]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,115 @@
+"""Model complexity accounting (parameters and multiply-accumulate ops).
+
+Table III of the paper characterizes each HR model by its parameter count
+and number of operations per prediction; these counters reproduce that
+characterization for networks built with :mod:`repro.nn`.  One
+"multiply-accumulate" (MAC) is counted per weight application; element-wise
+layers (ReLU, batch-norm, pooling) contribute their element count, which
+keeps the totals comparable with the `operation` counts reported by
+deployment toolchains such as X-CUBE-AI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import (
+    AvgPool1d,
+    BatchNorm1d,
+    Conv1d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1d,
+    Layer,
+    ReLU,
+)
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """Complexity summary of one layer for a given input shape."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    parameters: int
+    macs: int
+
+
+def _shape_size(shape: tuple[int, ...]) -> int:
+    total = 1
+    for dim in shape:
+        total *= dim
+    return total
+
+
+def _layer_macs(layer: Layer, input_shape: tuple[int, ...], output_shape: tuple[int, ...]) -> int:
+    """MAC / elementary-operation count of one layer."""
+    if isinstance(layer, Conv1d):
+        _, l_out = output_shape
+        return layer.out_channels * layer.in_channels * layer.kernel_size * l_out
+    if isinstance(layer, Dense):
+        return layer.out_features * layer.in_features
+    if isinstance(layer, (BatchNorm1d, ReLU)):
+        return _shape_size(output_shape)
+    if isinstance(layer, (AvgPool1d, GlobalAvgPool1d)):
+        return _shape_size(input_shape)
+    if isinstance(layer, (Flatten, Dropout)):
+        return 0
+    # Unknown layer types contribute nothing rather than failing, so user
+    # extensions can still be summarized.
+    return 0
+
+
+def layer_summary(network: Sequential, input_shape: tuple[int, ...]) -> list[LayerSummary]:
+    """Per-layer complexity summary.
+
+    Parameters
+    ----------
+    network:
+        The network to analyse.
+    input_shape:
+        Shape of one input sample *excluding* the batch axis, e.g.
+        ``(channels, length)`` for a TCN.
+    """
+    summaries = []
+    shape = tuple(input_shape)
+    for layer in network.layers:
+        out_shape = layer.output_shape(shape)
+        summaries.append(
+            LayerSummary(
+                name=repr(layer),
+                input_shape=shape,
+                output_shape=tuple(out_shape),
+                parameters=layer.n_parameters,
+                macs=_layer_macs(layer, shape, tuple(out_shape)),
+            )
+        )
+        shape = tuple(out_shape)
+    return summaries
+
+
+def count_parameters(network: Sequential) -> int:
+    """Total trainable parameter count of a network."""
+    return network.n_parameters
+
+
+def count_macs(network: Sequential, input_shape: tuple[int, ...]) -> int:
+    """Total MAC count for one forward pass on a single sample."""
+    return int(sum(s.macs for s in layer_summary(network, input_shape)))
+
+
+def summary_table(network: Sequential, input_shape: tuple[int, ...]) -> str:
+    """Human-readable complexity table (one row per layer plus totals)."""
+    rows = layer_summary(network, input_shape)
+    lines = [f"{'layer':<40} {'output':<18} {'params':>10} {'MACs':>12}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:<40} {str(row.output_shape):<18} {row.parameters:>10,d} {row.macs:>12,d}"
+        )
+    total_params = sum(r.parameters for r in rows)
+    total_macs = sum(r.macs for r in rows)
+    lines.append(f"{'TOTAL':<40} {'':<18} {total_params:>10,d} {total_macs:>12,d}")
+    return "\n".join(lines)

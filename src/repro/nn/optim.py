@@ -1,0 +1,111 @@
+"""Optimizers for the NumPy network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+class Optimizer:
+    """Base optimizer operating on a :class:`Sequential` network."""
+
+    def __init__(self, network: Sequential, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.network = network
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the layers."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of the attached network."""
+        self.network.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(network, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for (name, params), (_, grads) in zip(self.network.parameters(), self.network.gradients()):
+            for key, value in params.items():
+                grad = grads[key]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * value
+                if self.momentum:
+                    slot = f"{name}.{key}"
+                    velocity = self._velocity.get(slot)
+                    if velocity is None:
+                        velocity = np.zeros_like(value)
+                    velocity = self.momentum * velocity - self.learning_rate * grad
+                    self._velocity[slot] = velocity
+                    value += velocity
+                else:
+                    value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(network, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {beta1}, {beta2}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for (name, params), (_, grads) in zip(self.network.parameters(), self.network.gradients()):
+            for key, value in params.items():
+                grad = grads[key]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * value
+                slot = f"{name}.{key}"
+                m = self._m.get(slot)
+                v = self._v.get(slot)
+                if m is None:
+                    m = np.zeros_like(value)
+                    v = np.zeros_like(value)
+                m = self.beta1 * m + (1.0 - self.beta1) * grad
+                v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+                self._m[slot] = m
+                self._v[slot] = v
+                m_hat = m / bias1
+                v_hat = v / bias2
+                value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

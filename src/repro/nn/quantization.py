@@ -1,0 +1,195 @@
+"""Post-training int8 quantization.
+
+Before deployment the paper quantizes TimePPG-Small and TimePPG-Big to
+8 bits (quantization-aware training with PyTorch, then X-CUBE-AI / TFLite
+export).  The reproduction implements the deployment-side of that flow:
+symmetric per-tensor int8 quantization of weights and asymmetric uint8-style
+quantization of activations, with scales calibrated on a representative
+input batch.  A :class:`QuantizedSequential` executes inference with
+quantized weights (computation in float, values constrained to the
+quantization grid — the "fake quantization" formulation, which is how
+quantization error is usually modelled at the algorithm level).
+
+The quantizer is used to verify that the accuracy loss of int8 deployment
+is small (a property the paper relies on implicitly when it reports MAEs
+for the deployed, quantized models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm1d, Conv1d, Dense, Layer
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Quantization parameters for one tensor.
+
+    ``value ≈ scale * (q - zero_point)`` with ``q`` in ``[qmin, qmax]``.
+    """
+
+    scale: float
+    zero_point: int
+    qmin: int = -128
+    qmax: int = 127
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Map float values onto the integer grid."""
+        q = np.round(np.asarray(x, dtype=float) / self.scale) + self.zero_point
+        return np.clip(q, self.qmin, self.qmax).astype(np.int32)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Map integer grid values back to floats."""
+        return (np.asarray(q, dtype=float) - self.zero_point) * self.scale
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip through the grid (quantize then dequantize)."""
+        return self.dequantize(self.quantize(x))
+
+
+def symmetric_spec(x: np.ndarray, n_bits: int = 8) -> QuantizationSpec:
+    """Symmetric per-tensor spec (zero point 0), used for weights."""
+    x = np.asarray(x, dtype=float)
+    qmax = 2 ** (n_bits - 1) - 1
+    qmin = -(2 ** (n_bits - 1))
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    scale = max_abs / qmax if max_abs > 0 else 1.0
+    if not np.isfinite(scale) or scale <= 0.0:
+        # Guard against subnormal underflow for (near-)zero tensors.
+        scale = 1.0
+    return QuantizationSpec(scale=scale, zero_point=0, qmin=qmin, qmax=qmax)
+
+
+def asymmetric_spec(x: np.ndarray, n_bits: int = 8) -> QuantizationSpec:
+    """Asymmetric per-tensor spec covering ``[min, max]``, used for activations."""
+    x = np.asarray(x, dtype=float)
+    qmax = 2 ** (n_bits - 1) - 1
+    qmin = -(2 ** (n_bits - 1))
+    lo = float(np.min(x)) if x.size else 0.0
+    hi = float(np.max(x)) if x.size else 0.0
+    lo = min(lo, 0.0)
+    hi = max(hi, 0.0)
+    span = hi - lo
+    scale = span / (qmax - qmin) if span > 0 else 1.0
+    if not np.isfinite(scale) or scale <= 0.0:
+        # Guard against subnormal underflow for (near-)zero tensors.
+        scale = 1.0
+    zero_point = int(round(qmin - lo / scale))
+    zero_point = int(np.clip(zero_point, qmin, qmax))
+    return QuantizationSpec(scale=scale, zero_point=zero_point, qmin=qmin, qmax=qmax)
+
+
+class QuantizedSequential:
+    """Inference-only network whose weights/activations live on an int8 grid.
+
+    The quantized model shares the layer objects' structure with the float
+    network it was derived from, but all weights are replaced with their
+    fake-quantized values, and every Conv/Dense output is fake-quantized
+    with an activation spec calibrated on a representative batch.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        weight_specs: dict[int, dict[str, QuantizationSpec]],
+        activation_specs: dict[int, QuantizationSpec],
+        n_bits: int = 8,
+    ) -> None:
+        self.network = network
+        self.weight_specs = weight_specs
+        self.activation_specs = activation_specs
+        self.n_bits = n_bits
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Quantized inference (always in evaluation mode)."""
+        out = np.asarray(x, dtype=float)
+        for i, layer in enumerate(self.network.layers):
+            out = layer.forward(out, training=False)
+            if i in self.activation_specs:
+                out = self.activation_specs[i].fake_quantize(out)
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Storage footprint of the quantized weights, in bytes.
+
+        Each quantized weight takes one byte (int8); biases and batch-norm
+        parameters are kept in 32-bit as deployment toolchains do.
+        """
+        total = 0
+        for layer in self.network.layers:
+            for key, value in layer.params.items():
+                if key == "weight":
+                    total += value.size  # int8
+                else:
+                    total += value.size * 4  # fp32/int32
+        return int(total)
+
+
+def quantize_network(
+    network: Sequential,
+    calibration_batch: np.ndarray,
+    n_bits: int = 8,
+) -> QuantizedSequential:
+    """Post-training quantization of a trained network.
+
+    Parameters
+    ----------
+    network:
+        Trained float network.  Its weight arrays are *modified in place*
+        to their fake-quantized values (mirroring a deployment export); if
+        the float model must be preserved, pass a copy.
+    calibration_batch:
+        Representative inputs used to calibrate activation ranges.
+    n_bits:
+        Bit width (8 in the paper).
+
+    Returns
+    -------
+    QuantizedSequential
+        Inference wrapper with the calibrated activation specs.
+    """
+    if n_bits < 2 or n_bits > 16:
+        raise ValueError(f"n_bits must be in [2, 16], got {n_bits}")
+    calibration_batch = np.asarray(calibration_batch, dtype=float)
+    if calibration_batch.shape[0] == 0:
+        raise ValueError("calibration batch is empty")
+
+    weight_specs: dict[int, dict[str, QuantizationSpec]] = {}
+    activation_specs: dict[int, QuantizationSpec] = {}
+
+    # First pass: quantize weights in place.
+    for i, layer in enumerate(network.layers):
+        if isinstance(layer, (Conv1d, Dense)):
+            spec = symmetric_spec(layer.params["weight"], n_bits=n_bits)
+            layer.params["weight"][...] = spec.fake_quantize(layer.params["weight"])
+            weight_specs[i] = {"weight": spec}
+        elif isinstance(layer, BatchNorm1d):
+            # Batch-norm parameters are folded into 32-bit scales at
+            # deployment time; no 8-bit quantization applied.
+            continue
+
+    # Second pass: propagate the calibration batch and record activation ranges.
+    out = calibration_batch
+    for i, layer in enumerate(network.layers):
+        out = layer.forward(out, training=False)
+        if isinstance(layer, (Conv1d, Dense)):
+            activation_specs[i] = asymmetric_spec(out, n_bits=n_bits)
+            out = activation_specs[i].fake_quantize(out)
+
+    return QuantizedSequential(network, weight_specs, activation_specs, n_bits=n_bits)
+
+
+def quantization_error(float_net: Sequential, quant_net: QuantizedSequential, x: np.ndarray) -> float:
+    """Mean absolute difference between float and quantized predictions."""
+    x = np.asarray(x, dtype=float)
+    ref = float_net.forward(x, training=False)
+    quant = quant_net.forward(x)
+    return float(np.mean(np.abs(ref - quant)))

@@ -1,0 +1,193 @@
+"""Mini-batch trainer with validation-based early stopping.
+
+The paper's training setup (PyTorch, 5-fold subject cross-validation,
+quantization-aware fine-tuning) is replaced by this explicit NumPy
+training loop.  It supports shuffled mini-batches, an optional validation
+set, early stopping on the validation loss, and keeps a history of the
+per-epoch metrics used by the examples and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam, Optimizer
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of the training loop.
+
+    Attributes
+    ----------
+    epochs:
+        Maximum number of passes over the training set.
+    batch_size:
+        Mini-batch size.
+    learning_rate:
+        Learning rate of the default Adam optimizer.
+    patience:
+        Early-stopping patience in epochs (``None`` disables early
+        stopping).
+    min_delta:
+        Minimum validation-loss improvement that resets the patience
+        counter.
+    shuffle:
+        Whether the training set is reshuffled every epoch.
+    seed:
+        Seed of the shuffling generator.
+    verbose:
+        When ``True``, print one line per epoch.
+    """
+
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    patience: int | None = 5
+    min_delta: float = 1e-4
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.patience is not None and self.patience <= 0:
+            raise ValueError(f"patience must be positive or None, got {self.patience}")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss trajectory and early-stopping metadata."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    stopped_early: bool = False
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Train a :class:`Sequential` regressor on (windows, targets) arrays."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        loss: Loss | None = None,
+        optimizer: Optimizer | None = None,
+        config: TrainerConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config or TrainerConfig()
+        self.loss = loss or MSELoss()
+        self.optimizer = optimizer or Adam(network, learning_rate=self.config.learning_rate)
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainingHistory:
+        """Run the training loop and return the loss history.
+
+        When a validation set is given, the parameters from the best
+        validation epoch are restored at the end of training.
+        """
+        x_train = np.asarray(x_train, dtype=float)
+        y_train = np.asarray(y_train, dtype=float).reshape(x_train.shape[0], -1)
+        if x_train.shape[0] == 0:
+            raise ValueError("training set is empty")
+        if x_val is not None:
+            x_val = np.asarray(x_val, dtype=float)
+            y_val = np.asarray(y_val, dtype=float).reshape(x_val.shape[0], -1)
+
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainingHistory()
+        best_val = np.inf
+        best_state = None
+        patience_left = cfg.patience
+
+        for epoch in range(cfg.epochs):
+            epoch_loss = self._train_epoch(x_train, y_train, rng)
+            history.train_loss.append(epoch_loss)
+
+            if x_val is not None and x_val.shape[0] > 0:
+                val_loss = self.evaluate(x_val, y_val)
+                history.val_loss.append(val_loss)
+                if val_loss < best_val - cfg.min_delta:
+                    best_val = val_loss
+                    best_state = self.network.state_dict()
+                    history.best_epoch = epoch
+                    patience_left = cfg.patience
+                elif cfg.patience is not None:
+                    patience_left -= 1
+                    if patience_left <= 0:
+                        history.stopped_early = True
+                        if cfg.verbose:  # pragma: no cover - logging only
+                            print(f"early stopping at epoch {epoch}")
+                        break
+            if cfg.verbose:  # pragma: no cover - logging only
+                val_msg = f" val={history.val_loss[-1]:.4f}" if history.val_loss else ""
+                print(f"epoch {epoch:3d} train={epoch_loss:.4f}{val_msg}")
+
+        if best_state is not None:
+            self.network.load_state_dict(best_state)
+        return history
+
+    def _train_epoch(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> float:
+        cfg = self.config
+        n = x.shape[0]
+        order = rng.permutation(n) if cfg.shuffle else np.arange(n)
+        total = 0.0
+        batches = 0
+        for start in range(0, n, cfg.batch_size):
+            idx = order[start:start + cfg.batch_size]
+            xb, yb = x[idx], y[idx]
+            self.optimizer.zero_grad()
+            pred = self.network.forward(xb, training=True)
+            total += self.loss.value(pred, yb)
+            grad = self.loss.gradient(pred, yb)
+            self.network.backward(grad)
+            self.optimizer.step()
+            batches += 1
+        return total / max(batches, 1)
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int | None = None) -> float:
+        """Average loss on a dataset, computed in inference mode."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(x.shape[0], -1)
+        if x.shape[0] == 0:
+            raise ValueError("evaluation set is empty")
+        batch_size = batch_size or self.config.batch_size
+        total = 0.0
+        count = 0
+        for start in range(0, x.shape[0], batch_size):
+            xb = x[start:start + batch_size]
+            yb = y[start:start + batch_size]
+            pred = self.network.forward(xb, training=False)
+            total += self.loss.value(pred, yb) * xb.shape[0]
+            count += xb.shape[0]
+        return total / count
+
+    def predict(self, x: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Model predictions in inference mode, batched to bound memory."""
+        x = np.asarray(x, dtype=float)
+        batch_size = batch_size or self.config.batch_size
+        chunks = []
+        for start in range(0, x.shape[0], batch_size):
+            chunks.append(self.network.forward(x[start:start + batch_size], training=False))
+        return np.concatenate(chunks, axis=0) if chunks else np.empty((0, 1))

@@ -1,0 +1,139 @@
+"""Peak detection utilities.
+
+Two detectors are provided:
+
+* :func:`find_peaks_simple` — generic local-maxima detection with a
+  minimum-distance constraint, used by the dataset generator and by the
+  accelerometer feature extractor.
+* :func:`adaptive_threshold_peaks` — the region-of-interest scheme of
+  Shin et al. (the "AT" predictor of the paper): samples above the
+  rolling mean form regions of interest, and the largest sample of each
+  region is a peak.
+
+Both return sample indices; :func:`peak_intervals_to_bpm` converts the
+inter-peak intervals into an average heart rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signal.filters import moving_average
+
+
+def find_peaks_simple(x: np.ndarray, min_distance: int = 1, min_height: float | None = None) -> np.ndarray:
+    """Indices of local maxima separated by at least ``min_distance`` samples.
+
+    A sample is a candidate peak when it is strictly greater than its left
+    neighbour and greater than or equal to its right neighbour.  Candidates
+    are then greedily selected in decreasing amplitude order, discarding any
+    candidate closer than ``min_distance`` to an already selected peak.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"find_peaks_simple expects a 1-D signal, got shape {x.shape}")
+    if x.size < 3:
+        return np.array([], dtype=int)
+    if min_distance < 1:
+        raise ValueError(f"min_distance must be >= 1, got {min_distance}")
+
+    left = x[1:-1] > x[:-2]
+    right = x[1:-1] >= x[2:]
+    candidates = np.nonzero(left & right)[0] + 1
+    if min_height is not None:
+        candidates = candidates[x[candidates] >= min_height]
+    if candidates.size == 0 or min_distance == 1:
+        return candidates
+
+    order = np.argsort(x[candidates])[::-1]
+    selected: list[int] = []
+    taken = np.zeros(x.size, dtype=bool)
+    for idx in candidates[order]:
+        lo = max(0, idx - min_distance + 1)
+        hi = min(x.size, idx + min_distance)
+        if not taken[lo:hi].any():
+            selected.append(int(idx))
+            taken[idx] = True
+    return np.array(sorted(selected), dtype=int)
+
+
+def adaptive_threshold_peaks(x: np.ndarray, window: int = 24) -> np.ndarray:
+    """Peaks according to the Adaptive-Threshold (AT) method.
+
+    The rolling mean over ``window`` samples acts as an adaptive threshold;
+    contiguous runs of samples above the threshold are *regions of
+    interest*, and the index of the largest sample inside each region is
+    reported as a peak.
+
+    Parameters
+    ----------
+    x:
+        1-D PPG window.
+    window:
+        Rolling-mean length in samples (24 in the paper, i.e. 0.75 s at
+        32 Hz).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"adaptive_threshold_peaks expects a 1-D signal, got shape {x.shape}")
+    if x.size == 0:
+        return np.array([], dtype=int)
+    threshold = moving_average(x, window)
+    above = x > threshold
+    if not above.any():
+        return np.array([], dtype=int)
+
+    # Find run boundaries of the boolean mask.
+    padded = np.concatenate(([False], above, [False]))
+    diff = np.diff(padded.astype(int))
+    starts = np.nonzero(diff == 1)[0]
+    ends = np.nonzero(diff == -1)[0]
+
+    peaks = []
+    for start, end in zip(starts, ends):
+        region = x[start:end]
+        peaks.append(start + int(np.argmax(region)))
+    return np.array(peaks, dtype=int)
+
+
+def peak_intervals_to_bpm(peaks: np.ndarray, fs: float, min_bpm: float = 30.0, max_bpm: float = 220.0) -> float:
+    """Average heart rate (beats per minute) from successive peak indices.
+
+    Inter-peak intervals outside the physiologically plausible
+    ``[min_bpm, max_bpm]`` band are discarded before averaging; if no valid
+    interval remains, ``nan`` is returned and callers are expected to fall
+    back to a default (the runtime uses the previous estimate).
+    """
+    peaks = np.asarray(peaks)
+    if peaks.size < 2:
+        return float("nan")
+    intervals = np.diff(peaks) / float(fs)  # seconds between beats
+    with np.errstate(divide="ignore"):
+        bpm = 60.0 / intervals
+    valid = bpm[(bpm >= min_bpm) & (bpm <= max_bpm)]
+    if valid.size == 0:
+        return float("nan")
+    return float(valid.mean())
+
+
+def count_sign_changes(x: np.ndarray) -> int:
+    """Number of sign changes of the discrete derivative of ``x``.
+
+    This is the "number of peaks" feature used by the activity-recognition
+    Random Forest in the paper (a cheap proxy for oscillation rate that the
+    LSM6DSM ML core can compute).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size < 3:
+        return 0
+    deriv = np.diff(x)
+    signs = np.sign(deriv)
+    # Ignore zero-derivative plateaus by propagating the previous sign.
+    nonzero = signs != 0
+    if not nonzero.any():
+        return 0
+    # Forward-fill zero signs with the last non-zero sign.
+    idx = np.where(nonzero, np.arange(signs.size), 0)
+    np.maximum.accumulate(idx, out=idx)
+    filled = signs[idx]
+    return int(np.count_nonzero(np.diff(filled) != 0))

@@ -1,0 +1,45 @@
+"""Resampling helpers.
+
+PPG-DaLiA ships PPG at 64 Hz and acceleration at 32 Hz; the paper's
+pipeline works at a common 32 Hz rate.  The synthetic generator produces
+32 Hz directly, but the optional real-dataset loader and some tests need
+rate conversion, which these helpers provide using simple linear
+interpolation (sufficient for band-limited physiological signals well
+below the Nyquist frequency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_resample(x: np.ndarray, n_out: int) -> np.ndarray:
+    """Resample a signal to ``n_out`` samples with linear interpolation.
+
+    Works on 1-D signals or 2-D ``(n_samples, n_channels)`` arrays (each
+    channel resampled independently).
+    """
+    x = np.asarray(x, dtype=float)
+    if n_out <= 0:
+        raise ValueError(f"n_out must be positive, got {n_out}")
+    if x.ndim == 1:
+        if x.size == 0:
+            raise ValueError("cannot resample an empty signal")
+        if x.size == 1:
+            return np.full(n_out, x[0])
+        src = np.linspace(0.0, 1.0, x.size)
+        dst = np.linspace(0.0, 1.0, n_out)
+        return np.interp(dst, src, x)
+    if x.ndim == 2:
+        return np.stack([linear_resample(x[:, c], n_out) for c in range(x.shape[1])], axis=1)
+    raise ValueError(f"linear_resample expects 1-D or 2-D input, got shape {x.shape}")
+
+
+def resample_to_rate(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Resample a signal from ``fs_in`` Hz to ``fs_out`` Hz."""
+    if fs_in <= 0 or fs_out <= 0:
+        raise ValueError(f"sampling rates must be positive, got fs_in={fs_in}, fs_out={fs_out}")
+    x = np.asarray(x, dtype=float)
+    n_in = x.shape[0]
+    n_out = int(round(n_in * fs_out / fs_in))
+    return linear_resample(x, max(n_out, 1))

@@ -1,0 +1,111 @@
+"""Tests for CHRIS configurations and the design-space enumeration."""
+
+import pytest
+
+from repro.core.configuration import (
+    ALL_THRESHOLDS,
+    Configuration,
+    ExecutionMode,
+    ProfiledConfiguration,
+    enumerate_configurations,
+)
+from repro.hw.profiles import ExecutionTarget
+
+
+class TestConfiguration:
+    def test_model_routing_by_difficulty(self):
+        config = Configuration("AT", "TimePPG-Big", difficulty_threshold=4,
+                               mode=ExecutionMode.HYBRID)
+        # Difficulties 1-4 -> simple model on the watch.
+        for level in (1, 2, 3, 4):
+            assert config.model_for_difficulty(level) == ("AT", ExecutionTarget.WATCH)
+        # Difficulties 5-9 -> complex model on the phone (hybrid).
+        for level in (5, 9):
+            assert config.model_for_difficulty(level) == ("TimePPG-Big", ExecutionTarget.PHONE)
+
+    def test_local_mode_keeps_complex_model_on_watch(self):
+        config = Configuration("AT", "TimePPG-Small", difficulty_threshold=3,
+                               mode=ExecutionMode.LOCAL)
+        assert config.model_for_difficulty(9) == ("TimePPG-Small", ExecutionTarget.WATCH)
+        assert config.is_local
+
+    def test_threshold_extremes(self):
+        always_complex = Configuration("AT", "TimePPG-Big", 0, ExecutionMode.HYBRID)
+        always_simple = Configuration("AT", "TimePPG-Big", 9, ExecutionMode.HYBRID)
+        assert always_complex.model_for_difficulty(1)[0] == "TimePPG-Big"
+        assert always_simple.model_for_difficulty(9)[0] == "AT"
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            Configuration("AT", "AT", 3, ExecutionMode.LOCAL)
+        with pytest.raises(ValueError):
+            Configuration("AT", "TimePPG-Big", 10, ExecutionMode.LOCAL)
+        config = Configuration("AT", "TimePPG-Big", 3, ExecutionMode.LOCAL)
+        with pytest.raises(ValueError):
+            config.model_for_difficulty(0)
+        with pytest.raises(ValueError):
+            config.model_for_difficulty(10)
+
+    def test_label_is_informative(self):
+        config = Configuration("AT", "TimePPG-Big", 6, ExecutionMode.HYBRID)
+        label = config.label()
+        assert "AT" in label and "TimePPG-Big" in label
+        assert "hybrid" in label and "t6" in label
+
+
+class TestEnumerateConfigurations:
+    def test_paper_design_space_size(self):
+        """3 models -> 3 pairs x 10 thresholds x 2 placements = 60 (Sec. III-C)."""
+        configs = enumerate_configurations(["AT", "TimePPG-Small", "TimePPG-Big"])
+        assert len(configs) == 60
+        assert len(ALL_THRESHOLDS) == 10
+
+    def test_pairs_respect_cost_ordering(self):
+        configs = enumerate_configurations(["AT", "TimePPG-Small", "TimePPG-Big"])
+        pairs = {(c.simple_model, c.complex_model) for c in configs}
+        assert pairs == {
+            ("AT", "TimePPG-Small"),
+            ("AT", "TimePPG-Big"),
+            ("TimePPG-Small", "TimePPG-Big"),
+        }
+
+    def test_no_duplicates(self):
+        configs = enumerate_configurations(["A", "B", "C"])
+        keys = {(c.simple_model, c.complex_model, c.difficulty_threshold, c.mode) for c in configs}
+        assert len(keys) == len(configs)
+
+    def test_four_models_scale(self):
+        configs = enumerate_configurations(["A", "B", "C", "D"])
+        assert len(configs) == 6 * 10 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            enumerate_configurations(["A"])
+        with pytest.raises(ValueError):
+            enumerate_configurations(["A", "A"])
+
+
+class TestProfiledConfiguration:
+    def _config(self):
+        return Configuration("AT", "TimePPG-Big", 6, ExecutionMode.HYBRID)
+
+    def test_properties(self):
+        profiled = ProfiledConfiguration(
+            configuration=self._config(),
+            mae_bpm=5.2,
+            watch_energy_j=0.4e-3,
+            phone_energy_j=8e-3,
+            mean_latency_s=0.02,
+            offload_fraction=0.3,
+        )
+        assert profiled.watch_energy_mj == pytest.approx(0.4)
+        assert not profiled.is_local
+        assert "t6" in profiled.label()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfiledConfiguration(self._config(), -1.0, 1e-3, 1e-3, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            ProfiledConfiguration(self._config(), 5.0, -1e-3, 1e-3, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            ProfiledConfiguration(self._config(), 5.0, 1e-3, 1e-3, 0.1, 1.5)

@@ -1,0 +1,118 @@
+"""Tests for the CHRIS decision engine."""
+
+import pytest
+
+from repro.core.configuration import Configuration, ExecutionMode, ProfiledConfiguration
+from repro.core.decision_engine import (
+    Constraint,
+    ConstraintKind,
+    DecisionEngine,
+    NoFeasibleConfigurationError,
+)
+from repro.core.profiling import ConfigurationTable
+from repro.hw.profiles import ExecutionTarget
+
+
+def profiled(simple, complex_, threshold, mode, mae, energy_mj, offload=0.0):
+    return ProfiledConfiguration(
+        configuration=Configuration(simple, complex_, threshold, mode),
+        mae_bpm=mae,
+        watch_energy_j=energy_mj * 1e-3,
+        phone_energy_j=0.0,
+        mean_latency_s=0.01,
+        offload_fraction=offload,
+    )
+
+
+@pytest.fixture()
+def table() -> ConfigurationTable:
+    """A hand-built table with known local/hybrid trade-offs."""
+    return ConfigurationTable([
+        profiled("AT", "TimePPG-Small", 9, ExecutionMode.LOCAL, mae=10.9, energy_mj=0.23),
+        profiled("AT", "TimePPG-Small", 5, ExecutionMode.LOCAL, mae=8.0, energy_mj=0.5),
+        profiled("AT", "TimePPG-Big", 8, ExecutionMode.HYBRID, mae=7.0, energy_mj=0.29, offload=0.11),
+        profiled("AT", "TimePPG-Big", 6, ExecutionMode.HYBRID, mae=5.3, energy_mj=0.40, offload=0.33),
+        profiled("AT", "TimePPG-Big", 0, ExecutionMode.HYBRID, mae=4.9, energy_mj=0.72, offload=1.0),
+        profiled("TimePPG-Small", "TimePPG-Big", 0, ExecutionMode.LOCAL, mae=4.87, energy_mj=41.1),
+    ])
+
+
+class TestConstraint:
+    def test_constructors(self):
+        mae = Constraint.max_mae(5.6)
+        assert mae.kind is ConstraintKind.MAX_MAE
+        assert mae.value == 5.6
+        energy = Constraint.max_energy_mj(0.5)
+        assert energy.kind is ConstraintKind.MAX_ENERGY
+        assert energy.value == pytest.approx(0.5e-3)
+
+    def test_positive_value_required(self):
+        with pytest.raises(ValueError):
+            Constraint.max_mae(0.0)
+        with pytest.raises(ValueError):
+            Constraint.max_energy_mj(-1.0)
+
+
+class TestConfigurationSelection:
+    def test_mae_constraint_picks_lowest_energy_admissible(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        selected = engine.select_configuration(Constraint.max_mae(5.6), connected=True)
+        assert selected.mae_bpm == pytest.approx(5.3)
+        assert selected.watch_energy_mj == pytest.approx(0.40)
+
+    def test_energy_constraint_picks_best_mae_admissible(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        selected = engine.select_configuration(Constraint.max_energy_mj(0.45), connected=True)
+        assert selected.mae_bpm == pytest.approx(5.3)
+
+    def test_connection_loss_excludes_hybrid(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        selected = engine.select_configuration(Constraint.max_mae(9.0), connected=False)
+        assert selected.is_local
+        assert selected.mae_bpm == pytest.approx(8.0)
+
+    def test_tight_mae_only_reachable_with_expensive_local_config(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        selected = engine.select_configuration(Constraint.max_mae(4.87), connected=False)
+        assert selected.watch_energy_mj == pytest.approx(41.1)
+
+    def test_unreachable_constraint_raises(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        with pytest.raises(NoFeasibleConfigurationError):
+            engine.select_configuration(Constraint.max_mae(1.0))
+        with pytest.raises(NoFeasibleConfigurationError):
+            engine.select_configuration(Constraint.max_energy_mj(0.01))
+
+    def test_closest_configuration_fallback(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        best_effort = engine.closest_configuration(Constraint.max_mae(1.0))
+        assert best_effort.mae_bpm == pytest.approx(4.87)
+        best_effort = engine.closest_configuration(Constraint.max_energy_mj(0.01))
+        assert best_effort.watch_energy_mj == pytest.approx(0.23)
+
+    def test_select_or_closest_never_raises(self, table):
+        engine = DecisionEngine(table, use_pareto_only=False)
+        assert engine.select_or_closest(Constraint.max_mae(1.0)) is not None
+        assert engine.select_or_closest(Constraint.max_mae(5.6)).mae_bpm <= 5.6
+
+    def test_pareto_only_engine_ignores_dominated_configs(self, table):
+        # The (8.0 BPM, 0.5 mJ) local config is dominated by the hybrid
+        # (7.0, 0.29); a Pareto-only engine should never pick it while connected.
+        engine = DecisionEngine(table, use_pareto_only=True)
+        selected = engine.select_configuration(Constraint.max_mae(8.5), connected=True)
+        assert selected.mae_bpm == pytest.approx(7.0)
+
+
+class TestModelSelection:
+    def test_per_window_dispatch(self, table):
+        engine = DecisionEngine(table)
+        config = table.feasible(True)[3]
+        simple_name = config.configuration.simple_model
+        complex_name = config.configuration.complex_model
+        threshold = config.configuration.difficulty_threshold
+        model, target = engine.select_model(config, threshold)
+        assert model == simple_name
+        assert target is ExecutionTarget.WATCH
+        model, target = engine.select_model(config, min(9, threshold + 1))
+        if threshold < 9:
+            assert model == complex_name

@@ -1,0 +1,77 @@
+"""Tests for the Pareto-front utilities."""
+
+import pytest
+
+from repro.core.configuration import Configuration, ExecutionMode, ProfiledConfiguration
+from repro.core.pareto import is_dominated, pareto_front, pareto_indices
+
+
+def profiled(mae: float, energy_mj: float, threshold: int = 5,
+             mode: ExecutionMode = ExecutionMode.LOCAL) -> ProfiledConfiguration:
+    return ProfiledConfiguration(
+        configuration=Configuration("AT", "TimePPG-Big", threshold, mode),
+        mae_bpm=mae,
+        watch_energy_j=energy_mj * 1e-3,
+        phone_energy_j=0.0,
+        mean_latency_s=0.01,
+        offload_fraction=0.0,
+    )
+
+
+class TestIsDominated:
+    def test_strict_domination(self):
+        assert is_dominated((5.0, 5.0), [(4.0, 4.0)])
+        assert not is_dominated((4.0, 4.0), [(5.0, 5.0)])
+
+    def test_partial_improvement_dominates(self):
+        assert is_dominated((5.0, 5.0), [(5.0, 4.0)])
+        assert is_dominated((5.0, 5.0), [(4.0, 5.0)])
+
+    def test_identical_point_does_not_dominate(self):
+        assert not is_dominated((5.0, 5.0), [(5.0, 5.0)])
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not is_dominated((5.0, 3.0), [(3.0, 5.0)])
+
+
+class TestParetoIndices:
+    def test_simple_front(self):
+        points = [(1.0, 10.0), (2.0, 5.0), (3.0, 1.0), (3.0, 8.0), (5.0, 5.0)]
+        front = pareto_indices(points)
+        assert set(front) == {0, 1, 2}
+
+    def test_all_on_front(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert pareto_indices([(1.0, 1.0)]) == [0]
+
+    def test_empty(self):
+        assert pareto_indices([]) == []
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            pareto_indices([(1.0, 2.0, 3.0)])
+
+
+class TestParetoFront:
+    def test_front_sorted_by_energy(self):
+        configs = [
+            profiled(10.0, 0.2, threshold=9),
+            profiled(5.0, 0.4, threshold=6),
+            profiled(4.9, 40.0, threshold=0),
+            profiled(7.0, 0.5, threshold=7),   # dominated by the 5.0/0.4 point
+        ]
+        front = pareto_front(configs)
+        energies = [c.watch_energy_mj for c in front]
+        assert energies == sorted(energies)
+        assert all(c.mae_bpm != 7.0 for c in front)
+        assert len(front) == 3
+
+    def test_duplicates_collapsed(self):
+        configs = [profiled(5.0, 1.0, threshold=3), profiled(5.0, 1.0, threshold=4)]
+        assert len(pareto_front(configs)) == 1
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []

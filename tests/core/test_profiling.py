@@ -1,0 +1,198 @@
+"""Tests for the offline configuration profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration, ExecutionMode
+from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, ProfilingData
+from repro.eval.experiment import build_calibrated_zoo
+from repro.hw.platform import WearableSystem
+from repro.hw.profiles import PAPER_DEPLOYMENTS
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+def synthetic_profiling_data(n_per_level: int = 30, seed: int = 0) -> ProfilingData:
+    """Hand-built profiling data with uniform difficulty coverage."""
+    rng = np.random.default_rng(seed)
+    difficulty = np.repeat(np.arange(1, 10), n_per_level)
+    n = difficulty.size
+    # Per-level error scales chosen so that, in expectation, Big is the most
+    # accurate model at every difficulty level and AT degrades the fastest —
+    # the qualitative behaviour of the real models.
+    errors = {
+        "AT": rng.exponential(2.0 + 1.2 * difficulty),
+        "TimePPG-Small": rng.exponential(3.2 + 0.30 * difficulty),
+        "TimePPG-Big": rng.exponential(2.5 + 0.25 * difficulty),
+    }
+    return ProfilingData(
+        errors=errors,
+        predicted_difficulty=difficulty,
+        true_difficulty=difficulty,
+        true_hr=np.full(n, 75.0),
+    )
+
+
+class TestProfilingData:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfilingData(errors={}, predicted_difficulty=np.array([1]),
+                          true_difficulty=np.array([1]))
+        with pytest.raises(ValueError):
+            ProfilingData(errors={"AT": np.array([1.0, 2.0])},
+                          predicted_difficulty=np.array([1]),
+                          true_difficulty=np.array([1]))
+        with pytest.raises(ValueError):
+            ProfilingData(errors={"AT": np.array([-1.0])},
+                          predicted_difficulty=np.array([1]),
+                          true_difficulty=np.array([1]))
+        with pytest.raises(ValueError):
+            ProfilingData(errors={"AT": np.array([1.0])},
+                          predicted_difficulty=np.array([0]),
+                          true_difficulty=np.array([1]))
+
+    def test_model_mae(self):
+        data = synthetic_profiling_data()
+        for name in data.model_names:
+            assert data.model_mae(name) == pytest.approx(float(np.mean(data.errors[name])))
+
+    def test_from_zoo_predictions(self, small_dataset, trained_activity_classifier):
+        zoo = build_calibrated_zoo()
+        subject = small_dataset.subjects[1]
+        data = ProfilingData.from_zoo_predictions(zoo, subject, trained_activity_classifier)
+        assert data.n_windows == subject.n_windows
+        assert set(data.model_names) == set(zoo.names)
+        # Ground-truth difficulty comes straight from the window labels.
+        assert np.array_equal(data.true_difficulty, subject.difficulty)
+        # Model accuracy ordering must hold on the profiling data.
+        assert data.model_mae("TimePPG-Big") < data.model_mae("AT")
+
+    def test_from_zoo_predictions_oracle(self, small_dataset):
+        zoo = build_calibrated_zoo()
+        subject = small_dataset.subjects[0]
+        data = ProfilingData.from_zoo_predictions(zoo, subject, use_oracle_difficulty=True)
+        assert np.array_equal(data.predicted_difficulty, data.true_difficulty)
+
+    def test_classifier_required_without_oracle(self, small_dataset):
+        zoo = build_calibrated_zoo()
+        with pytest.raises(ValueError):
+            ProfilingData.from_zoo_predictions(zoo, small_dataset.subjects[0])
+
+
+class TestConfigurationProfiler:
+    def test_profile_single_configuration(self):
+        zoo = build_calibrated_zoo()
+        profiler = ConfigurationProfiler(zoo, WearableSystem())
+        data = synthetic_profiling_data()
+        config = Configuration("AT", "TimePPG-Big", 5, ExecutionMode.HYBRID)
+        profiled = profiler.profile_configuration(config, data)
+        # 5 of 9 difficulty levels handled locally -> 4/9 offloaded.
+        assert profiled.offload_fraction == pytest.approx(4 / 9, abs=0.01)
+        assert profiled.mae_bpm > 0
+        assert profiled.watch_energy_j > 0
+        assert profiled.phone_energy_j > 0
+
+    def test_threshold_extremes_match_single_models(self):
+        zoo = build_calibrated_zoo()
+        system = WearableSystem()
+        profiler = ConfigurationProfiler(zoo, system)
+        data = synthetic_profiling_data()
+        all_simple = profiler.profile_configuration(
+            Configuration("AT", "TimePPG-Big", 9, ExecutionMode.HYBRID), data
+        )
+        all_complex = profiler.profile_configuration(
+            Configuration("AT", "TimePPG-Big", 0, ExecutionMode.HYBRID), data
+        )
+        assert all_simple.mae_bpm == pytest.approx(data.model_mae("AT"))
+        assert all_simple.offload_fraction == 0.0
+        # Energy equals the AT-local per-prediction cost (Table III).
+        assert all_simple.watch_energy_j * 1e3 == pytest.approx(
+            PAPER_MODEL_STATS["AT"].watch_energy_mj, rel=0.05
+        )
+        assert all_complex.mae_bpm == pytest.approx(data.model_mae("TimePPG-Big"))
+        assert all_complex.offload_fraction == 1.0
+
+    def test_energy_decreases_with_threshold_for_hybrid_pair(self):
+        zoo = build_calibrated_zoo()
+        profiler = ConfigurationProfiler(zoo, WearableSystem())
+        data = synthetic_profiling_data()
+        energies = []
+        for threshold in range(10):
+            config = Configuration("AT", "TimePPG-Big", threshold, ExecutionMode.HYBRID)
+            energies.append(profiler.profile_configuration(config, data).watch_energy_j)
+        assert all(b <= a + 1e-12 for a, b in zip(energies, energies[1:]))
+
+    def test_profile_all_enumerates_design_space(self):
+        zoo = build_calibrated_zoo()
+        profiler = ConfigurationProfiler(zoo, WearableSystem())
+        table = profiler.profile_all(synthetic_profiling_data())
+        assert isinstance(table, ConfigurationTable)
+        assert len(table) == 60
+
+    def test_unknown_model_in_configuration(self):
+        zoo = build_calibrated_zoo()
+        profiler = ConfigurationProfiler(zoo, WearableSystem())
+        data = synthetic_profiling_data()
+        config = Configuration("AT", "Mystery", 5, ExecutionMode.LOCAL)
+        with pytest.raises(KeyError):
+            profiler.profile_configuration(config, data)
+
+    def test_profiler_needs_two_models(self):
+        from repro.core.zoo import ModelsZoo
+        with pytest.raises(ValueError):
+            ConfigurationProfiler(ModelsZoo())
+
+
+class TestConfigurationTable:
+    @pytest.fixture(scope="class")
+    def table(self) -> ConfigurationTable:
+        zoo = build_calibrated_zoo()
+        profiler = ConfigurationProfiler(zoo, WearableSystem())
+        # Enough windows per difficulty level that the per-level model
+        # ordering (Big < Small < AT error) holds in the sample means.
+        return profiler.profile_all(synthetic_profiling_data(n_per_level=200))
+
+    def test_sorted_by_energy(self, table):
+        energies = [c.watch_energy_j for c in table]
+        assert energies == sorted(energies)
+
+    def test_connection_filter(self, table):
+        connected = table.feasible(connected=True)
+        disconnected = table.feasible(connected=False)
+        assert len(connected) == 60
+        assert len(disconnected) == 30
+        assert all(c.is_local for c in disconnected)
+
+    def test_pareto_subset(self, table):
+        front = table.pareto(connected=True)
+        assert 0 < len(front) <= 60
+        # Every front member must be feasible and non-dominated.
+        for config in front:
+            others = [c for c in table if c is not config]
+            assert not any(
+                o.mae_bpm <= config.mae_bpm and o.watch_energy_j < config.watch_energy_j
+                for o in others
+            )
+
+    def test_local_pareto_spans_at_to_big(self, table):
+        """With BLE lost, the local front still spans AT-only to Big-only
+        (paper: 4.87-10.99 BPM, 0.234-41.07 mJ)."""
+        front = table.pareto(connected=False)
+        maes = [c.mae_bpm for c in front]
+        energies = [c.watch_energy_mj for c in front]
+        assert min(energies) == pytest.approx(PAPER_MODEL_STATS["AT"].watch_energy_mj, rel=0.05)
+        assert max(energies) == pytest.approx(
+            PAPER_MODEL_STATS["TimePPG-Big"].watch_energy_mj, rel=0.05
+        )
+        assert max(maes) <= max(c.mae_bpm for c in table) + 1e-9
+
+    def test_text_rendering(self, table):
+        text = table.to_text(only_pareto=True)
+        assert "MAE" in text
+        assert "AT+" in text
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationTable([])
+
+    def test_indexing(self, table):
+        assert table[0].watch_energy_j <= table[len(table) - 1].watch_energy_j

@@ -1,0 +1,85 @@
+"""Tests for the connection-aware runtime (BLE dropping and recovering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime
+
+
+@pytest.fixture()
+def runtime(oracle_experiment):
+    return CHRISRuntime(
+        zoo=oracle_experiment.zoo,
+        engine=oracle_experiment.engine,
+        system=oracle_experiment.system,
+    )
+
+
+class TestConnectionTrace:
+    def test_always_connected_matches_plain_run(self, runtime, small_dataset):
+        subject = small_dataset.subjects[1]
+        constraint = Constraint.max_mae(6.0)
+        connected = np.ones(subject.n_windows, dtype=bool)
+        traced = runtime.run_with_connection_trace(
+            subject, constraint, connected, use_oracle_difficulty=True
+        )
+        plain = runtime.run(subject, constraint, use_oracle_difficulty=True)
+        assert traced.mae_bpm == pytest.approx(plain.mae_bpm, rel=0.3)
+        assert traced.offload_fraction == pytest.approx(plain.offload_fraction, abs=0.02)
+        assert traced.mean_watch_energy_j == pytest.approx(plain.mean_watch_energy_j, rel=0.02)
+
+    def test_never_connected_never_offloads(self, runtime, small_dataset):
+        subject = small_dataset.subjects[1]
+        connected = np.zeros(subject.n_windows, dtype=bool)
+        result = runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(7.0), connected, use_oracle_difficulty=True
+        )
+        assert result.offload_fraction == 0.0
+        assert all(not d.offloaded for d in result.decisions)
+
+    def test_mid_run_disconnection_switches_configuration(self, runtime, small_dataset):
+        subject = small_dataset.subjects[2]
+        n = subject.n_windows
+        connected = np.ones(n, dtype=bool)
+        connected[n // 2:] = False
+        result = runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(6.0), connected, use_oracle_difficulty=True
+        )
+        first_half = result.decisions[: n // 2]
+        second_half = result.decisions[n // 2:]
+        # Offloading only ever happens while the link is up.
+        assert all(not d.offloaded for d in second_half)
+        assert any(d.offloaded for d in first_half)
+        # After the drop, the engine falls back to a local configuration whose
+        # decisions may use a different (local) complex model.
+        models_second = {d.model_name for d in second_half}
+        assert models_second  # non-empty; all executed locally
+        assert result.n_windows == n
+
+    def test_reconnection_resumes_offloading(self, runtime, small_dataset):
+        subject = small_dataset.subjects[2]
+        n = subject.n_windows
+        connected = np.ones(n, dtype=bool)
+        connected[n // 3: 2 * n // 3] = False
+        result = runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(6.0), connected, use_oracle_difficulty=True
+        )
+        last_third = result.decisions[2 * n // 3:]
+        assert any(d.offloaded for d in last_third)
+
+    def test_system_connection_state_restored(self, runtime, small_dataset):
+        subject = small_dataset.subjects[1]
+        before = runtime.system.ble.connected
+        connected = np.zeros(subject.n_windows, dtype=bool)
+        runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(7.0), connected, use_oracle_difficulty=True
+        )
+        assert runtime.system.ble.connected == before
+
+    def test_shape_validation(self, runtime, small_dataset):
+        subject = small_dataset.subjects[1]
+        with pytest.raises(ValueError):
+            runtime.run_with_connection_trace(
+                subject, Constraint.max_mae(6.0), np.ones(3, dtype=bool)
+            )

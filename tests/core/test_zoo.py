@@ -1,0 +1,57 @@
+"""Tests for the CHRIS models zoo."""
+
+import pytest
+
+from repro.core.zoo import ModelsZoo, ZooEntry
+from repro.eval.experiment import build_calibrated_zoo
+from repro.hw.profiles import PAPER_DEPLOYMENTS
+from repro.models.error_model import calibrated_model_zoo
+
+
+class TestModelsZoo:
+    def test_calibrated_zoo_contents(self):
+        zoo = build_calibrated_zoo()
+        assert len(zoo) == 3
+        assert set(zoo.names) == {"AT", "TimePPG-Small", "TimePPG-Big"}
+        assert "AT" in zoo
+        assert "nope" not in zoo
+
+    def test_duplicate_registration_rejected(self):
+        zoo = build_calibrated_zoo()
+        predictor = calibrated_model_zoo()["AT"]
+        with pytest.raises(ValueError):
+            zoo.add(ZooEntry(predictor=predictor, deployment=PAPER_DEPLOYMENTS["AT"]))
+
+    def test_lookup(self):
+        zoo = build_calibrated_zoo()
+        entry = zoo.entry("TimePPG-Big")
+        assert entry.name == "TimePPG-Big"
+        assert zoo.deployment("TimePPG-Big").mae_bpm == pytest.approx(4.87)
+        assert zoo.predictor("AT").info.name == "AT"
+        with pytest.raises(KeyError):
+            zoo.entry("missing")
+
+    def test_ordering_by_cost_and_accuracy(self):
+        zoo = build_calibrated_zoo()
+        by_cost = [e.name for e in zoo.ordered_by_cost()]
+        by_accuracy = [e.name for e in zoo.ordered_by_accuracy()]
+        assert by_cost == ["AT", "TimePPG-Small", "TimePPG-Big"]
+        assert by_accuracy == ["TimePPG-Big", "TimePPG-Small", "AT"]
+
+    def test_memory_footprint_matches_paper_claim(self):
+        """The watch stores at most three models; with int8 weights the
+        footprint is dominated by TimePPG-Big (~233 kB) and stays well under
+        the STM32WB55's 1 MB flash."""
+        zoo = build_calibrated_zoo()
+        footprint = zoo.memory_footprint_bytes(bytes_per_parameter=1)
+        assert footprint == 5_090 + 232_600
+        assert footprint < 1_000_000
+
+    def test_memory_footprint_validation(self):
+        with pytest.raises(ValueError):
+            build_calibrated_zoo().memory_footprint_bytes(0)
+
+    def test_empty_zoo_iteration(self):
+        zoo = ModelsZoo()
+        assert len(zoo) == 0
+        assert list(zoo) == []

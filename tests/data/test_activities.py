@@ -1,0 +1,75 @@
+"""Tests for repro.data.activities."""
+
+import pytest
+
+from repro.data.activities import (
+    ACTIVITIES,
+    ACTIVITY_DIFFICULTY,
+    NUM_DIFFICULTY_LEVELS,
+    Activity,
+    activities_by_difficulty,
+    activity_from_difficulty,
+    difficulty_of,
+    is_easy,
+)
+
+
+class TestTaxonomy:
+    def test_nine_activities(self):
+        assert len(ACTIVITIES) == 9
+        assert len(ACTIVITY_DIFFICULTY) == 9
+        assert NUM_DIFFICULTY_LEVELS == 9
+
+    def test_difficulty_levels_are_a_permutation_of_1_to_9(self):
+        assert sorted(ACTIVITY_DIFFICULTY.values()) == list(range(1, 10))
+
+    def test_known_extremes(self):
+        # Resting has the least motion, table soccer the most (paper Sec. III-A).
+        assert difficulty_of(Activity.RESTING) == 1
+        assert difficulty_of(Activity.TABLE_SOCCER) == 9
+
+    def test_sedentary_easier_than_dynamic(self):
+        assert difficulty_of(Activity.SITTING) < difficulty_of(Activity.WALKING)
+        assert difficulty_of(Activity.WORKING) < difficulty_of(Activity.STAIRS)
+        assert difficulty_of(Activity.DRIVING) < difficulty_of(Activity.CYCLING)
+
+
+class TestDifficultyLookups:
+    def test_difficulty_accepts_raw_ints(self):
+        for activity in Activity:
+            assert difficulty_of(int(activity)) == difficulty_of(activity)
+
+    def test_activities_by_difficulty_is_sorted(self):
+        ordered = activities_by_difficulty()
+        assert [difficulty_of(a) for a in ordered] == list(range(1, 10))
+
+    def test_activity_from_difficulty_roundtrip(self):
+        for level in range(1, 10):
+            assert difficulty_of(activity_from_difficulty(level)) == level
+
+    def test_activity_from_invalid_difficulty(self):
+        with pytest.raises(ValueError):
+            activity_from_difficulty(0)
+        with pytest.raises(ValueError):
+            activity_from_difficulty(10)
+
+
+class TestIsEasy:
+    def test_threshold_semantics(self):
+        # Threshold 4: the four easiest activities are "easy".
+        easy = [a for a in Activity if is_easy(a, 4)]
+        assert len(easy) == 4
+        assert Activity.RESTING in easy
+        assert Activity.TABLE_SOCCER not in easy
+
+    def test_threshold_zero_nothing_easy(self):
+        assert not any(is_easy(a, 0) for a in Activity)
+
+    def test_threshold_nine_everything_easy(self):
+        assert all(is_easy(a, 9) for a in Activity)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            is_easy(Activity.RESTING, 10)
+        with pytest.raises(ValueError):
+            is_easy(Activity.RESTING, -1)

@@ -1,0 +1,76 @@
+"""Tests for the optional real PPG-DaLiA loader.
+
+The real dataset is not available offline, so the loader is exercised with
+small fabricated pickle files that mimic its structure (nested signal
+dictionary, per-rate channels, per-window HR labels).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.dalia_loader import load_dalia_dataset, load_dalia_subject
+
+
+def write_fake_subject(path, subject_id="S1", duration_s=40.0, bpm=72.0):
+    """Write a pickle with the PPG-DaLiA field layout."""
+    fs_bvp, fs_acc, fs_act = 64.0, 32.0, 4.0
+    t_bvp = np.arange(0, duration_s, 1 / fs_bvp)
+    bvp = np.sin(2 * np.pi * (bpm / 60.0) * t_bvp)[:, None]
+    acc = np.random.default_rng(0).normal(0, 0.05, size=(int(duration_s * fs_acc), 3))
+    activity = np.ones(int(duration_s * fs_act))  # raw code 1 = sitting
+    n_labels = max(0, int((duration_s - 8.0) / 2.0) + 1)
+    labels = np.full(n_labels, bpm)
+    payload = {
+        "signal": {"wrist": {"BVP": bvp, "ACC": acc}},
+        "activity": activity,
+        "label": labels,
+        "subject": subject_id,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+
+
+class TestLoadDaliaSubject:
+    def test_loads_and_resamples(self, tmp_path):
+        path = tmp_path / "S1.pkl"
+        write_fake_subject(path, duration_s=40.0, bpm=72.0)
+        recording = load_dalia_subject(path)
+        assert recording.subject_id == "S1"
+        assert recording.fs == 32.0
+        assert recording.n_samples == pytest.approx(40.0 * 32, abs=2)
+        assert recording.accel.shape == (recording.n_samples, 3)
+        # The HR trace reflects the per-window labels.
+        assert np.allclose(recording.hr, 72.0, atol=1e-6)
+        # Raw activity code 1 (sitting) maps to the reproduction's id 0.
+        assert set(np.unique(recording.activity)) <= {0}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dalia_subject(tmp_path / "nope.pkl")
+
+    def test_malformed_pickle(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"something": 1}, handle)
+        with pytest.raises(ValueError):
+            load_dalia_subject(path)
+
+
+class TestLoadDaliaDataset:
+    def test_loads_all_subjects_in_order(self, tmp_path):
+        for i in (2, 1, 10):
+            subject_dir = tmp_path / f"S{i}"
+            subject_dir.mkdir()
+            write_fake_subject(subject_dir / f"S{i}.pkl", subject_id=f"S{i}", duration_s=20.0)
+        recordings = load_dalia_dataset(tmp_path)
+        assert [r.subject_id for r in recordings] == ["S1", "S2", "S10"]
+
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dalia_dataset(tmp_path / "absent")
+
+    def test_empty_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dalia_dataset(tmp_path)

@@ -1,0 +1,125 @@
+"""Tests for repro.data.dataset containers and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.data.activities import Activity
+from repro.data.dataset import (
+    SubjectRecording,
+    WindowedDataset,
+    WindowedSubject,
+    window_subject,
+)
+from repro.signal.windowing import WindowSpec
+
+
+def make_recording(n_samples: int = 1000, subject_id: str = "S1") -> SubjectRecording:
+    rng = np.random.default_rng(0)
+    return SubjectRecording(
+        subject_id=subject_id,
+        ppg=rng.normal(size=n_samples),
+        accel=rng.normal(size=(n_samples, 3)),
+        activity=np.full(n_samples, int(Activity.WALKING)),
+        hr=np.full(n_samples, 75.0),
+        fs=32.0,
+    )
+
+
+class TestSubjectRecording:
+    def test_basic_properties(self):
+        recording = make_recording(640)
+        assert recording.n_samples == 640
+        assert recording.duration_s == pytest.approx(20.0)
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            SubjectRecording("S1", rng.normal(size=100), rng.normal(size=(50, 3)),
+                             np.zeros(100, dtype=int), np.full(100, 70.0))
+        with pytest.raises(ValueError):
+            SubjectRecording("S1", rng.normal(size=100), rng.normal(size=(100, 2)),
+                             np.zeros(100, dtype=int), np.full(100, 70.0))
+        with pytest.raises(ValueError):
+            SubjectRecording("S1", rng.normal(size=100), rng.normal(size=(100, 3)),
+                             np.zeros(99, dtype=int), np.full(100, 70.0))
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError):
+            make_rec = make_recording(100)
+            SubjectRecording(
+                "S1", make_rec.ppg, make_rec.accel, make_rec.activity, make_rec.hr, fs=0.0
+            )
+
+
+class TestWindowSubject:
+    def test_window_counts_and_labels(self):
+        recording = make_recording(256 + 64 * 5)
+        windowed = window_subject(recording)
+        assert windowed.n_windows == 6
+        assert windowed.ppg_windows.shape == (6, 256)
+        assert windowed.accel_windows.shape == (6, 256, 3)
+        assert np.all(windowed.activity == int(Activity.WALKING))
+        assert np.allclose(windowed.hr, 75.0)
+
+    def test_difficulty_property(self):
+        recording = make_recording(512)
+        windowed = window_subject(recording)
+        assert np.all(windowed.difficulty == 7)  # walking has difficulty 7
+
+    def test_custom_spec(self):
+        recording = make_recording(400)
+        spec = WindowSpec(length=100, stride=100)
+        windowed = window_subject(recording, spec)
+        assert windowed.n_windows == 4
+        assert windowed.spec == spec
+
+    def test_hr_label_is_window_mean(self):
+        recording = make_recording(512)
+        recording.hr[:] = np.linspace(60, 80, 512)
+        windowed = window_subject(recording)
+        assert windowed.hr[0] == pytest.approx(recording.hr[:256].mean())
+
+
+class TestWindowedSubject:
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedSubject(
+                subject_id="S1",
+                ppg_windows=np.zeros((4, 256)),
+                accel_windows=np.zeros((3, 256, 3)),
+                activity=np.zeros(4, dtype=int),
+                hr=np.zeros(4),
+            )
+
+
+class TestWindowedDataset:
+    def _dataset(self) -> WindowedDataset:
+        return WindowedDataset(
+            [window_subject(make_recording(512, f"S{i + 1}")) for i in range(3)]
+        )
+
+    def test_lookup_and_selection(self):
+        dataset = self._dataset()
+        assert len(dataset) == 3
+        assert dataset.subject("S2").subject_id == "S2"
+        selected = dataset.select(["S3", "S1"])
+        assert selected.subject_ids == ["S3", "S1"]
+
+    def test_unknown_subject(self):
+        with pytest.raises(KeyError):
+            self._dataset().subject("S99")
+
+    def test_duplicate_ids_rejected(self):
+        subject = window_subject(make_recording(512, "S1"))
+        with pytest.raises(ValueError):
+            WindowedDataset([subject, subject])
+
+    def test_concatenated(self):
+        dataset = self._dataset()
+        merged = dataset.concatenated()
+        assert merged.n_windows == dataset.n_windows
+        assert merged.ppg_windows.shape[0] == sum(s.n_windows for s in dataset)
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedDataset([]).concatenated()

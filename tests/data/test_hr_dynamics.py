@@ -1,0 +1,82 @@
+"""Tests for repro.data.hr_dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.data.activities import Activity
+from repro.data.hr_dynamics import ACTIVITY_HR_PROFILE, HeartRateDynamics
+
+
+class TestSetpoints:
+    def test_every_activity_has_a_profile(self):
+        assert set(ACTIVITY_HR_PROFILE) == set(Activity)
+
+    def test_resting_is_the_lowest_setpoint(self):
+        model = HeartRateDynamics(resting_hr=60.0)
+        setpoints = {a: model.setpoint(a) for a in Activity}
+        assert min(setpoints, key=setpoints.get) == Activity.RESTING
+
+    def test_exercise_raises_setpoint(self):
+        model = HeartRateDynamics(resting_hr=60.0)
+        assert model.setpoint(Activity.STAIRS) > model.setpoint(Activity.SITTING) + 20
+
+
+class TestGeneration:
+    def test_output_shape_and_range(self):
+        model = HeartRateDynamics(resting_hr=65.0, rng=np.random.default_rng(0))
+        labels = np.full(32 * 60, int(Activity.SITTING))
+        hr = model.generate(labels)
+        assert hr.shape == labels.shape
+        assert np.all(hr >= 35.0)
+        assert np.all(hr <= 200.0)
+
+    def test_steady_state_tracks_setpoint(self):
+        model = HeartRateDynamics(resting_hr=65.0, rng=np.random.default_rng(1))
+        labels = np.full(32 * 600, int(Activity.CYCLING))
+        hr = model.generate(labels)
+        steady = hr[len(hr) // 2:]
+        assert steady.mean() == pytest.approx(model.setpoint(Activity.CYCLING), abs=12.0)
+
+    def test_hr_rises_after_activity_transition(self):
+        model = HeartRateDynamics(resting_hr=60.0, rng=np.random.default_rng(2))
+        rest = np.full(32 * 120, int(Activity.RESTING))
+        climb = np.full(32 * 120, int(Activity.STAIRS))
+        hr = model.generate(np.concatenate([rest, climb]))
+        before = hr[: 32 * 60].mean()
+        after = hr[-32 * 60:].mean()
+        assert after > before + 15.0
+
+    def test_transition_is_gradual_not_instant(self):
+        model = HeartRateDynamics(resting_hr=60.0, response_time_s=30.0, rng=np.random.default_rng(3))
+        labels = np.concatenate(
+            [np.full(32 * 60, int(Activity.RESTING)), np.full(32 * 60, int(Activity.STAIRS))]
+        )
+        hr = model.generate(labels)
+        transition_index = 32 * 60
+        just_after = hr[transition_index:transition_index + 32 * 5].mean()
+        final = hr[-32 * 20:].mean()
+        # 5 seconds after the transition the HR must still be well below its
+        # eventual steady state.
+        assert just_after < final - 10.0
+
+    def test_reproducible_with_seeded_rng(self):
+        labels = np.full(32 * 30, int(Activity.WALKING))
+        hr1 = HeartRateDynamics(rng=np.random.default_rng(7)).generate(labels)
+        hr2 = HeartRateDynamics(rng=np.random.default_rng(7)).generate(labels)
+        assert np.array_equal(hr1, hr2)
+
+    def test_empty_labels(self):
+        model = HeartRateDynamics()
+        assert model.generate(np.array([], dtype=int)).shape == (0,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HeartRateDynamics(resting_hr=0.0)
+        with pytest.raises(ValueError):
+            HeartRateDynamics(fs=-1.0)
+        with pytest.raises(ValueError):
+            HeartRateDynamics(response_time_s=0.0)
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError):
+            HeartRateDynamics().generate(np.zeros((4, 4), dtype=int))

@@ -1,0 +1,69 @@
+"""Tests for repro.data.ppg_model."""
+
+import numpy as np
+import pytest
+
+from repro.data.ppg_model import PPGSynthesizer
+from repro.signal.spectral import hr_from_spectrum
+
+
+class TestPulseShape:
+    def test_periodic_in_phase(self):
+        synth = PPGSynthesizer()
+        phase = np.linspace(0, 1, 100, endpoint=False)
+        assert np.allclose(synth.pulse_shape(phase), synth.pulse_shape(phase + 1.0))
+
+    def test_systolic_peak_dominates(self):
+        synth = PPGSynthesizer()
+        phase = np.linspace(0, 1, 1000, endpoint=False)
+        shape = synth.pulse_shape(phase)
+        peak_phase = phase[np.argmax(shape)]
+        assert peak_phase == pytest.approx(0.2, abs=0.05)
+
+
+class TestSynthesize:
+    def test_output_shape_and_zero_mean(self):
+        synth = PPGSynthesizer(rng=np.random.default_rng(0))
+        hr = np.full(32 * 30, 70.0)
+        ppg = synth.synthesize(hr)
+        assert ppg.shape == hr.shape
+        assert ppg.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominant_frequency_matches_constant_hr(self):
+        synth = PPGSynthesizer(noise_std=0.0, respiration_amplitude=0.0, rng=np.random.default_rng(1))
+        for bpm in (55.0, 72.0, 110.0, 150.0):
+            hr = np.full(32 * 16, bpm)
+            ppg = synth.synthesize(hr)
+            estimated = hr_from_spectrum(ppg[-256:], 32.0)
+            assert estimated == pytest.approx(bpm, abs=4.0)
+
+    def test_tracks_changing_hr(self):
+        synth = PPGSynthesizer(noise_std=0.0, rng=np.random.default_rng(2))
+        hr = np.concatenate([np.full(32 * 20, 60.0), np.full(32 * 20, 120.0)])
+        ppg = synth.synthesize(hr)
+        low = hr_from_spectrum(ppg[32 * 10: 32 * 10 + 256], 32.0)
+        high = hr_from_spectrum(ppg[-256:], 32.0)
+        assert low == pytest.approx(60.0, abs=6.0)
+        assert high == pytest.approx(120.0, abs=8.0)
+
+    def test_noise_increases_variability(self):
+        hr = np.full(32 * 10, 70.0)
+        clean = PPGSynthesizer(noise_std=0.0, rng=np.random.default_rng(3)).synthesize(hr)
+        noisy = PPGSynthesizer(noise_std=0.2, rng=np.random.default_rng(3)).synthesize(hr)
+        assert np.std(noisy - clean) > 0.05
+
+    def test_invalid_hr_rejected(self):
+        synth = PPGSynthesizer()
+        with pytest.raises(ValueError):
+            synth.synthesize(np.array([70.0, 0.0, 70.0]))
+        with pytest.raises(ValueError):
+            synth.synthesize(np.zeros((4, 4)))
+
+    def test_empty_input(self):
+        assert PPGSynthesizer().synthesize(np.array([])).shape == (0,)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PPGSynthesizer(fs=0.0)
+        with pytest.raises(ValueError):
+            PPGSynthesizer(systolic_width=-0.1)

@@ -1,0 +1,61 @@
+"""Tests for the paper's cross-validation protocol (repro.data.splits)."""
+
+import pytest
+
+from repro.data.splits import CrossValidationSplit, leave_subjects_out_folds
+
+
+class TestLeaveSubjectsOutFolds:
+    def test_paper_protocol_15_subjects(self):
+        subjects = [f"S{i + 1}" for i in range(15)]
+        splits = leave_subjects_out_folds(subjects, fold_size=3)
+        # Every subject is the test subject exactly once.
+        assert len(splits) == 15
+        assert sorted(s.test_subject for s in splits) == sorted(subjects)
+
+    def test_split_structure(self):
+        subjects = [f"S{i + 1}" for i in range(15)]
+        splits = leave_subjects_out_folds(subjects, fold_size=3)
+        for split in splits:
+            assert len(split.train_subjects) == 12
+            assert len(split.val_subjects) == 2
+            # No overlap between the three roles.
+            all_ids = set(split.train_subjects) | set(split.val_subjects) | {split.test_subject}
+            assert len(all_ids) == 15
+            # Validation subjects come from the same held-out fold as the test subject.
+            assert set(split.val_subjects).isdisjoint(split.train_subjects)
+
+    def test_folds_are_contiguous_groups(self):
+        subjects = [f"S{i + 1}" for i in range(6)]
+        splits = leave_subjects_out_folds(subjects, fold_size=3)
+        first_fold_splits = [s for s in splits if s.fold == 0]
+        held_out = {s.test_subject for s in first_fold_splits}
+        assert held_out == {"S1", "S2", "S3"}
+
+    def test_indivisible_subject_count_rejected(self):
+        with pytest.raises(ValueError):
+            leave_subjects_out_folds([f"S{i}" for i in range(7)], fold_size=3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            leave_subjects_out_folds(["S1", "S1", "S2"], fold_size=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            leave_subjects_out_folds([], fold_size=3)
+
+    def test_invalid_fold_size(self):
+        with pytest.raises(ValueError):
+            leave_subjects_out_folds(["S1", "S2"], fold_size=0)
+
+
+class TestCrossValidationSplit:
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            CrossValidationSplit(0, ("S1", "S2"), ("S2",), "S3")
+        with pytest.raises(ValueError):
+            CrossValidationSplit(0, ("S1", "S2"), ("S3",), "S1")
+
+    def test_all_subjects(self):
+        split = CrossValidationSplit(0, ("S1", "S2"), ("S3",), "S4")
+        assert split.all_subjects == ("S1", "S2", "S3", "S4")

@@ -1,0 +1,113 @@
+"""Tests for repro.data.synthetic (the PPG-DaLiA-like generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.activities import ACTIVITIES, ACTIVITY_DIFFICULTY, Activity
+from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
+from repro.models.adaptive_threshold import AdaptiveThresholdPredictor
+
+
+class TestConfig:
+    def test_defaults_match_ppgdalia_structure(self):
+        config = SyntheticDatasetConfig()
+        assert config.n_subjects == 15
+        assert config.fs == 32.0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(n_subjects=0)
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(activity_duration_s=-1)
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(artifact_scale=-0.5)
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(resting_hr_range=(80.0, 60.0))
+
+
+class TestGenerateSubject:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return SyntheticDaliaGenerator(
+            SyntheticDatasetConfig(n_subjects=3, activity_duration_s=30.0, seed=42)
+        )
+
+    def test_channel_shapes_consistent(self, generator):
+        recording = generator.generate_subject(0)
+        n = recording.n_samples
+        assert recording.ppg.shape == (n,)
+        assert recording.accel.shape == (n, 3)
+        assert recording.activity.shape == (n,)
+        assert recording.hr.shape == (n,)
+
+    def test_every_activity_appears_once(self, generator):
+        recording = generator.generate_subject(0)
+        present = set(np.unique(recording.activity))
+        assert present == {int(a) for a in ACTIVITIES}
+        # Each activity bout has the configured duration.
+        for activity in ACTIVITIES:
+            count = np.sum(recording.activity == int(activity))
+            assert count == int(30.0 * 32)
+
+    def test_subjects_differ_but_are_reproducible(self, generator):
+        a0 = generator.generate_subject(0)
+        a1 = generator.generate_subject(1)
+        assert not np.allclose(a0.ppg[:500], a1.ppg[:500])
+        again = generator.generate_subject(0)
+        assert np.array_equal(a0.ppg, again.ppg)
+        assert np.array_equal(a0.hr, again.hr)
+
+    def test_subject_ids(self, generator):
+        assert generator.subject_ids() == ["S1", "S2", "S3"]
+        assert generator.generate_subject(2).subject_id == "S3"
+
+    def test_out_of_range_index(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_subject(3)
+
+    def test_hr_in_physiological_range(self, generator):
+        recording = generator.generate_subject(1)
+        assert np.all(recording.hr >= 35.0)
+        assert np.all(recording.hr <= 200.0)
+
+
+class TestArtifactScaling:
+    def test_artifact_scale_zero_gives_cleaner_ppg(self):
+        base = dict(n_subjects=1, activity_duration_s=30.0, seed=9, shuffle_activities=False)
+        clean = SyntheticDaliaGenerator(
+            SyntheticDatasetConfig(artifact_scale=0.0, **base)
+        ).generate_subject(0)
+        noisy = SyntheticDaliaGenerator(
+            SyntheticDatasetConfig(artifact_scale=2.0, **base)
+        ).generate_subject(0)
+        # During the hardest activity, the noisy PPG deviates much more.
+        mask = clean.activity == int(Activity.TABLE_SOCCER)
+        assert np.std(noisy.ppg[mask]) > 1.5 * np.std(clean.ppg[mask])
+
+    def test_difficulty_ordering_reflected_in_at_error(self):
+        """The HR-estimation error of AT must grow from easy to hard activities."""
+        config = SyntheticDatasetConfig(n_subjects=2, activity_duration_s=60.0, seed=3)
+        dataset = SyntheticDaliaGenerator(config).generate_windowed()
+        at = AdaptiveThresholdPredictor()
+        easy_errors, hard_errors = [], []
+        for subject in dataset:
+            at.reset()
+            predictions = at.predict(subject.ppg_windows)
+            errors = np.abs(predictions - subject.hr)
+            difficulty = subject.difficulty
+            easy_errors.extend(errors[difficulty <= 3])
+            hard_errors.extend(errors[difficulty >= 7])
+        assert np.mean(hard_errors) > 2.0 * np.mean(easy_errors)
+
+
+class TestGenerateWindowed:
+    def test_windowed_dataset_structure(self):
+        config = SyntheticDatasetConfig(n_subjects=2, activity_duration_s=20.0, seed=1)
+        dataset = SyntheticDaliaGenerator(config).generate_windowed()
+        assert len(dataset) == 2
+        assert dataset.subject_ids == ["S1", "S2"]
+        for subject in dataset:
+            assert subject.ppg_windows.shape[1] == 256
+            assert subject.accel_windows.shape[1:] == (256, 3)
+            assert subject.n_windows == subject.hr.shape[0]
+            assert np.all((subject.difficulty >= 1) & (subject.difficulty <= 9))

@@ -1,0 +1,100 @@
+"""Tests for the experiment assembly helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.eval.experiment import (
+    BaselinePoint,
+    CalibratedExperiment,
+    baseline_points,
+    build_calibrated_zoo,
+    make_profiling_data,
+)
+from repro.hw.profiles import ExecutionTarget
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+class TestBuildCalibratedZoo:
+    def test_zoo_pairs_predictors_with_paper_deployments(self):
+        zoo = build_calibrated_zoo()
+        for entry in zoo:
+            assert entry.deployment.mae_bpm == PAPER_MODEL_STATS[entry.name].mae_bpm
+            assert entry.predictor.info.name == entry.name
+
+
+class TestBaselinePoints:
+    def test_six_baselines_for_three_models(self, calibrated_experiment):
+        baselines = calibrated_experiment.baselines
+        assert len(baselines) == 6
+        labels = {b.label() for b in baselines}
+        assert "AT@watch" in labels
+        assert "TimePPG-Big@phone" in labels
+
+    def test_watch_baselines_match_table3(self):
+        zoo = build_calibrated_zoo()
+        points = baseline_points(zoo)
+        for point in points:
+            if point.target is ExecutionTarget.WATCH:
+                expected = PAPER_MODEL_STATS[point.model_name].watch_energy_mj
+                assert point.watch_energy_mj == pytest.approx(expected, rel=0.05)
+
+    def test_offloaded_baselines_share_the_ble_cost(self):
+        zoo = build_calibrated_zoo()
+        points = [p for p in baseline_points(zoo) if p.target is ExecutionTarget.PHONE]
+        energies = {p.watch_energy_mj for p in points}
+        # The watch-side cost of offloading does not depend on the model.
+        assert max(energies) - min(energies) < 1e-9
+
+    def test_lookup_unknown_baseline(self, calibrated_experiment):
+        with pytest.raises(KeyError):
+            calibrated_experiment.baseline("nope", ExecutionTarget.WATCH)
+
+
+class TestMakeProfilingData:
+    def test_rf_and_oracle_paths(self):
+        zoo = build_calibrated_zoo()
+        data_rf, dataset, classifier = make_profiling_data(
+            zoo, n_subjects=4, activity_duration_s=30.0, seed=3
+        )
+        assert classifier is not None
+        assert data_rf.n_windows > 0
+        assert len(dataset) == 4
+        data_oracle, _, no_classifier = make_profiling_data(
+            zoo, n_subjects=2, activity_duration_s=30.0, seed=3, use_oracle_difficulty=True
+        )
+        assert no_classifier is None
+        assert np.array_equal(data_oracle.predicted_difficulty, data_oracle.true_difficulty)
+
+    def test_difficulty_detector_is_mostly_right(self):
+        zoo = build_calibrated_zoo()
+        data, _, _ = make_profiling_data(zoo, n_subjects=4, activity_duration_s=30.0, seed=5)
+        agreement = np.mean(data.predicted_difficulty == data.true_difficulty)
+        assert agreement > 0.6
+
+
+class TestCalibratedExperiment:
+    def test_build_produces_full_design_space(self, calibrated_experiment):
+        assert len(calibrated_experiment.table) == 60
+        assert len(calibrated_experiment.baselines) == 6
+
+    def test_selected_configuration_beats_small_local_baseline(self, oracle_experiment):
+        """The core CHRIS result: same accuracy as TimePPG-Small at a lower
+        smartwatch energy."""
+        selected = oracle_experiment.select(Constraint.max_mae(5.60))
+        small_local = oracle_experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+        assert selected.mae_bpm <= 5.60
+        reduction = oracle_experiment.energy_reduction_vs(selected, small_local)
+        assert reduction > 1.4
+
+    def test_selection_respects_disconnection(self, oracle_experiment):
+        connected = oracle_experiment.select(Constraint.max_mae(5.60), connected=True)
+        disconnected = oracle_experiment.select(Constraint.max_mae(5.60), connected=False)
+        assert disconnected.is_local
+        assert disconnected.watch_energy_j >= connected.watch_energy_j
+
+    def test_model_maes_match_calibration_targets(self, oracle_experiment):
+        data = oracle_experiment.data
+        assert data.model_mae("AT") == pytest.approx(10.99, rel=0.12)
+        assert data.model_mae("TimePPG-Small") == pytest.approx(5.60, rel=0.12)
+        assert data.model_mae("TimePPG-Big") == pytest.approx(4.87, rel=0.12)

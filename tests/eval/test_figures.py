@@ -1,0 +1,110 @@
+"""Tests for the figure data-series generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ExecutionMode
+from repro.eval.figures import (
+    fig3_baseline_bars,
+    fig4_configuration_space,
+    fig5_threshold_sweep,
+    local_only_pareto,
+)
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+class TestFig3:
+    def test_bars_ordered_by_cost_and_match_table3(self, calibrated_experiment):
+        series = fig3_baseline_bars(calibrated_experiment)
+        assert series.model_names == ("AT", "TimePPG-Small", "TimePPG-Big")
+        for name, watch, phone in zip(series.model_names, series.watch_compute_mj,
+                                      series.phone_compute_mj):
+            stats = PAPER_MODEL_STATS[name]
+            assert watch == pytest.approx(stats.watch_energy_mj, rel=0.05)
+            assert phone == pytest.approx(stats.phone_energy_mj, rel=0.02)
+        # BLE energy is the same bar for every model.
+        assert len(set(round(b, 6) for b in series.ble_mj)) == 1
+        assert series.ble_mj[0] == pytest.approx(0.52, rel=0.02)
+
+    def test_mae_ordering(self, calibrated_experiment):
+        series = fig3_baseline_bars(calibrated_experiment)
+        maes = dict(zip(series.model_names, series.mae_bpm))
+        assert maes["TimePPG-Big"] < maes["TimePPG-Small"] < maes["AT"]
+
+
+class TestFig4:
+    def test_configuration_cloud_counts(self, oracle_experiment):
+        series = fig4_configuration_space(oracle_experiment)
+        assert series.n_configurations == 60
+        assert len(series.local_points) == 30
+        assert len(series.hybrid_points) == 30
+        assert len(series.pareto_points) >= 3
+
+    def test_selections_satisfy_their_constraints(self, oracle_experiment):
+        series = fig4_configuration_space(oracle_experiment)
+        assert series.selection_constraint1.mae_bpm <= 5.60
+        assert series.selection_constraint2.mae_bpm <= 7.20
+        # Relaxing the constraint can only reduce (or keep) the energy.
+        assert (series.selection_constraint2.watch_energy_j
+                <= series.selection_constraint1.watch_energy_j + 1e-12)
+
+    def test_constraint1_selection_is_a_hybrid_at_big_configuration(self, oracle_experiment):
+        """The paper's Sel. Model 1 combines AT (local) with TimePPG-Big
+        offloaded to the phone."""
+        series = fig4_configuration_space(oracle_experiment)
+        config = series.selection_constraint1.configuration
+        assert config.mode is ExecutionMode.HYBRID
+        assert config.simple_model == "AT"
+        assert config.complex_model == "TimePPG-Big"
+
+    def test_baselines_present(self, oracle_experiment):
+        series = fig4_configuration_space(oracle_experiment)
+        labels = [label for label, _, _ in series.baseline_points]
+        assert "AT@watch" in labels
+        assert "TimePPG-Big@phone" in labels
+
+
+class TestFig5:
+    def test_sweep_covers_all_thresholds(self, oracle_experiment):
+        series = fig5_threshold_sweep(oracle_experiment)
+        assert series.thresholds == tuple(range(10))
+        assert len(series.mae_bpm) == 10
+
+    def test_mae_increases_and_energy_decreases_with_threshold(self, oracle_experiment):
+        series = fig5_threshold_sweep(oracle_experiment)
+        maes = series.mae_bpm
+        totals = series.watch_total_mj
+        # Energy falls monotonically as more windows stay on the watch.
+        assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:]))
+        # Error grows once AT starts handling genuinely hard windows; on the
+        # very easiest activities AT can match or beat the DNN, so the strict
+        # monotonicity only holds from the mid-range thresholds on.
+        assert all(b >= a - 0.15 for a, b in zip(maes[4:], maes[5:]))
+        assert maes[-1] > maes[0] + 2.0
+
+    def test_offload_fraction_falls_from_one_to_zero(self, oracle_experiment):
+        series = fig5_threshold_sweep(oracle_experiment)
+        assert series.offload_fraction[0] == pytest.approx(1.0)
+        assert series.offload_fraction[-1] == pytest.approx(0.0)
+        assert all(b <= a + 1e-9 for a, b in zip(series.offload_fraction,
+                                                 series.offload_fraction[1:]))
+
+    def test_radio_energy_proportional_to_offloading(self, oracle_experiment):
+        series = fig5_threshold_sweep(oracle_experiment)
+        radio = np.array(series.watch_radio_mj)
+        offload = np.array(series.offload_fraction)
+        assert np.allclose(radio, offload * radio[0], atol=1e-6)
+
+    def test_local_mode_sweep_has_no_radio_energy(self, oracle_experiment):
+        series = fig5_threshold_sweep(
+            oracle_experiment, simple_model="AT", complex_model="TimePPG-Small",
+            mode=ExecutionMode.LOCAL,
+        )
+        assert all(r == 0.0 for r in series.watch_radio_mj)
+
+
+class TestLocalOnlyPareto:
+    def test_only_local_configurations(self, oracle_experiment):
+        front = local_only_pareto(oracle_experiment.table)
+        assert front
+        assert all(c.is_local for c in front)

@@ -1,0 +1,48 @@
+"""Tests for the text reporting helpers."""
+
+import pytest
+
+from repro.eval.reporting import ComparisonRow, comparison_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["model", "MAE"], [["AT", "10.99"], ["TimePPG-Small", "5.60"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "model" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "TimePPG-Small" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_non_string_cells_converted(self):
+        text = format_table(["x"], [[1.5], [None]])
+        assert "1.5" in text
+        assert "None" in text
+
+
+class TestComparisonTable:
+    def test_ratio_computation(self):
+        row = ComparisonRow("energy reduction", paper_value=2.03, measured_value=1.86, unit="x")
+        assert row.ratio == pytest.approx(1.86 / 2.03)
+
+    def test_zero_paper_value_gives_nan_ratio(self):
+        row = ComparisonRow("something", paper_value=0.0, measured_value=1.0)
+        assert row.ratio != row.ratio  # NaN
+
+    def test_rendered_table_contains_all_rows(self):
+        rows = [
+            ComparisonRow("MAE @ constraint 1", 5.54, 5.19, "BPM"),
+            ComparisonRow("energy reduction vs Small-local", 2.03, 1.86, "x"),
+        ]
+        text = comparison_table(rows)
+        assert "MAE @ constraint 1" in text
+        assert "5.54" in text and "5.19" in text
+        assert "measured/paper" in text

@@ -1,0 +1,50 @@
+"""Tests for the battery/lifetime model."""
+
+import pytest
+
+from repro.hw.battery import Battery, estimate_lifetime_hours
+
+
+class TestBattery:
+    def test_hwatch_capacity(self):
+        battery = Battery()
+        # 370 mAh at 3.7 V = 4.93 kJ.
+        assert battery.capacity_j == pytest.approx(370e-3 * 3600 * 3.7, rel=1e-6)
+        assert battery.usable_energy_j < battery.capacity_j
+
+    def test_lifetime_inverse_in_power(self):
+        battery = Battery()
+        assert battery.lifetime_hours(0.001) == pytest.approx(2 * battery.lifetime_hours(0.002))
+
+    def test_predictions_per_charge(self):
+        battery = Battery(capacity_mah=100, voltage_v=1.0, usable_fraction=1.0)
+        # 100 mAh @ 1 V = 360 J; 1 mJ per prediction -> ~360k predictions
+        # (floor division, so floating-point rounding may drop one).
+        assert battery.predictions_per_charge(1e-3) in (359_999, 360_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ValueError):
+            Battery(usable_fraction=0.0)
+        with pytest.raises(ValueError):
+            Battery().lifetime_hours(0.0)
+        with pytest.raises(ValueError):
+            Battery().predictions_per_charge(0.0)
+
+
+class TestLifetimeEstimate:
+    def test_lower_energy_longer_life(self):
+        high = estimate_lifetime_hours(0.735e-3)  # TimePPG-Small on the watch
+        low = estimate_lifetime_hours(0.290e-3)   # a CHRIS hybrid configuration
+        assert low > 2 * high
+
+    def test_continuous_tracking_order_of_magnitude(self):
+        # At ~0.36 mJ / 2 s (the CHRIS selection), the 370 mAh battery should
+        # last on the order of weeks, not minutes.
+        hours = estimate_lifetime_hours(0.36e-3)
+        assert 1000 < hours < 20000
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            estimate_lifetime_hours(1e-3, prediction_period_s=0.0)

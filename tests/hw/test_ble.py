@@ -1,0 +1,73 @@
+"""Tests for the BLE link model."""
+
+import pytest
+
+from repro.hw.ble import (
+    PAPER_WINDOW_TX_ENERGY_J,
+    PAPER_WINDOW_TX_TIME_S,
+    WINDOW_PAYLOAD_BYTES,
+    BLELink,
+    BLEPacketizer,
+)
+
+
+class TestPacketizer:
+    def test_packet_count(self):
+        packetizer = BLEPacketizer(mtu_bytes=244)
+        assert packetizer.n_packets(0) == 0
+        assert packetizer.n_packets(1) == 1
+        assert packetizer.n_packets(244) == 1
+        assert packetizer.n_packets(245) == 2
+        assert packetizer.n_packets(WINDOW_PAYLOAD_BYTES) == 9
+
+    def test_on_air_bytes_includes_overhead(self):
+        packetizer = BLEPacketizer(mtu_bytes=100, packet_overhead_bytes=10)
+        assert packetizer.on_air_bytes(250) == 250 + 3 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BLEPacketizer(mtu_bytes=0)
+        with pytest.raises(ValueError):
+            BLEPacketizer(packet_overhead_bytes=-1)
+        with pytest.raises(ValueError):
+            BLEPacketizer().n_packets(-5)
+
+
+class TestBLELink:
+    def test_window_payload_constant(self):
+        # 256 samples x 4 channels x 2 bytes.
+        assert WINDOW_PAYLOAD_BYTES == 2048
+
+    def test_calibrated_link_reproduces_paper_window_cost(self):
+        link = BLELink.calibrated_to_paper()
+        time_s, energy_j = link.window_transmission()
+        assert time_s == pytest.approx(PAPER_WINDOW_TX_TIME_S, rel=0.01)
+        assert energy_j == pytest.approx(PAPER_WINDOW_TX_ENERGY_J, rel=0.01)
+
+    def test_energy_scales_with_payload(self):
+        link = BLELink.calibrated_to_paper()
+        small = link.transmission_energy_j(64 * 4 * 2)   # only the new samples
+        full = link.transmission_energy_j(WINDOW_PAYLOAD_BYTES)
+        assert small < full
+        assert small > 0.0
+
+    def test_time_monotone_in_payload(self):
+        link = BLELink()
+        times = [link.transmission_time_s(n) for n in (100, 1000, 5000)]
+        assert times == sorted(times)
+
+    def test_connection_toggling(self):
+        link = BLELink(connected=True)
+        assert link.connected
+        link.disconnect()
+        assert not link.connected
+        link.reconnect()
+        assert link.connected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BLELink(tx_power_w=0.0)
+        with pytest.raises(ValueError):
+            BLELink(throughput_bps=-1.0)
+        with pytest.raises(ValueError):
+            BLELink(connection_event_overhead_s=-0.1)

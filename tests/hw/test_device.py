@@ -1,0 +1,107 @@
+"""Tests for the generic device and latency models."""
+
+import numpy as np
+import pytest
+
+from repro.hw.device import CalibrationPoint, ComputeDevice, ExecutionResult, PowerLawLatencyModel
+from repro.hw.power import PowerProfile
+
+
+class TestPowerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerProfile(active_w=0.0, idle_w=0.0)
+        with pytest.raises(ValueError):
+            PowerProfile(active_w=1.0, idle_w=-1.0)
+        with pytest.raises(ValueError):
+            PowerProfile(active_w=1.0, idle_w=0.0, supply_efficiency=1.5)
+
+    def test_battery_energy_accounts_for_converter_losses(self):
+        profile = PowerProfile(active_w=1.0, idle_w=0.0, supply_efficiency=0.9)
+        assert profile.battery_energy_j(0.9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            profile.battery_energy_j(-1.0)
+
+
+class TestPowerLawLatencyModel:
+    def test_single_point_is_proportional(self):
+        model = PowerLawLatencyModel([CalibrationPoint(1000, 5000)])
+        assert model.exponent == pytest.approx(1.0)
+        assert model.cycles_for(2000) == pytest.approx(10000, rel=1e-6)
+
+    def test_exact_fit_through_two_points_on_a_power_law(self):
+        # cycles = 10 * ops^0.8
+        points = [
+            CalibrationPoint(10_000, int(10 * 10_000 ** 0.8)),
+            CalibrationPoint(1_000_000, int(10 * 1_000_000 ** 0.8)),
+        ]
+        model = PowerLawLatencyModel(points)
+        assert model.exponent == pytest.approx(0.8, abs=0.01)
+        assert model.cycles_for(100_000) == pytest.approx(10 * 100_000 ** 0.8, rel=0.02)
+
+    def test_monotonically_increasing(self):
+        model = PowerLawLatencyModel(
+            [CalibrationPoint(3_000, 100_000), CalibrationPoint(12_270_000, 103_160_000)]
+        )
+        ops = np.logspace(3, 7, 20).astype(int)
+        cycles = [model.cycles_for(int(o)) for o in ops]
+        assert all(b > a for a, b in zip(cycles, cycles[1:]))
+
+    def test_relative_error_reported(self):
+        points = [
+            CalibrationPoint(3_000, 100_000),
+            CalibrationPoint(77_630, 1_365_000),
+            CalibrationPoint(12_270_000, 103_160_000),
+        ]
+        model = PowerLawLatencyModel(points)
+        assert model.relative_error() < 0.25
+
+    def test_fixed_exponent(self):
+        model = PowerLawLatencyModel([CalibrationPoint(100, 1000)], exponent=1.0)
+        assert model.cycles_for(200) == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawLatencyModel([])
+        with pytest.raises(ValueError):
+            CalibrationPoint(0, 100)
+        with pytest.raises(ValueError):
+            CalibrationPoint(100, 0)
+        model = PowerLawLatencyModel([CalibrationPoint(100, 1000)])
+        with pytest.raises(ValueError):
+            model.cycles_for(0)
+
+
+class TestComputeDevice:
+    def _device(self) -> ComputeDevice:
+        return ComputeDevice(
+            name="test",
+            frequency_hz=100e6,
+            power=PowerProfile(active_w=0.02, idle_w=0.001),
+            latency_model=PowerLawLatencyModel([CalibrationPoint(1000, 10_000)]),
+        )
+
+    def test_execute_cycles(self):
+        result = self._device().execute_cycles(1_000_000)
+        assert isinstance(result, ExecutionResult)
+        assert result.time_s == pytest.approx(0.01)
+        assert result.energy_j == pytest.approx(0.02 * 0.01)
+        assert result.time_ms == pytest.approx(10.0)
+        assert result.energy_mj == pytest.approx(0.2)
+
+    def test_execute_operations_uses_latency_model(self):
+        result = self._device().execute_operations(1000)
+        assert result.cycles == 10_000
+        assert result.time_s == pytest.approx(1e-4)
+
+    def test_idle_energy(self):
+        assert self._device().idle_energy(2.0) == pytest.approx(0.002)
+        with pytest.raises(ValueError):
+            self._device().idle_energy(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeDevice("x", 0.0, PowerProfile(1.0, 0.0),
+                          PowerLawLatencyModel([CalibrationPoint(1, 1)]))
+        with pytest.raises(ValueError):
+            self._device().execute_cycles(0)

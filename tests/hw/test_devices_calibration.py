@@ -1,0 +1,72 @@
+"""Tests that the MCU/phone models reproduce the paper's Table III."""
+
+import pytest
+
+from repro.hw.mcu import STM32WB55, make_smartwatch_mcu
+from repro.hw.mobile import RaspberryPi3, make_phone_processor
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+class TestSTM32WB55:
+    def test_nominal_parameters(self):
+        mcu = make_smartwatch_mcu()
+        assert mcu.frequency_hz == pytest.approx(64e6)
+        assert mcu.name == "STM32WB55"
+        assert mcu.power.supply_efficiency == pytest.approx(0.90)
+
+    def test_cycle_model_reproduces_table3_cycles(self):
+        mcu = STM32WB55()
+        for stats in PAPER_MODEL_STATS.values():
+            predicted = mcu.latency_model.cycles_for(stats.operations)
+            assert predicted == pytest.approx(stats.watch_cycles, rel=0.25), stats.name
+
+    def test_execution_time_from_published_cycles(self):
+        mcu = STM32WB55()
+        for stats in PAPER_MODEL_STATS.values():
+            result = mcu.execute_cycles(stats.watch_cycles)
+            assert result.time_ms == pytest.approx(stats.watch_time_ms, rel=0.01), stats.name
+
+    def test_active_plus_idle_energy_reproduces_table3(self):
+        """Published per-prediction energies = active energy + idle for the
+        rest of the 2-second prediction period."""
+        mcu = STM32WB55()
+        period = 2.0
+        for stats in PAPER_MODEL_STATS.values():
+            exec_result = mcu.execute_cycles(stats.watch_cycles)
+            idle = mcu.idle_energy(max(0.0, period - exec_result.time_s))
+            total_mj = (exec_result.energy_j + idle) * 1e3
+            assert total_mj == pytest.approx(stats.watch_energy_mj, rel=0.05), stats.name
+
+    def test_idle_power_is_orders_of_magnitude_below_active(self):
+        mcu = STM32WB55()
+        assert mcu.power.idle_w < mcu.power.active_w / 100
+
+
+class TestRaspberryPi3:
+    def test_nominal_parameters(self):
+        phone = make_phone_processor()
+        assert phone.frequency_hz == pytest.approx(600e6)
+        assert phone.power.active_w == pytest.approx(1.60)
+
+    def test_latency_model_reproduces_table3_times(self):
+        phone = RaspberryPi3()
+        for stats in PAPER_MODEL_STATS.values():
+            result = phone.execute_operations(stats.operations)
+            assert result.time_ms == pytest.approx(stats.phone_time_ms, rel=0.25), stats.name
+
+    def test_energy_reproduces_table3(self):
+        phone = RaspberryPi3()
+        for stats in PAPER_MODEL_STATS.values():
+            # Using the published execution time directly, energy = P * t.
+            energy_mj = phone.power.active_w * stats.phone_time_ms
+            assert energy_mj == pytest.approx(stats.phone_energy_mj, rel=0.05), stats.name
+
+    def test_phone_is_faster_but_hungrier_than_watch(self):
+        """The paper's observation: the phone runs the big model ~100x faster
+        but at ~60x the power."""
+        mcu, phone = STM32WB55(), RaspberryPi3()
+        big = PAPER_MODEL_STATS["TimePPG-Big"]
+        watch_time = mcu.execute_cycles(big.watch_cycles).time_s
+        phone_time = phone.execute_operations(big.operations).time_s
+        assert watch_time > 50 * phone_time
+        assert phone.power.active_w > 30 * mcu.power.active_w

@@ -1,0 +1,94 @@
+"""Tests for the per-model deployment profiles."""
+
+import pytest
+
+from repro.hw.profiles import (
+    PAPER_BLE_WINDOW_TX,
+    PAPER_DEPLOYMENTS,
+    ExecutionTarget,
+    ModelDeployment,
+    build_deployment,
+    build_deployment_table,
+    deployment_for,
+)
+from repro.models.base import PredictorInfo
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+class TestPaperDeployments:
+    def test_all_three_models_present(self):
+        assert set(PAPER_DEPLOYMENTS) == {"AT", "TimePPG-Small", "TimePPG-Big"}
+
+    def test_times_match_table3(self):
+        for name, deployment in PAPER_DEPLOYMENTS.items():
+            stats = PAPER_MODEL_STATS[name]
+            assert deployment.watch_time_s == pytest.approx(stats.watch_time_ms * 1e-3)
+            assert deployment.phone_time_s == pytest.approx(stats.phone_time_ms * 1e-3)
+            assert deployment.mae_bpm == stats.mae_bpm
+
+    def test_watch_active_energy_below_published_total(self):
+        """Published energies include idle; the stored active part is smaller."""
+        for name, deployment in PAPER_DEPLOYMENTS.items():
+            assert deployment.watch_active_energy_j * 1e3 < PAPER_MODEL_STATS[name].watch_energy_mj
+
+    def test_target_accessors(self):
+        deployment = deployment_for("TimePPG-Small")
+        assert deployment.time_s(ExecutionTarget.WATCH) == deployment.watch_time_s
+        assert deployment.active_energy_j(ExecutionTarget.PHONE) == deployment.phone_active_energy_j
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            deployment_for("nope")
+
+    def test_ble_constant(self):
+        time_s, energy_j = PAPER_BLE_WINDOW_TX
+        assert time_s == pytest.approx(10.24e-3)
+        assert energy_j == pytest.approx(0.52e-3)
+
+
+class TestBuildDeployment:
+    def test_derived_deployment_for_new_model(self):
+        info = PredictorInfo(name="SpectralTracker", n_parameters=0, macs_per_window=60_000)
+        deployment = build_deployment(info, mae_bpm=7.5)
+        assert deployment.name == "SpectralTracker"
+        assert deployment.mae_bpm == 7.5
+        # Cost must land between AT's and TimePPG-Small's (60k ops is between
+        # 3k and 77.6k).
+        assert PAPER_DEPLOYMENTS["AT"].watch_active_energy_j < deployment.watch_active_energy_j
+        assert deployment.watch_active_energy_j < PAPER_DEPLOYMENTS["TimePPG-Big"].watch_active_energy_j
+
+    def test_zero_ops_rejected(self):
+        info = PredictorInfo(name="X", n_parameters=0, macs_per_window=0)
+        with pytest.raises(ValueError):
+            build_deployment(info, mae_bpm=5.0)
+
+    def test_validation_of_deployment_fields(self):
+        with pytest.raises(ValueError):
+            ModelDeployment("X", 5.0, 100, 100, 0.0, 1e-3, 1e-3, 1e-3)
+
+
+class TestBuildDeploymentTable:
+    def test_paper_models_use_paper_numbers(self):
+        infos = [
+            PredictorInfo("AT", 0, 3000),
+            PredictorInfo("TimePPG-Small", 5090, 77_630),
+        ]
+        table = build_deployment_table(infos, maes={"AT": 10.99, "TimePPG-Small": 5.60})
+        assert table["AT"].watch_cycles == PAPER_MODEL_STATS["AT"].watch_cycles
+
+    def test_measured_mae_overrides_paper_mae(self):
+        infos = [PredictorInfo("AT", 0, 3000)]
+        table = build_deployment_table(infos, maes={"AT": 12.5})
+        assert table["AT"].mae_bpm == 12.5
+        assert table["AT"].watch_time_s == PAPER_DEPLOYMENTS["AT"].watch_time_s
+
+    def test_unknown_model_requires_mae(self):
+        infos = [PredictorInfo("Custom", 10, 1000)]
+        with pytest.raises(KeyError):
+            build_deployment_table(infos, maes={})
+
+    def test_non_paper_model_derived_from_devices(self):
+        infos = [PredictorInfo("Custom", 10, 500_000)]
+        table = build_deployment_table(infos, maes={"Custom": 6.0})
+        assert table["Custom"].operations == 500_000
+        assert table["Custom"].watch_active_energy_j > 0

@@ -1,0 +1,102 @@
+"""Tests for the energy-trace accounting."""
+
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime
+from repro.hw.platform import WearableSystem
+from repro.hw.profiles import PAPER_DEPLOYMENTS, ExecutionTarget
+from repro.hw.trace import EnergyBreakdown, EnergyTrace
+
+
+@pytest.fixture()
+def system() -> WearableSystem:
+    return WearableSystem()
+
+
+class TestEnergyBreakdown:
+    def test_totals_and_fractions(self):
+        breakdown = EnergyBreakdown(
+            watch_compute_j=1.0, watch_radio_j=2.0, watch_idle_j=1.0, phone_compute_j=4.0
+        )
+        assert breakdown.watch_total_j == pytest.approx(4.0)
+        assert breakdown.system_total_j == pytest.approx(8.0)
+        assert breakdown.fraction("radio") == pytest.approx(0.5)
+        assert breakdown.fraction("compute") == pytest.approx(0.25)
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            EnergyBreakdown().fraction("gpu")
+
+    def test_empty_breakdown_fraction_is_zero(self):
+        assert EnergyBreakdown().fraction("idle") == 0.0
+
+
+class TestEnergyTrace:
+    def test_record_and_aggregate_local_predictions(self, system):
+        trace = EnergyTrace()
+        cost = system.local_prediction_cost(PAPER_DEPLOYMENTS["AT"])
+        for _ in range(10):
+            trace.record(cost)
+        assert trace.n_predictions == 10
+        assert trace.duration_s == pytest.approx(20.0)
+        breakdown = trace.breakdown()
+        assert breakdown.watch_radio_j == 0.0
+        assert breakdown.watch_total_j == pytest.approx(10 * cost.watch_total_j)
+        # AT-local: the idle energy dominates the per-prediction budget.
+        assert breakdown.fraction("idle") > 0.5
+
+    def test_offloaded_predictions_show_radio_share(self, system):
+        trace = EnergyTrace()
+        cost = system.offloaded_prediction_cost(PAPER_DEPLOYMENTS["TimePPG-Big"])
+        trace.extend([cost] * 5)
+        breakdown = trace.breakdown()
+        assert breakdown.fraction("radio") > 0.5
+        assert breakdown.phone_compute_j == pytest.approx(5 * 25.60e-3, rel=0.01)
+
+    def test_average_power_matches_table3_interpretation(self, system):
+        """AT-local at one prediction per 2 s -> ~0.117 mW average power."""
+        trace = EnergyTrace()
+        trace.extend([system.local_prediction_cost(PAPER_DEPLOYMENTS["AT"])] * 20)
+        assert trace.average_watch_power_w() == pytest.approx(0.234e-3 / 2.0, rel=0.05)
+
+    def test_duty_cycle_reflects_model_latency(self, system):
+        big = EnergyTrace()
+        big.extend([system.local_prediction_cost(PAPER_DEPLOYMENTS["TimePPG-Big"])] * 3)
+        at = EnergyTrace()
+        at.extend([system.local_prediction_cost(PAPER_DEPLOYMENTS["AT"])] * 3)
+        assert big.duty_cycle() > 0.5
+        assert at.duty_cycle() < 0.01
+
+    def test_battery_lifetime_ordering(self, system):
+        cheap = EnergyTrace()
+        cheap.extend([system.local_prediction_cost(PAPER_DEPLOYMENTS["AT"])] * 4)
+        expensive = EnergyTrace()
+        expensive.extend([system.local_prediction_cost(PAPER_DEPLOYMENTS["TimePPG-Big"])] * 4)
+        assert cheap.battery_lifetime_hours() > 50 * expensive.battery_lifetime_hours()
+
+    def test_empty_trace_errors(self):
+        trace = EnergyTrace()
+        with pytest.raises(ValueError):
+            trace.average_watch_power_w()
+        with pytest.raises(ValueError):
+            trace.duty_cycle()
+        assert trace.summary() == "empty trace"
+        with pytest.raises(ValueError):
+            EnergyTrace(prediction_period_s=0.0)
+
+    def test_from_run_result(self, calibrated_experiment, small_dataset):
+        runtime = CHRISRuntime(
+            zoo=calibrated_experiment.zoo,
+            engine=calibrated_experiment.engine,
+            system=calibrated_experiment.system,
+        )
+        result = runtime.run(
+            small_dataset.subjects[1], Constraint.max_mae(6.0), use_oracle_difficulty=True
+        )
+        trace = EnergyTrace.from_run_result(result)
+        assert trace.n_predictions == result.n_windows
+        assert trace.breakdown().watch_total_j == pytest.approx(result.total_watch_energy_j)
+        summary = trace.summary()
+        assert "predictions" in summary
+        assert "battery life" in summary

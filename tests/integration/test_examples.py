@@ -1,0 +1,61 @@
+"""Smoke tests for the runnable examples.
+
+The two fast examples are executed exactly as a user would run them (as
+subprocesses of the current interpreter); the slower training/grid-search
+examples are covered indirectly by the unit and integration tests of the
+modules they use.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        check=False,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_runs_and_reports_a_selection(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "decision engine selection" in result.stdout
+        assert "energy reduction" in result.stdout
+        assert "battery life" in result.stdout
+
+    def test_offload_exploration_regenerates_fig4_and_fig5(self):
+        result = run_example("offload_exploration.py")
+        assert result.returncode == 0, result.stderr
+        assert "Fig. 4" in result.stdout
+        assert "Fig. 5" in result.stdout
+        assert "connection loss" in result.stdout
+
+    def test_all_examples_are_present_and_importable_as_scripts(self):
+        expected = {
+            "quickstart.py",
+            "offload_exploration.py",
+            "train_and_deploy_timeppg.py",
+            "activity_difficulty_detector.py",
+        }
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present
+        for name in expected:
+            source = (EXAMPLES / name).read_text()
+            assert '__name__ == "__main__"' in source
+            compile(source, name, "exec")

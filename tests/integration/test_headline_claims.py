@@ -1,0 +1,130 @@
+"""Reproduction of the paper's headline claims (shape, not absolute values).
+
+Paper (abstract / Sec. IV-B):
+
+* CHRIS matches TimePPG-Small's accuracy (5.54 vs. 5.60 BPM) while cutting
+  smartwatch energy by 2.03x vs. running TimePPG-Small locally, using an
+  AT + TimePPG-Big hybrid configuration;
+* relaxing the MAE bound to ~7.2 BPM reaches 179 uJ per prediction, 3.03x
+  less than local TimePPG-Small and 1.82x less than streaming everything
+  to the phone;
+* if the BLE link is lost, CHRIS still offers a local-only Pareto front
+  spanning AT-only to TimePPG-Big-only.
+
+Our substrate is calibrated to Table III but the per-activity error split
+and the exact energy accounting differ from the authors' testbed, so the
+tests assert the *shape*: who wins, the approximate factors, and the
+qualitative structure of the fronts.  EXPERIMENTS.md records the measured
+numbers next to the paper's.
+"""
+
+import pytest
+
+from repro.core.configuration import ExecutionMode
+from repro.core.decision_engine import Constraint
+from repro.hw.profiles import ExecutionTarget
+from repro.models.registry import PAPER_MODEL_STATS
+
+
+class TestConstraint1:
+    """MAE bound = 5.60 BPM (TimePPG-Small's accuracy)."""
+
+    def test_selection_matches_small_accuracy_at_lower_energy(self, oracle_experiment):
+        selected = oracle_experiment.select(Constraint.max_mae(5.60))
+        small_local = oracle_experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+        assert selected.mae_bpm <= 5.60
+        reduction = oracle_experiment.energy_reduction_vs(selected, small_local)
+        # Paper: 2.03x; shape requirement: a clear >1.5x reduction.
+        assert reduction > 1.5
+
+    def test_selection_is_the_hybrid_at_plus_big_pair(self, oracle_experiment):
+        """Sel. Model 1 in the paper: AT locally for easy windows, TimePPG-Big
+        offloaded for hard ones."""
+        selected = oracle_experiment.select(Constraint.max_mae(5.60))
+        config = selected.configuration
+        assert config.simple_model == "AT"
+        assert config.complex_model == "TimePPG-Big"
+        assert config.mode is ExecutionMode.HYBRID
+        assert 0.0 < selected.offload_fraction < 1.0
+
+    def test_cheaper_than_streaming_everything(self, oracle_experiment):
+        """Paper: ~22 % less energy than always offloading to the phone."""
+        selected = oracle_experiment.select(Constraint.max_mae(5.60))
+        stream_all = oracle_experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+        assert selected.watch_energy_j < 0.85 * stream_all.watch_energy_j
+
+    def test_cheaper_than_any_single_device_solution_at_same_accuracy(self, oracle_experiment):
+        selected = oracle_experiment.select(Constraint.max_mae(5.60))
+        for baseline in oracle_experiment.baselines:
+            if baseline.mae_bpm <= 5.60:
+                assert selected.watch_energy_j < baseline.watch_energy_j
+
+
+class TestConstraint2:
+    """MAE bound = 7.2 BPM (the relaxed constraint of the paper)."""
+
+    def test_sub_300_microjoule_operating_point(self, oracle_experiment):
+        selected = oracle_experiment.select(Constraint.max_mae(7.2))
+        assert selected.mae_bpm <= 7.2
+        # Paper reports 179 uJ on their accounting; ours lands below 350 uJ.
+        assert selected.watch_energy_j < 350e-6
+
+    def test_reduction_factors_vs_baselines(self, oracle_experiment):
+        selected = oracle_experiment.select(Constraint.max_mae(7.2))
+        small_local = oracle_experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+        stream_all = oracle_experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+        # Paper: 3.03x vs. local Small, 1.82x vs. streaming everything.
+        assert oracle_experiment.energy_reduction_vs(selected, small_local) > 2.0
+        assert oracle_experiment.energy_reduction_vs(selected, stream_all) > 1.5
+
+    def test_relaxed_constraint_offloads_less(self, oracle_experiment):
+        tight = oracle_experiment.select(Constraint.max_mae(5.60))
+        relaxed = oracle_experiment.select(Constraint.max_mae(7.2))
+        assert relaxed.offload_fraction < tight.offload_fraction
+        assert relaxed.watch_energy_j < tight.watch_energy_j
+
+
+class TestConnectionLoss:
+    def test_local_front_spans_at_to_big(self, oracle_experiment):
+        """Paper: with BLE lost, 19 Pareto points remain, spanning 4.87-10.99
+        BPM and 0.234-41.07 mJ."""
+        front = oracle_experiment.table.pareto(connected=False)
+        assert len(front) >= 5
+        assert all(c.is_local for c in front)
+        energies = [c.watch_energy_mj for c in front]
+        maes = [c.mae_bpm for c in front]
+        # Cheap end: the AT-only operating point (0.234 mJ, ~11 BPM).
+        assert min(energies) == pytest.approx(PAPER_MODEL_STATS["AT"].watch_energy_mj, rel=0.1)
+        assert max(maes) == pytest.approx(PAPER_MODEL_STATS["AT"].mae_bpm, rel=0.15)
+        # Accurate end: configurations running TimePPG-Big locally for most
+        # windows — tens of millijoules, MAE within a few tenths of a BPM of
+        # the Big-only model.  (Whether the exact Big-only point sits on the
+        # sampled front depends on per-activity sampling noise.)
+        assert max(energies) > 0.5 * PAPER_MODEL_STATS["TimePPG-Big"].watch_energy_mj
+        assert min(maes) < PAPER_MODEL_STATS["TimePPG-Big"].mae_bpm + 0.4
+
+
+class TestBaselineObservations:
+    """Sec. IV-A: when local vs. offloaded execution wins, per model."""
+
+    def test_at_should_stay_on_the_watch(self, oracle_experiment):
+        local = oracle_experiment.baseline("AT", ExecutionTarget.WATCH)
+        offloaded = oracle_experiment.baseline("AT", ExecutionTarget.PHONE)
+        assert local.watch_energy_j < offloaded.watch_energy_j
+
+    def test_big_should_be_offloaded(self, oracle_experiment):
+        local = oracle_experiment.baseline("TimePPG-Big", ExecutionTarget.WATCH)
+        offloaded = oracle_experiment.baseline("TimePPG-Big", ExecutionTarget.PHONE)
+        assert offloaded.watch_energy_j < local.watch_energy_j / 20
+
+    def test_small_is_the_borderline_case(self, oracle_experiment):
+        """For TimePPG-Small offloading is only marginally cheaper for the
+        watch (0.519 vs. 0.735 mJ in the paper)."""
+        local = oracle_experiment.baseline("TimePPG-Small", ExecutionTarget.WATCH)
+        offloaded = oracle_experiment.baseline("TimePPG-Small", ExecutionTarget.PHONE)
+        assert offloaded.watch_energy_j < local.watch_energy_j
+        assert offloaded.watch_energy_j > 0.6 * local.watch_energy_j
+
+    def test_pareto_front_contains_hybrid_points(self, oracle_experiment):
+        front = oracle_experiment.table.pareto(connected=True)
+        assert any(not c.is_local for c in front)

@@ -1,0 +1,106 @@
+"""Tests for the from-scratch CART classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.metrics import accuracy_score
+
+
+def blobs(n_per_class=60, n_classes=3, spread=0.4, seed=0):
+    """Well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0], [3.0, 3.0]])[:n_classes]
+    X = np.concatenate([rng.normal(c, spread, size=(n_per_class, 2)) for c in centers])
+    y = np.concatenate([np.full(n_per_class, i) for i in range(n_classes)])
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.95
+
+    def test_generalizes_to_unseen_points(self):
+        X, y = blobs(seed=1)
+        X_test, y_test = blobs(seed=2)
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        assert accuracy_score(y_test, tree.predict(X_test)) > 0.9
+
+    def test_single_class(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.full(20, 2)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 2)
+        assert tree.depth() == 0
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X[:10])
+        assert proba.shape == (10, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_1d_query_accepted(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.predict(X[0]).shape == (1,)
+
+
+class TestRegularization:
+    def test_max_depth_respected(self):
+        X, y = blobs(spread=1.5)
+        for depth in (1, 2, 4):
+            tree = DecisionTreeClassifier(max_depth=depth, random_state=0).fit(X, y)
+            assert tree.depth() <= depth
+
+    def test_deeper_trees_fit_better(self):
+        X, y = blobs(n_classes=4, spread=1.0, seed=3)
+        shallow = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=6, random_state=0).fit(X, y)
+        assert accuracy_score(y, deep.predict(X)) > accuracy_score(y, shallow.predict(X))
+
+    def test_min_samples_leaf_limits_node_count(self):
+        X, y = blobs(spread=1.5, seed=4)
+        loose = DecisionTreeClassifier(max_depth=None, min_samples_leaf=1, random_state=0).fit(X, y)
+        strict = DecisionTreeClassifier(max_depth=None, min_samples_leaf=30, random_state=0).fit(X, y)
+        assert strict.node_count() < loose.node_count()
+
+    def test_entropy_criterion_works(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(criterion="entropy", random_state=0).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.9
+
+
+class TestValidation:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="nope")
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_fit_validation(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((5,)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([-1, 0, 1]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch_at_predict(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 5)))

@@ -1,0 +1,54 @@
+"""Tests for the feature grid search (paper Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import FeatureSearchResult, grid_search_features
+from repro.signal.features import EXTENDED_FEATURE_NAMES
+
+
+@pytest.fixture(scope="module")
+def labelled_windows(request):
+    """A compact labelled window set from the shared synthetic corpus."""
+    small_dataset = request.getfixturevalue("small_dataset")
+    subject = small_dataset.subjects[0]
+    # Subsample windows to keep the grid search fast.
+    idx = np.arange(0, subject.n_windows, 3)
+    return subject.accel_windows[idx], subject.activity[idx]
+
+
+class TestGridSearch:
+    def test_returns_sorted_results(self, labelled_windows):
+        accel, labels = labelled_windows
+        results = grid_search_features(accel, labels, subset_size=2, n_folds=2, top_k=5, seed=0)
+        assert len(results) == 5
+        accuracies = [r.accuracy for r in results]
+        assert accuracies == sorted(accuracies, reverse=True)
+        for result in results:
+            assert isinstance(result, FeatureSearchResult)
+            assert len(result.features) == 2
+            assert all(name in EXTENDED_FEATURE_NAMES for name in result.features)
+
+    def test_top_k_zero_returns_everything(self, labelled_windows):
+        accel, labels = labelled_windows
+        results = grid_search_features(accel, labels, subset_size=1, n_folds=2, top_k=0, seed=0)
+        assert len(results) == len(EXTENDED_FEATURE_NAMES)
+
+    def test_best_subset_contains_a_motion_magnitude_feature(self, labelled_windows):
+        """Any good subset must include a feature capturing motion intensity."""
+        accel, labels = labelled_windows
+        results = grid_search_features(accel, labels, subset_size=2, n_folds=2, top_k=1, seed=0)
+        magnitude_features = {"energy", "std", "rms", "range", "mean_abs_diff", "n_peaks", "max"}
+        assert set(results[0].features) & magnitude_features
+
+    def test_invalid_subset_size(self, labelled_windows):
+        accel, labels = labelled_windows
+        with pytest.raises(ValueError):
+            grid_search_features(accel, labels, subset_size=0)
+        with pytest.raises(ValueError):
+            grid_search_features(accel, labels, subset_size=99)
+
+    def test_label_mismatch(self, labelled_windows):
+        accel, labels = labelled_windows
+        with pytest.raises(ValueError):
+            grid_search_features(accel, labels[:-1], subset_size=2)

@@ -1,0 +1,105 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    binary_accuracy_at_threshold,
+    confusion_matrix,
+    macro_f1_score,
+    mean_absolute_error,
+    rmse,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        y = np.array([0, 1, 2, 1])
+        assert accuracy_score(y, y) == 1.0
+        assert accuracy_score(y, (y + 1) % 3) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 1])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([1, 2]), np.array([1]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+
+class TestRegressionMetrics:
+    def test_mae_known_value(self):
+        assert mean_absolute_error(np.array([70.0, 80.0]), np.array([72.0, 76.0])) == pytest.approx(3.0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(70, 10, size=100)
+        p = y + rng.normal(0, 5, size=100)
+        assert rmse(y, p) >= mean_absolute_error(y, p)
+
+    def test_zero_error(self):
+        y = np.array([60.0, 70.0])
+        assert mean_absolute_error(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+        assert matrix.sum() == y_true.size
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix(np.array([0, 1]), np.array([1, 0]), n_classes=5)
+        assert matrix.shape == (5, 5)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([-1, 0]), np.array([0, 0]))
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1_score(y, y) == pytest.approx(1.0)
+
+    def test_all_wrong(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([1, 1, 0, 0])
+        assert macro_f1_score(y_true, y_pred) == 0.0
+
+    def test_imbalanced_classes_penalized(self):
+        # Classifier that always predicts the majority class.
+        y_true = np.array([0] * 9 + [1])
+        y_pred = np.zeros(10, dtype=int)
+        assert macro_f1_score(y_true, y_pred) < 0.6
+
+
+class TestBinaryAccuracyAtThreshold:
+    def test_perfect_when_difficulties_match(self):
+        d = np.array([1, 3, 5, 9])
+        assert binary_accuracy_at_threshold(d, d, threshold=4) == 1.0
+
+    def test_only_boundary_crossings_matter(self):
+        true = np.array([2, 8])
+        pred = np.array([3, 9])  # wrong levels but same side of threshold 5
+        assert binary_accuracy_at_threshold(true, pred, threshold=5) == 1.0
+
+    def test_crossing_counts_as_error(self):
+        true = np.array([4, 6])
+        pred = np.array([6, 4])
+        assert binary_accuracy_at_threshold(true, pred, threshold=5) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_accuracy_at_threshold(np.array([1, 2]), np.array([1]), threshold=3)

@@ -1,0 +1,77 @@
+"""Tests for the Adaptive-Threshold HR predictor."""
+
+import numpy as np
+import pytest
+
+from repro.data.ppg_model import PPGSynthesizer
+from repro.models.adaptive_threshold import AT_OPERATIONS_PER_WINDOW, AdaptiveThresholdPredictor
+
+
+def clean_ppg_window(bpm: float, seed: int = 0) -> np.ndarray:
+    synth = PPGSynthesizer(noise_std=0.0, respiration_amplitude=0.05,
+                           rng=np.random.default_rng(seed))
+    return synth.synthesize(np.full(256, bpm))
+
+
+class TestInfo:
+    def test_metadata_matches_paper(self):
+        info = AdaptiveThresholdPredictor().info
+        assert info.name == "AT"
+        assert info.n_parameters == 0
+        assert info.macs_per_window == AT_OPERATIONS_PER_WINDOW == 3000
+        assert not info.uses_accelerometer
+
+
+class TestPrediction:
+    def test_recovers_hr_on_clean_ppg(self):
+        at = AdaptiveThresholdPredictor()
+        for bpm in (60.0, 80.0, 100.0, 130.0):
+            estimate = at.predict_window(clean_ppg_window(bpm, seed=int(bpm)))
+            assert estimate == pytest.approx(bpm, abs=12.0)
+
+    def test_batch_prediction_matches_window_loop(self):
+        at = AdaptiveThresholdPredictor()
+        windows = np.stack([clean_ppg_window(70.0, 1), clean_ppg_window(90.0, 2)])
+        batch = at.predict(windows)
+        at.reset()
+        sequential = [at.predict_window(w) for w in windows]
+        assert np.allclose(batch, sequential)
+
+    def test_fallback_on_flat_window(self):
+        at = AdaptiveThresholdPredictor()
+        estimate = at.predict_window(np.zeros(256))
+        assert estimate == at.FALLBACK_BPM
+
+    def test_fallback_uses_previous_estimate(self):
+        at = AdaptiveThresholdPredictor()
+        first = at.predict_window(clean_ppg_window(75.0))
+        flat = at.predict_window(np.zeros(256))
+        assert flat == pytest.approx(first)
+
+    def test_reset_clears_history(self):
+        at = AdaptiveThresholdPredictor()
+        at.predict_window(clean_ppg_window(120.0))
+        at.reset()
+        assert at.predict_window(np.zeros(256)) == at.FALLBACK_BPM
+
+    def test_accuracy_degrades_with_noise(self, small_dataset, clean_dataset):
+        at = AdaptiveThresholdPredictor()
+        clean_subject = clean_dataset.subjects[0]
+        noisy_subject = small_dataset.subjects[0]
+        at.reset()
+        clean_mae = np.mean(np.abs(at.predict(clean_subject.ppg_windows) - clean_subject.hr))
+        at.reset()
+        noisy_mae = np.mean(np.abs(at.predict(noisy_subject.ppg_windows) - noisy_subject.hr))
+        assert noisy_mae > clean_mae
+
+    def test_rejects_2d_window(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPredictor().predict_window(np.zeros((2, 256)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPredictor(window=1)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPredictor(min_bpm=100, max_bpm=50)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPredictor(fs=0.0)

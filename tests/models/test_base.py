@@ -1,0 +1,55 @@
+"""Tests for the common predictor interface."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import HeartRatePredictor, PredictorInfo
+
+
+class ConstantPredictor(HeartRatePredictor):
+    """Trivial predictor used to exercise the base-class behaviour."""
+
+    def __init__(self, value: float = 72.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.value = value
+        self.seen_context: list[dict] = []
+
+    @property
+    def info(self) -> PredictorInfo:
+        return PredictorInfo(name="Constant", n_parameters=0, macs_per_window=1)
+
+    def predict_window(self, ppg_window, accel_window=None, **context):
+        self.seen_context.append(context)
+        return self.value
+
+
+class TestBasePredictor:
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError):
+            ConstantPredictor(fs=0.0)
+
+    def test_batch_prediction_loops_over_windows(self):
+        predictor = ConstantPredictor(65.0)
+        out = predictor.predict(np.zeros((7, 256)))
+        assert out.shape == (7,)
+        assert np.all(out == 65.0)
+
+    def test_per_window_context_is_sliced(self):
+        predictor = ConstantPredictor()
+        true_hr = np.arange(5, dtype=float)
+        predictor.predict(np.zeros((5, 10)), true_hr=true_hr, activity=np.arange(5))
+        assert [c["true_hr"] for c in predictor.seen_context] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [c["activity"] for c in predictor.seen_context] == [0, 1, 2, 3, 4]
+
+    def test_scalar_context_is_broadcast(self):
+        predictor = ConstantPredictor()
+        predictor.predict(np.zeros((3, 10)), mode="test")
+        assert all(c["mode"] == "test" for c in predictor.seen_context)
+
+    def test_fallback_mechanism(self):
+        predictor = ConstantPredictor()
+        assert predictor._with_fallback(float("nan")) == predictor.FALLBACK_BPM
+        assert predictor._with_fallback(88.0) == 88.0
+        assert predictor._with_fallback(float("nan")) == 88.0
+        predictor.reset()
+        assert predictor._with_fallback(float("nan")) == predictor.FALLBACK_BPM

@@ -1,0 +1,136 @@
+"""Tests for the calibrated per-activity error models."""
+
+import numpy as np
+import pytest
+
+from repro.data.activities import Activity, difficulty_of
+from repro.models.error_model import (
+    PAPER_ACTIVITY_MAE_PROFILES,
+    PAPER_OVERALL_MAE,
+    CalibratedHRModel,
+    ErrorProfile,
+    calibrated_model_zoo,
+)
+
+
+class TestProfiles:
+    def test_profiles_average_to_paper_overall_mae(self):
+        """Uniform-activity average must reproduce Table III MAEs."""
+        for name, values in PAPER_ACTIVITY_MAE_PROFILES.items():
+            profile = ErrorProfile(name, values)
+            assert profile.overall_mae == pytest.approx(PAPER_OVERALL_MAE[name], abs=0.02)
+
+    def test_error_grows_with_difficulty(self):
+        for name, values in PAPER_ACTIVITY_MAE_PROFILES.items():
+            assert list(values) == sorted(values), name
+
+    def test_at_degrades_much_faster_than_dnns(self):
+        at = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        big = ErrorProfile("TimePPG-Big", PAPER_ACTIVITY_MAE_PROFILES["TimePPG-Big"])
+        # On easy activities AT is competitive; on the hardest it collapses.
+        assert at.mae_for_difficulty(1) < big.mae_for_difficulty(1) + 1.0
+        assert at.mae_for_difficulty(9) > 4 * big.mae_for_difficulty(9)
+
+    def test_accuracy_ordering_matches_paper(self):
+        maes = {name: ErrorProfile(name, v).overall_mae
+                for name, v in PAPER_ACTIVITY_MAE_PROFILES.items()}
+        assert maes["TimePPG-Big"] < maes["TimePPG-Small"] < maes["AT"]
+
+    def test_expected_mae_partitions(self):
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        easy = profile.expected_mae(easy_threshold=4, easy=True)
+        hard = profile.expected_mae(easy_threshold=4, easy=False)
+        overall = profile.overall_mae
+        assert easy < overall < hard
+        # Weighted recombination recovers the overall value.
+        assert (4 * easy + 5 * hard) / 9 == pytest.approx(overall)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ErrorProfile("bad", (1.0,) * 8)
+        with pytest.raises(ValueError):
+            ErrorProfile("bad", (1.0,) * 8 + (-1.0,))
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        with pytest.raises(ValueError):
+            profile.mae_for_difficulty(0)
+        with pytest.raises(ValueError):
+            profile.expected_mae(easy_threshold=4)
+
+
+class TestCalibratedModel:
+    def test_long_run_mae_matches_profile(self):
+        profile = ErrorProfile("TimePPG-Small", PAPER_ACTIVITY_MAE_PROFILES["TimePPG-Small"])
+        model = CalibratedHRModel(profile, seed=0)
+        n = 4000
+        errors = []
+        for i in range(n):
+            activity = Activity(i % 9)
+            prediction = model.predict_window(
+                np.zeros(256), true_hr=80.0, activity=int(activity)
+            )
+            errors.append(abs(prediction - 80.0))
+        assert np.mean(errors) == pytest.approx(profile.overall_mae, rel=0.12)
+
+    def test_harder_activities_produce_larger_errors(self):
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        model = CalibratedHRModel(profile, seed=1)
+        easy = [abs(model.predict_window(np.zeros(1), true_hr=80.0,
+                                         activity=int(Activity.RESTING)) - 80.0)
+                for _ in range(500)]
+        hard = [abs(model.predict_window(np.zeros(1), true_hr=80.0,
+                                         activity=int(Activity.TABLE_SOCCER)) - 80.0)
+                for _ in range(500)]
+        assert np.mean(hard) > 5 * np.mean(easy)
+
+    def test_requires_context(self):
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        model = CalibratedHRModel(profile)
+        with pytest.raises(ValueError):
+            model.predict_window(np.zeros(1))
+
+    def test_predictions_stay_physiological(self):
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        model = CalibratedHRModel(profile, seed=2)
+        predictions = [
+            model.predict_window(np.zeros(1), true_hr=40.0, activity=int(Activity.TABLE_SOCCER))
+            for _ in range(300)
+        ]
+        assert min(predictions) >= 30.0
+        assert max(predictions) <= 220.0
+
+    def test_reproducible_with_seed(self):
+        profile = ErrorProfile("AT", PAPER_ACTIVITY_MAE_PROFILES["AT"])
+        a = CalibratedHRModel(profile, seed=5).predict_window(
+            np.zeros(1), true_hr=70.0, activity=0
+        )
+        b = CalibratedHRModel(profile, seed=5).predict_window(
+            np.zeros(1), true_hr=70.0, activity=0
+        )
+        assert a == b
+
+
+class TestCalibratedZoo:
+    def test_zoo_contains_the_three_paper_models(self):
+        zoo = calibrated_model_zoo(seed=0)
+        assert set(zoo) == {"AT", "TimePPG-Small", "TimePPG-Big"}
+
+    def test_zoo_metadata_matches_paper_complexity(self):
+        zoo = calibrated_model_zoo(seed=0)
+        assert zoo["AT"].info.macs_per_window == 3000
+        assert zoo["TimePPG-Small"].info.n_parameters == 5090
+        assert zoo["TimePPG-Big"].info.macs_per_window == 12_270_000
+
+    def test_batch_prediction_uses_per_window_context(self, small_dataset):
+        subject = small_dataset.subjects[0]
+        zoo = calibrated_model_zoo(seed=0)
+        predictions = zoo["TimePPG-Big"].predict(
+            subject.ppg_windows,
+            subject.accel_windows,
+            true_hr=subject.hr,
+            activity=subject.activity,
+        )
+        errors = np.abs(predictions - subject.hr)
+        # Errors correlate with window difficulty, not constant.
+        easy = errors[subject.difficulty <= 3]
+        hard = errors[subject.difficulty >= 7]
+        assert hard.mean() > easy.mean()

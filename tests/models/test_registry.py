@@ -1,0 +1,61 @@
+"""Tests for the model registry and paper reference stats."""
+
+import pytest
+
+from repro.models.base import HeartRatePredictor, PredictorInfo
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    PAPER_BLE_ENERGY_MJ,
+    PAPER_BLE_TIME_MS,
+    PAPER_MODEL_STATS,
+    create_model,
+)
+
+
+class TestPaperStats:
+    def test_table3_rows_present(self):
+        assert set(PAPER_MODEL_STATS) == {"AT", "TimePPG-Small", "TimePPG-Big"}
+
+    def test_table3_values_transcribed(self):
+        at = PAPER_MODEL_STATS["AT"]
+        assert at.watch_cycles == 100_000
+        assert at.watch_energy_mj == pytest.approx(0.234)
+        assert at.mae_bpm == pytest.approx(10.99)
+        big = PAPER_MODEL_STATS["TimePPG-Big"]
+        assert big.watch_time_ms == pytest.approx(1611.88)
+        assert big.phone_energy_mj == pytest.approx(25.60)
+        assert big.parameters == 232_600
+        small = PAPER_MODEL_STATS["TimePPG-Small"]
+        assert small.operations == 77_630
+        assert small.phone_time_ms == pytest.approx(3.45)
+
+    def test_ble_constants(self):
+        assert PAPER_BLE_TIME_MS == pytest.approx(10.240)
+        assert PAPER_BLE_ENERGY_MJ == pytest.approx(0.52)
+
+    def test_accuracy_and_cost_orderings(self):
+        stats = PAPER_MODEL_STATS
+        assert stats["TimePPG-Big"].mae_bpm < stats["TimePPG-Small"].mae_bpm < stats["AT"].mae_bpm
+        assert stats["AT"].watch_energy_mj < stats["TimePPG-Small"].watch_energy_mj \
+            < stats["TimePPG-Big"].watch_energy_mj
+
+
+class TestRegistry:
+    def test_all_registered_models_instantiate(self):
+        for name in MODEL_REGISTRY:
+            model = create_model(name)
+            assert isinstance(model, HeartRatePredictor)
+            assert isinstance(model.info, PredictorInfo)
+
+    def test_created_models_report_their_name(self):
+        assert create_model("AT").info.name == "AT"
+        assert create_model("TimePPG-Small").info.name == "TimePPG-Small"
+        assert create_model("TimePPG-Big").info.name == "TimePPG-Big"
+
+    def test_kwargs_forwarded(self):
+        model = create_model("AT", fs=64.0)
+        assert model.fs == 64.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            create_model("NotAModel")

@@ -1,0 +1,59 @@
+"""Tests for the spectral baseline HR predictor."""
+
+import numpy as np
+import pytest
+
+from repro.data.ppg_model import PPGSynthesizer
+from repro.models.spectral_tracker import SpectralHRPredictor
+
+
+def ppg_window(bpm: float, seed: int = 0, noise: float = 0.02) -> np.ndarray:
+    synth = PPGSynthesizer(noise_std=noise, rng=np.random.default_rng(seed))
+    return synth.synthesize(np.full(256, bpm))
+
+
+class TestSpectralPredictor:
+    def test_recovers_hr_on_clean_ppg(self):
+        predictor = SpectralHRPredictor()
+        for bpm in (55.0, 75.0, 110.0, 160.0):
+            estimate = predictor.predict_window(ppg_window(bpm, seed=int(bpm)))
+            predictor.reset()
+            assert estimate == pytest.approx(bpm, abs=6.0)
+
+    def test_info(self):
+        info = SpectralHRPredictor().info
+        assert info.name == "SpectralTracker"
+        assert info.uses_accelerometer
+        assert info.macs_per_window > 0
+
+    def test_accelerometer_masking_suppresses_motion_peak(self):
+        rng = np.random.default_rng(3)
+        true_bpm = 70.0
+        motion_hz = 2.2  # 132 "BPM" interference inside the HR band
+        t = np.arange(256) / 32.0
+        ppg = ppg_window(true_bpm, seed=3) + 1.5 * np.sin(2 * np.pi * motion_hz * t)
+        accel = np.stack([np.sin(2 * np.pi * motion_hz * t + phi) for phi in rng.uniform(0, 6, 3)],
+                         axis=1)
+        unmasked = SpectralHRPredictor(accel_suppression=0.0).predict_window(ppg)
+        masked = SpectralHRPredictor(accel_suppression=8.0).predict_window(ppg, accel)
+        assert abs(masked - true_bpm) < abs(unmasked - true_bpm)
+
+    def test_tracking_damps_jumps(self):
+        predictor = SpectralHRPredictor(tracking_weight=0.8)
+        first = predictor.predict_window(ppg_window(70.0, seed=1))
+        jumped = predictor.predict_window(ppg_window(180.0, seed=2))
+        # The second estimate is pulled towards the previous one.
+        assert jumped < 180.0 - 10.0
+        assert jumped > first
+
+    def test_fallback_on_silent_window(self):
+        predictor = SpectralHRPredictor()
+        assert predictor.predict_window(np.zeros(256)) == predictor.FALLBACK_BPM
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpectralHRPredictor(band=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            SpectralHRPredictor(accel_suppression=-1.0)
+        with pytest.raises(ValueError):
+            SpectralHRPredictor(tracking_weight=1.0)

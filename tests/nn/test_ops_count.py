@@ -1,0 +1,64 @@
+"""Tests for parameter / MAC counting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool1d, BatchNorm1d, Conv1d, Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+from repro.nn.ops_count import count_macs, count_parameters, layer_summary, summary_table
+
+
+class TestCounting:
+    def test_dense_macs_and_params(self):
+        net = Sequential([Dense(10, 4)])
+        assert count_parameters(net) == 10 * 4 + 4
+        assert count_macs(net, (10,)) == 40
+
+    def test_conv_macs_formula(self):
+        net = Sequential([Conv1d(3, 8, 5, stride=2)])
+        # "same" padding with stride 2 on length 64 -> 32 outputs.
+        assert count_macs(net, (3, 64)) == 8 * 3 * 5 * 32
+        assert count_parameters(net) == 8 * 3 * 5 + 8
+
+    def test_elementwise_layers_counted_by_size(self):
+        net = Sequential([Conv1d(1, 2, 3), ReLU(), BatchNorm1d(2)])
+        macs = count_macs(net, (1, 16))
+        conv_macs = 2 * 1 * 3 * 16
+        assert macs == conv_macs + 2 * 16 + 2 * 16
+
+    def test_pool_and_flatten(self):
+        net = Sequential([AvgPool1d(4), Flatten(), Dense(8, 1)])
+        summary = layer_summary(net, (2, 16))
+        assert summary[0].output_shape == (2, 4)
+        assert summary[1].output_shape == (8,)
+        assert summary[2].macs == 8
+
+    def test_summary_shapes_chain(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([
+            Conv1d(4, 6, 3, stride=2, rng=rng),
+            ReLU(),
+            Conv1d(6, 6, 3, dilation=2, rng=rng),
+            Flatten(),
+            Dense(6 * 128, 1, rng=rng),
+        ])
+        rows = layer_summary(net, (4, 256))
+        assert rows[0].output_shape == (6, 128)
+        assert rows[2].output_shape == (6, 128)
+        assert rows[-1].output_shape == (1,)
+        # The forward pass agrees with the static shape analysis.
+        out = net.forward(np.zeros((1, 4, 256)))
+        assert out.shape == (1, 1)
+
+    def test_summary_table_contains_total(self):
+        net = Sequential([Dense(4, 2)])
+        table = summary_table(net, (4,))
+        assert "TOTAL" in table
+        assert "10" in table  # 4*2+2 parameters
+
+    def test_total_is_sum_of_layers(self):
+        rng = np.random.default_rng(1)
+        net = Sequential([Conv1d(2, 3, 3, rng=rng), ReLU(), Flatten(), Dense(3 * 32, 2, rng=rng)])
+        rows = layer_summary(net, (2, 32))
+        assert count_macs(net, (2, 32)) == sum(r.macs for r in rows)
+        assert count_parameters(net) == sum(r.parameters for r in rows)

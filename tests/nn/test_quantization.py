@@ -1,0 +1,130 @@
+"""Tests for int8 post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv1d, Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+from repro.nn.quantization import (
+    QuantizationSpec,
+    QuantizedSequential,
+    asymmetric_spec,
+    quantization_error,
+    quantize_network,
+    symmetric_spec,
+)
+
+
+class TestQuantizationSpec:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3.0, 3.0, size=1000)
+        spec = symmetric_spec(x)
+        recovered = spec.fake_quantize(x)
+        assert np.max(np.abs(recovered - x)) <= spec.scale / 2 + 1e-12
+
+    def test_symmetric_spec_zero_point_is_zero(self):
+        spec = symmetric_spec(np.array([-2.0, 1.0]))
+        assert spec.zero_point == 0
+        assert spec.scale == pytest.approx(2.0 / 127)
+
+    def test_asymmetric_spec_covers_range(self):
+        x = np.array([0.0, 10.0])
+        spec = asymmetric_spec(x)
+        assert spec.dequantize(spec.quantize(np.array([0.0])))[0] == pytest.approx(0.0, abs=spec.scale)
+        assert spec.dequantize(spec.quantize(np.array([10.0])))[0] == pytest.approx(10.0, abs=spec.scale)
+
+    def test_quantize_clips_to_grid(self):
+        spec = QuantizationSpec(scale=0.1, zero_point=0)
+        q = spec.quantize(np.array([1e6, -1e6]))
+        assert q[0] == 127
+        assert q[1] == -128
+
+    def test_constant_tensor_does_not_divide_by_zero(self):
+        spec = symmetric_spec(np.zeros(10))
+        assert np.all(spec.fake_quantize(np.zeros(10)) == 0.0)
+
+
+def small_regressor(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv1d(1, 4, 3, stride=2, rng=rng),
+        ReLU(),
+        Conv1d(4, 4, 3, dilation=2, rng=rng),
+        ReLU(),
+        Flatten(),
+        Dense(4 * 16, 1, rng=rng),
+    ])
+
+
+class TestQuantizeNetwork:
+    def _trained_like_network(self):
+        """A network with non-trivial weights (scaled random initialization)."""
+        net = small_regressor(seed=3)
+        rng = np.random.default_rng(4)
+        for layer in net.layers:
+            for key in layer.params:
+                layer.params[key] += rng.normal(0, 0.2, size=layer.params[key].shape)
+        return net
+
+    def test_quantized_output_close_to_float(self):
+        float_net = self._trained_like_network()
+        reference = small_regressor(seed=3)
+        reference.load_state_dict(float_net.state_dict())
+
+        rng = np.random.default_rng(5)
+        calibration = rng.normal(size=(32, 1, 32))
+        quantized = quantize_network(float_net, calibration)
+        test_batch = rng.normal(size=(16, 1, 32))
+        float_out = reference.forward(test_batch)
+        quant_out = quantized.forward(test_batch)
+        scale = np.std(float_out) + 1e-9
+        assert np.max(np.abs(float_out - quant_out)) / scale < 0.15
+
+    def test_error_decreases_with_bit_width(self):
+        rng = np.random.default_rng(6)
+        calibration = rng.normal(size=(32, 1, 32))
+        test_batch = rng.normal(size=(16, 1, 32))
+        errors = {}
+        for bits in (4, 8):
+            float_net = self._trained_like_network()
+            reference = small_regressor(seed=3)
+            reference.load_state_dict(float_net.state_dict())
+            quantized = quantize_network(float_net, calibration, n_bits=bits)
+            errors[bits] = quantization_error(reference, quantized, test_batch)
+        assert errors[8] < errors[4]
+
+    def test_weight_bytes_accounts_one_byte_per_weight(self):
+        float_net = self._trained_like_network()
+        quantized = quantize_network(float_net, np.zeros((4, 1, 32)))
+        conv0 = float_net.layers[0]
+        dense = float_net.layers[-1]
+        expected = (
+            conv0.params["weight"].size + 4 * conv0.params["bias"].size
+            + float_net.layers[2].params["weight"].size + 4 * float_net.layers[2].params["bias"].size
+            + dense.params["weight"].size + 4 * dense.params["bias"].size
+        )
+        assert quantized.weight_bytes == expected
+
+    def test_weights_land_on_the_int8_grid(self):
+        float_net = self._trained_like_network()
+        quantized = quantize_network(float_net, np.zeros((4, 1, 32)))
+        for i, spec_map in quantized.weight_specs.items():
+            weight = float_net.layers[i].params["weight"]
+            spec = spec_map["weight"]
+            grid = np.round(weight / spec.scale)
+            assert np.allclose(weight, grid * spec.scale, atol=1e-9)
+            assert np.all(np.abs(grid) <= 127)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            quantize_network(small_regressor(), np.zeros((0, 1, 32)))
+        with pytest.raises(ValueError):
+            quantize_network(small_regressor(), np.zeros((4, 1, 32)), n_bits=1)
+
+    def test_quantized_wrapper_is_callable(self):
+        float_net = self._trained_like_network()
+        quantized = quantize_network(float_net, np.zeros((4, 1, 32)))
+        assert isinstance(quantized, QuantizedSequential)
+        out = quantized(np.zeros((2, 1, 32)))
+        assert out.shape == (2, 1)

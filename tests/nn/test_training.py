@@ -1,0 +1,87 @@
+"""Tests for the trainer (mini-batches, validation, early stopping)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import MSELoss
+from repro.nn.network import Sequential
+from repro.nn.training import Trainer, TrainerConfig
+
+
+def regression_problem(n=256, seed=0):
+    """y = sin(3 x0) + 0.5 x1, a smooth nonlinear target."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1]
+    return x, y[:, None]
+
+
+def mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 32, rng=rng), ReLU(), Dense(32, 1, rng=rng)])
+
+
+class TestTrainerConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(patience=0)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        x, y = regression_problem()
+        trainer = Trainer(mlp(), config=TrainerConfig(epochs=15, batch_size=32, learning_rate=1e-2))
+        history = trainer.fit(x, y)
+        assert history.n_epochs == 15
+        assert history.train_loss[-1] < 0.5 * history.train_loss[0]
+
+    def test_fit_learns_the_function(self):
+        x, y = regression_problem(n=512)
+        trainer = Trainer(mlp(), config=TrainerConfig(epochs=40, batch_size=32, learning_rate=1e-2,
+                                                      patience=None))
+        trainer.fit(x, y)
+        x_test, y_test = regression_problem(n=128, seed=99)
+        assert trainer.evaluate(x_test, y_test) < 0.05
+
+    def test_early_stopping_triggers(self):
+        x, y = regression_problem(n=64, seed=1)
+        x_val, y_val = regression_problem(n=64, seed=2)
+        config = TrainerConfig(epochs=200, batch_size=16, learning_rate=5e-2, patience=3)
+        trainer = Trainer(mlp(seed=1), config=config)
+        history = trainer.fit(x, y, x_val, y_val)
+        assert history.n_epochs < 200
+        assert history.stopped_early
+
+    def test_best_weights_restored(self):
+        x, y = regression_problem(n=128, seed=3)
+        x_val, y_val = regression_problem(n=128, seed=4)
+        config = TrainerConfig(epochs=30, batch_size=16, learning_rate=3e-2, patience=5)
+        trainer = Trainer(mlp(seed=3), config=config)
+        history = trainer.fit(x, y, x_val, y_val)
+        final_val = trainer.evaluate(x_val, y_val)
+        # The restored model matches the best recorded validation loss.
+        assert final_val == pytest.approx(min(history.val_loss), rel=1e-6)
+
+    def test_predict_shape_and_batching(self):
+        x, y = regression_problem(n=70)
+        trainer = Trainer(mlp(), config=TrainerConfig(epochs=1, batch_size=16))
+        trainer.fit(x, y)
+        predictions = trainer.predict(x, batch_size=8)
+        assert predictions.shape == (70, 1)
+
+    def test_empty_training_set_rejected(self):
+        trainer = Trainer(mlp())
+        with pytest.raises(ValueError):
+            trainer.fit(np.empty((0, 2)), np.empty((0, 1)))
+
+    def test_reproducible_given_seed(self):
+        x, y = regression_problem(n=64)
+        config = TrainerConfig(epochs=3, batch_size=16, seed=5)
+        h1 = Trainer(mlp(seed=7), config=config).fit(x, y)
+        h2 = Trainer(mlp(seed=7), config=config).fit(x, y)
+        assert np.allclose(h1.train_loss, h2.train_loss)

@@ -1,0 +1,97 @@
+"""Property-based tests for CHRIS configurations and profiling invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration, ExecutionMode, enumerate_configurations
+from repro.core.profiling import ConfigurationProfiler, ProfilingData
+from repro.eval.experiment import build_calibrated_zoo
+from repro.hw.platform import WearableSystem
+from repro.hw.profiles import ExecutionTarget
+
+ZOO = build_calibrated_zoo()
+SYSTEM = WearableSystem()
+PROFILER = ConfigurationProfiler(ZOO, SYSTEM)
+
+
+def make_data(difficulties, seed=0):
+    rng = np.random.default_rng(seed)
+    difficulties = np.asarray(difficulties, dtype=int)
+    n = difficulties.size
+    errors = {
+        "AT": rng.exponential(1.0 + difficulties.astype(float), size=n),
+        "TimePPG-Small": rng.exponential(4.0, size=n),
+        "TimePPG-Big": rng.exponential(3.0, size=n),
+    }
+    return ProfilingData(
+        errors=errors,
+        predicted_difficulty=difficulties,
+        true_difficulty=difficulties,
+        true_hr=np.full(n, 80.0),
+    )
+
+
+difficulty_arrays = st.lists(st.integers(min_value=1, max_value=9), min_size=5, max_size=80)
+
+
+class TestConfigurationProperties:
+    @given(st.integers(min_value=0, max_value=9), st.integers(min_value=1, max_value=9))
+    @settings(max_examples=100, deadline=None)
+    def test_routing_is_exhaustive_and_exclusive(self, threshold, difficulty):
+        config = Configuration("AT", "TimePPG-Big", threshold, ExecutionMode.HYBRID)
+        model, target = config.model_for_difficulty(difficulty)
+        if difficulty <= threshold:
+            assert model == "AT" and target is ExecutionTarget.WATCH
+        else:
+            assert model == "TimePPG-Big" and target is ExecutionTarget.PHONE
+
+    @given(st.lists(st.sampled_from(["A", "B", "C", "D", "E"]), min_size=2, max_size=5,
+                    unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_enumeration_size_formula(self, names):
+        configs = enumerate_configurations(names)
+        n = len(names)
+        assert len(configs) == (n * (n - 1) // 2) * 10 * 2
+
+
+class TestProfilingProperties:
+    @given(difficulty_arrays, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_profiled_mae_is_convex_mixture_of_model_maes(self, difficulties, threshold):
+        data = make_data(difficulties)
+        config = Configuration("AT", "TimePPG-Big", threshold, ExecutionMode.HYBRID)
+        profiled = PROFILER.profile_configuration(config, data)
+        low = min(data.errors["AT"].min(), data.errors["TimePPG-Big"].min())
+        high = max(data.errors["AT"].max(), data.errors["TimePPG-Big"].max())
+        assert low - 1e-9 <= profiled.mae_bpm <= high + 1e-9
+
+    @given(difficulty_arrays, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_offload_fraction_equals_share_of_hard_windows(self, difficulties, threshold):
+        data = make_data(difficulties)
+        config = Configuration("AT", "TimePPG-Big", threshold, ExecutionMode.HYBRID)
+        profiled = PROFILER.profile_configuration(config, data)
+        expected = float(np.mean(np.asarray(difficulties) > threshold))
+        assert profiled.offload_fraction == pytest.approx(expected)
+
+    @given(difficulty_arrays, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_energy_bounded_by_single_target_extremes(self, difficulties, threshold):
+        data = make_data(difficulties)
+        config = Configuration("AT", "TimePPG-Big", threshold, ExecutionMode.HYBRID)
+        profiled = PROFILER.profile_configuration(config, data)
+        at_local = SYSTEM.local_prediction_cost(ZOO.deployment("AT")).watch_total_j
+        offloaded = SYSTEM.offloaded_prediction_cost(ZOO.deployment("TimePPG-Big")).watch_total_j
+        low, high = min(at_local, offloaded), max(at_local, offloaded)
+        assert low - 1e-12 <= profiled.watch_energy_j <= high + 1e-12
+
+    @given(difficulty_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_local_configurations_never_offload(self, difficulties):
+        data = make_data(difficulties)
+        config = Configuration("AT", "TimePPG-Small", 4, ExecutionMode.LOCAL)
+        profiled = PROFILER.profile_configuration(config, data)
+        assert profiled.offload_fraction == 0.0
+        assert profiled.phone_energy_j == 0.0

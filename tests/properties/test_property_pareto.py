@@ -1,0 +1,137 @@
+"""Property-based tests for Pareto-front extraction and the decision engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration, ExecutionMode, ProfiledConfiguration
+from repro.core.decision_engine import (
+    Constraint,
+    DecisionEngine,
+    NoFeasibleConfigurationError,
+)
+from repro.core.pareto import pareto_front, pareto_indices
+from repro.core.profiling import ConfigurationTable
+
+point_list = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.floats(min_value=1e-6, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def as_profiled(points):
+    configs = []
+    for i, (mae, energy_mj) in enumerate(points):
+        configs.append(
+            ProfiledConfiguration(
+                configuration=Configuration(
+                    "AT",
+                    "TimePPG-Big",
+                    difficulty_threshold=i % 10,
+                    mode=ExecutionMode.LOCAL if i % 2 else ExecutionMode.HYBRID,
+                ),
+                mae_bpm=mae,
+                watch_energy_j=energy_mj * 1e-3,
+                phone_energy_j=0.0,
+                mean_latency_s=0.01,
+                offload_fraction=0.0,
+            )
+        )
+    return configs
+
+
+class TestParetoProperties:
+    @given(point_list)
+    @settings(max_examples=100, deadline=None)
+    def test_front_members_are_mutually_non_dominated(self, points):
+        front = pareto_indices(points)
+        assert front  # at least one point is always non-dominated
+        arr = np.asarray(points)
+        for i in front:
+            for j in front:
+                if i == j:
+                    continue
+                dominates = (
+                    arr[j][0] <= arr[i][0]
+                    and arr[j][1] <= arr[i][1]
+                    and (arr[j][0] < arr[i][0] or arr[j][1] < arr[i][1])
+                )
+                assert not dominates
+
+    @given(point_list)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_dominated_by_or_on_the_front(self, points):
+        configs = as_profiled(points)
+        front = pareto_front(configs)
+        for config in configs:
+            covered = any(
+                f.mae_bpm <= config.mae_bpm + 1e-12
+                and f.watch_energy_j <= config.watch_energy_j + 1e-15
+                for f in front
+            )
+            assert covered
+
+    @given(point_list)
+    @settings(max_examples=50, deadline=None)
+    def test_front_is_monotone_tradeoff_curve(self, points):
+        front = pareto_front(as_profiled(points))
+        energies = [c.watch_energy_j for c in front]
+        maes = [c.mae_bpm for c in front]
+        assert energies == sorted(energies)
+        # Along increasing energy, MAE must be non-increasing.
+        assert all(b <= a + 1e-12 for a, b in zip(maes, maes[1:]))
+
+
+class TestDecisionEngineProperties:
+    @given(point_list, st.floats(min_value=0.5, max_value=60.0))
+    @settings(max_examples=100, deadline=None)
+    def test_selection_is_admissible_and_energy_minimal(self, points, max_mae):
+        table = ConfigurationTable(as_profiled(points))
+        engine = DecisionEngine(table, use_pareto_only=False)
+        constraint = Constraint.max_mae(max_mae)
+        try:
+            selected = engine.select_configuration(constraint, connected=True)
+        except NoFeasibleConfigurationError:
+            assert all(c.mae_bpm > max_mae for c in table)
+            return
+        assert selected.mae_bpm <= max_mae
+        admissible = [c for c in table if c.mae_bpm <= max_mae]
+        assert selected.watch_energy_j == pytest.approx(
+            min(c.watch_energy_j for c in admissible)
+        )
+
+    @given(point_list, st.floats(min_value=1e-3, max_value=60.0))
+    @settings(max_examples=100, deadline=None)
+    def test_energy_constraint_selection_is_mae_minimal(self, points, max_energy_mj):
+        table = ConfigurationTable(as_profiled(points))
+        engine = DecisionEngine(table, use_pareto_only=False)
+        constraint = Constraint.max_energy_mj(max_energy_mj)
+        try:
+            selected = engine.select_configuration(constraint, connected=True)
+        except NoFeasibleConfigurationError:
+            assert all(c.watch_energy_j > constraint.value for c in table)
+            return
+        assert selected.watch_energy_j <= constraint.value
+        admissible = [c for c in table if c.watch_energy_j <= constraint.value]
+        assert selected.mae_bpm == pytest.approx(min(c.mae_bpm for c in admissible))
+
+    @given(point_list)
+    @settings(max_examples=50, deadline=None)
+    def test_pareto_engine_selection_never_worse_than_full_table(self, points):
+        """Restricting the search to the Pareto front never degrades the
+        selected energy for an MAE constraint (fronts preserve optimality)."""
+        table = ConfigurationTable(as_profiled(points))
+        full = DecisionEngine(table, use_pareto_only=False)
+        pareto = DecisionEngine(table, use_pareto_only=True)
+        constraint = Constraint.max_mae(np.median([c.mae_bpm for c in table]) + 0.1)
+        try:
+            full_choice = full.select_configuration(constraint)
+            pareto_choice = pareto.select_configuration(constraint)
+        except NoFeasibleConfigurationError:
+            return
+        assert pareto_choice.watch_energy_j == pytest.approx(full_choice.watch_energy_j)

@@ -1,0 +1,142 @@
+"""Tests for repro.signal.filters."""
+
+import numpy as np
+import pytest
+
+from repro.signal.filters import (
+    butter_bandpass,
+    butter_bandpass_filter,
+    detrend,
+    fir_lowpass,
+    moving_average,
+    normalize,
+    standardize,
+)
+
+
+class TestMovingAverage:
+    def test_constant_signal_is_unchanged(self):
+        x = np.full(50, 3.7)
+        assert np.allclose(moving_average(x, 8), 3.7)
+
+    def test_window_one_returns_copy(self):
+        x = np.arange(10.0)
+        out = moving_average(x, 1)
+        assert np.array_equal(out, x)
+        out[0] = 99.0
+        assert x[0] == 0.0
+
+    def test_matches_naive_rolling_mean(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        window = 7
+        out = moving_average(x, window)
+        for i in range(window - 1, x.size):
+            assert out[i] == pytest.approx(x[i - window + 1:i + 1].mean())
+
+    def test_warmup_uses_expanding_mean(self):
+        x = np.array([2.0, 4.0, 6.0, 8.0])
+        out = moving_average(x, 3)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(3.0)
+        assert out[2] == pytest.approx(4.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones((4, 4)), 2)
+
+    def test_window_longer_than_signal(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = moving_average(x, 10)
+        assert np.allclose(out, [1.0, 1.5, 2.0])
+
+
+class TestButterBandpass:
+    def test_passband_preserved_stopband_attenuated(self):
+        fs = 32.0
+        t = np.arange(0, 30, 1 / fs)
+        in_band = np.sin(2 * np.pi * 1.5 * t)   # 90 BPM, inside the band
+        out_band = np.sin(2 * np.pi * 8.0 * t)  # far above the band
+        filtered = butter_bandpass_filter(in_band + out_band, 0.5, 3.7, fs)
+        # Correlation with the in-band component should dominate.
+        corr_in = np.corrcoef(filtered, in_band)[0, 1]
+        corr_out = np.corrcoef(filtered, out_band)[0, 1]
+        assert corr_in > 0.95
+        assert abs(corr_out) < 0.2
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            butter_bandpass(3.0, 1.0, 32.0)
+        with pytest.raises(ValueError):
+            butter_bandpass(0.5, 20.0, 32.0)
+
+    def test_short_signal_falls_back_to_causal(self):
+        x = np.ones(10)
+        out = butter_bandpass_filter(x, 0.5, 3.0, 32.0)
+        assert out.shape == x.shape
+
+
+class TestFirLowpass:
+    def test_removes_high_frequency(self):
+        fs = 32.0
+        t = np.arange(0, 20, 1 / fs)
+        slow = np.sin(2 * np.pi * 0.5 * t)
+        fast = np.sin(2 * np.pi * 10.0 * t)
+        filtered = fir_lowpass(slow + fast, cutoff=2.0, fs=fs)
+        assert np.corrcoef(filtered, slow)[0, 1] > 0.95
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            fir_lowpass(np.ones(100), cutoff=20.0, fs=32.0)
+
+
+class TestDetrend:
+    def test_removes_linear_trend(self):
+        t = np.arange(100.0)
+        x = 3.0 * t + 7.0
+        assert np.allclose(detrend(x), 0.0, atol=1e-8)
+
+    def test_preserves_oscillation(self):
+        t = np.arange(200.0)
+        osc = np.sin(2 * np.pi * t / 20)
+        x = osc + 0.05 * t
+        out = detrend(x)
+        assert np.corrcoef(out, osc)[0, 1] > 0.99
+
+    def test_short_signal(self):
+        assert detrend(np.array([5.0])).shape == (1,)
+
+
+class TestNormalize:
+    def test_max_abs_is_one(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=64) * 17.0
+        assert np.max(np.abs(normalize(x))) == pytest.approx(1.0)
+
+    def test_zero_signal_stays_zero(self):
+        assert np.all(normalize(np.zeros(10)) == 0.0)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(5.0, 3.0, size=500)
+        out = standardize(x)
+        assert out.mean() == pytest.approx(0.0, abs=1e-9)
+        assert out.std() == pytest.approx(1.0, rel=1e-4)
+
+    def test_batch_axis_handling(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(8, 100)) * np.arange(1, 9)[:, None]
+        out = standardize(x, axis=-1)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, rtol=1e-3)
+
+    def test_constant_signal_does_not_blow_up(self):
+        out = standardize(np.full(20, 2.0))
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, 0.0)

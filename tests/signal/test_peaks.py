@@ -1,0 +1,118 @@
+"""Tests for repro.signal.peaks."""
+
+import numpy as np
+import pytest
+
+from repro.signal.peaks import (
+    adaptive_threshold_peaks,
+    count_sign_changes,
+    find_peaks_simple,
+    peak_intervals_to_bpm,
+)
+
+
+def synthetic_pulse_train(bpm: float, fs: float = 32.0, duration_s: float = 20.0) -> np.ndarray:
+    """Sharp periodic pulses at a known rate."""
+    t = np.arange(0, duration_s, 1 / fs)
+    phase = (t * bpm / 60.0) % 1.0
+    return np.exp(-0.5 * ((phase - 0.3) / 0.05) ** 2)
+
+
+class TestFindPeaksSimple:
+    def test_finds_all_peaks_of_a_pulse_train(self):
+        x = synthetic_pulse_train(60.0)
+        peaks = find_peaks_simple(x, min_distance=10)
+        # 60 BPM for 20 s -> about 20 peaks.
+        assert 18 <= peaks.size <= 21
+
+    def test_min_distance_is_enforced(self):
+        x = synthetic_pulse_train(120.0)
+        peaks = find_peaks_simple(x, min_distance=20)
+        assert np.all(np.diff(peaks) >= 20)
+
+    def test_min_height_filters_small_peaks(self):
+        x = np.zeros(50)
+        x[10] = 1.0
+        x[30] = 0.2
+        peaks = find_peaks_simple(x, min_height=0.5)
+        assert list(peaks) == [10]
+
+    def test_short_and_empty_signals(self):
+        assert find_peaks_simple(np.array([])).size == 0
+        assert find_peaks_simple(np.array([1.0, 2.0])).size == 0
+
+    def test_rejects_bad_min_distance(self):
+        with pytest.raises(ValueError):
+            find_peaks_simple(np.ones(10), min_distance=0)
+
+    def test_monotonic_signal_has_no_peaks(self):
+        assert find_peaks_simple(np.arange(20.0)).size == 0
+
+
+class TestAdaptiveThresholdPeaks:
+    def test_detects_pulse_train_rate(self):
+        fs = 32.0
+        x = synthetic_pulse_train(75.0, fs=fs)
+        peaks = adaptive_threshold_peaks(x, window=24)
+        bpm = peak_intervals_to_bpm(peaks, fs)
+        assert bpm == pytest.approx(75.0, abs=6.0)
+
+    def test_one_peak_per_region_of_interest(self):
+        x = np.zeros(100)
+        x[20:25] = [1, 3, 5, 3, 1]
+        x[60:65] = [1, 2, 6, 2, 1]
+        peaks = adaptive_threshold_peaks(x, window=24)
+        assert list(peaks) == [22, 62]
+
+    def test_flat_signal_yields_no_peaks(self):
+        assert adaptive_threshold_peaks(np.zeros(64)).size == 0
+
+    def test_empty_signal(self):
+        assert adaptive_threshold_peaks(np.array([])).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            adaptive_threshold_peaks(np.ones((4, 4)))
+
+
+class TestPeakIntervalsToBpm:
+    def test_exact_rate_from_uniform_peaks(self):
+        fs = 32.0
+        peaks = np.arange(0, 320, 32)  # one peak per second -> 60 BPM
+        assert peak_intervals_to_bpm(peaks, fs) == pytest.approx(60.0)
+
+    def test_too_few_peaks_gives_nan(self):
+        assert np.isnan(peak_intervals_to_bpm(np.array([5]), 32.0))
+
+    def test_implausible_intervals_are_discarded(self):
+        fs = 32.0
+        # One valid 1-second interval plus an absurd 1-sample interval.
+        peaks = np.array([0, 32, 33])
+        assert peak_intervals_to_bpm(peaks, fs) == pytest.approx(60.0)
+
+    def test_all_implausible_gives_nan(self):
+        peaks = np.array([0, 1, 2])
+        assert np.isnan(peak_intervals_to_bpm(peaks, 32.0))
+
+
+class TestCountSignChanges:
+    def test_pure_sinusoid(self):
+        t = np.arange(0, 4, 1 / 32)
+        x = np.sin(2 * np.pi * 1.0 * t)  # 4 cycles -> ~8 derivative sign changes
+        changes = count_sign_changes(x)
+        assert 7 <= changes <= 9
+
+    def test_monotonic_has_zero(self):
+        assert count_sign_changes(np.arange(50.0)) == 0
+
+    def test_constant_has_zero(self):
+        assert count_sign_changes(np.full(30, 2.0)) == 0
+
+    def test_short_signal(self):
+        assert count_sign_changes(np.array([1.0, 2.0])) == 0
+
+    def test_faster_oscillation_has_more_changes(self):
+        t = np.arange(0, 8, 1 / 32)
+        slow = count_sign_changes(np.sin(2 * np.pi * 0.5 * t))
+        fast = count_sign_changes(np.sin(2 * np.pi * 3.0 * t))
+        assert fast > slow

@@ -1,0 +1,65 @@
+"""Tests for repro.signal.resample."""
+
+import numpy as np
+import pytest
+
+from repro.signal.resample import linear_resample, resample_to_rate
+
+
+class TestLinearResample:
+    def test_identity_when_length_matches(self):
+        x = np.arange(10.0)
+        assert np.allclose(linear_resample(x, 10), x)
+
+    def test_upsampling_preserves_endpoints(self):
+        x = np.array([0.0, 1.0, 4.0])
+        out = linear_resample(x, 9)
+        assert out[0] == pytest.approx(0.0)
+        assert out[-1] == pytest.approx(4.0)
+        assert out.shape == (9,)
+
+    def test_linear_signal_is_exact(self):
+        x = np.linspace(0, 5, 11)
+        out = linear_resample(x, 23)
+        assert np.allclose(out, np.linspace(0, 5, 23))
+
+    def test_2d_channels_resampled_independently(self):
+        x = np.stack([np.linspace(0, 1, 20), np.linspace(5, 0, 20)], axis=1)
+        out = linear_resample(x, 40)
+        assert out.shape == (40, 2)
+        assert out[0, 1] == pytest.approx(5.0)
+        assert out[-1, 1] == pytest.approx(0.0)
+
+    def test_single_sample_broadcast(self):
+        out = linear_resample(np.array([3.0]), 5)
+        assert np.allclose(out, 3.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            linear_resample(np.arange(5.0), 0)
+        with pytest.raises(ValueError):
+            linear_resample(np.array([]), 4)
+        with pytest.raises(ValueError):
+            linear_resample(np.zeros((2, 2, 2)), 4)
+
+
+class TestResampleToRate:
+    def test_64_to_32_halves_length(self):
+        x = np.arange(640.0)
+        out = resample_to_rate(x, 64.0, 32.0)
+        assert out.shape == (320,)
+
+    def test_frequency_content_preserved(self):
+        fs_in, fs_out = 64.0, 32.0
+        t = np.arange(0, 10, 1 / fs_in)
+        x = np.sin(2 * np.pi * 1.0 * t)
+        out = resample_to_rate(x, fs_in, fs_out)
+        t_out = np.arange(out.size) / fs_out
+        expected = np.sin(2 * np.pi * 1.0 * t_out)
+        assert np.corrcoef(out, expected)[0, 1] > 0.99
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            resample_to_rate(np.arange(10.0), 0.0, 32.0)
+        with pytest.raises(ValueError):
+            resample_to_rate(np.arange(10.0), 32.0, -1.0)

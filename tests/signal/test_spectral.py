@@ -1,0 +1,107 @@
+"""Tests for repro.signal.spectral."""
+
+import numpy as np
+import pytest
+
+from repro.signal.spectral import (
+    dominant_frequency,
+    hr_from_spectrum,
+    power_spectrum,
+    spectral_entropy,
+    welch_spectrum,
+)
+
+
+def sinusoid(freq_hz: float, fs: float = 32.0, duration_s: float = 8.0) -> np.ndarray:
+    t = np.arange(0, duration_s, 1 / fs)
+    return np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestPowerSpectrum:
+    def test_peak_at_signal_frequency(self):
+        freqs, power = power_spectrum(sinusoid(2.0), 32.0)
+        assert freqs[np.argmax(power)] == pytest.approx(2.0, abs=0.05)
+
+    def test_zero_padding_refines_grid(self):
+        freqs, _ = power_spectrum(sinusoid(1.0), 32.0, nfft=4096)
+        assert freqs[1] - freqs[0] == pytest.approx(32.0 / 4096)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.array([]), 32.0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.ones((4, 4)), 32.0)
+
+
+class TestWelchSpectrum:
+    def test_peak_at_signal_frequency(self):
+        freqs, power = welch_spectrum(sinusoid(1.5, duration_s=30.0), 32.0)
+        assert freqs[np.argmax(power)] == pytest.approx(1.5, abs=0.1)
+
+    def test_short_signal_falls_back(self):
+        freqs, power = welch_spectrum(sinusoid(1.0, duration_s=2.0), 32.0, segment_length=256)
+        assert freqs.shape == power.shape
+
+    def test_welch_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        x = sinusoid(1.0, duration_s=60.0) + rng.normal(0, 1.0, size=60 * 32)
+        _, p_single = power_spectrum(x, 32.0, nfft=1024)
+        _, p_welch = welch_spectrum(x, 32.0, segment_length=128)
+
+        def noise_floor_cv(p: np.ndarray) -> float:
+            band = p[int(0.8 * p.size):int(0.95 * p.size)]
+            return float(np.std(band) / np.mean(band))
+
+        # A raw periodogram's noise floor fluctuates with a coefficient of
+        # variation near 1; Welch averaging of K segments reduces it by
+        # roughly sqrt(K).
+        assert noise_floor_cv(p_welch) < 0.6 * noise_floor_cv(p_single)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            welch_spectrum(sinusoid(1.0), 32.0, overlap=1.5)
+
+
+class TestDominantFrequency:
+    def test_recovers_frequency(self):
+        assert dominant_frequency(sinusoid(1.2), 32.0) == pytest.approx(1.2, abs=0.05)
+
+    def test_band_restriction(self):
+        # Strong out-of-band component should be ignored.
+        x = 3.0 * sinusoid(6.0) + sinusoid(1.0)
+        assert dominant_frequency(x, 32.0, band=(0.5, 3.7)) == pytest.approx(1.0, abs=0.05)
+
+    def test_band_outside_support_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency(sinusoid(1.0), 32.0, band=(100.0, 200.0))
+
+
+class TestHrFromSpectrum:
+    def test_hr_of_75_bpm_signal(self):
+        x = sinusoid(75.0 / 60.0)
+        assert hr_from_spectrum(x, 32.0) == pytest.approx(75.0, abs=3.0)
+
+
+class TestSpectralEntropy:
+    def test_pure_tone_has_lower_entropy_than_noise(self):
+        rng = np.random.default_rng(7)
+        tone = spectral_entropy(sinusoid(1.5), 32.0)
+        noise = spectral_entropy(rng.normal(size=256), 32.0)
+        assert tone < 0.5
+        assert tone < noise - 0.2
+
+    def test_white_noise_has_high_entropy(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=256)
+        assert spectral_entropy(noise, 32.0) > 0.7
+
+    def test_silence_has_zero_entropy(self):
+        assert spectral_entropy(np.zeros(256), 32.0) == 0.0
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.normal(size=128)
+            assert 0.0 <= spectral_entropy(x, 32.0) <= 1.0

@@ -1,0 +1,96 @@
+"""Tests for repro.signal.windowing."""
+
+import numpy as np
+import pytest
+
+from repro.signal.windowing import (
+    DEFAULT_WINDOW_SPEC,
+    WindowSpec,
+    label_windows,
+    num_windows,
+    sliding_windows,
+    window_start_times,
+)
+
+
+class TestWindowSpec:
+    def test_paper_geometry(self):
+        spec = DEFAULT_WINDOW_SPEC
+        assert spec.length == 256
+        assert spec.stride == 64
+        assert spec.fs == 32.0
+        assert spec.duration_s == pytest.approx(8.0)
+        assert spec.stride_s == pytest.approx(2.0)
+
+    def test_num_windows_formula(self):
+        spec = WindowSpec(length=256, stride=64)
+        assert spec.num_windows(255) == 0
+        assert spec.num_windows(256) == 1
+        assert spec.num_windows(256 + 64) == 2
+        assert spec.num_windows(256 + 63) == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSpec(length=0)
+        with pytest.raises(ValueError):
+            WindowSpec(stride=-1)
+        with pytest.raises(ValueError):
+            WindowSpec(fs=0)
+
+
+class TestSlidingWindows:
+    def test_1d_shapes_and_content(self):
+        x = np.arange(256 + 3 * 64)
+        windows = sliding_windows(x)
+        assert windows.shape == (4, 256)
+        assert np.array_equal(windows[0], x[:256])
+        assert np.array_equal(windows[3], x[192:192 + 256])
+
+    def test_2d_multichannel(self):
+        x = np.arange(300 * 3).reshape(300, 3)
+        spec = WindowSpec(length=100, stride=50)
+        windows = sliding_windows(x, spec)
+        assert windows.shape == (5, 100, 3)
+        assert np.array_equal(windows[1], x[50:150])
+
+    def test_too_short_signal(self):
+        out = sliding_windows(np.arange(10), WindowSpec(length=100, stride=50))
+        assert out.shape == (0, 100)
+
+    def test_windows_are_copies(self):
+        x = np.zeros(300)
+        windows = sliding_windows(x, WindowSpec(length=100, stride=100))
+        windows[0, 0] = 42.0
+        assert x[0] == 0.0
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros((10, 3, 2)))
+
+    def test_count_matches_num_windows(self):
+        x = np.zeros(1000)
+        spec = WindowSpec(length=256, stride=64)
+        assert sliding_windows(x, spec).shape[0] == num_windows(1000, spec)
+
+
+class TestWindowStartTimes:
+    def test_times_match_stride(self):
+        times = window_start_times(256 + 64 * 4)
+        assert np.allclose(times, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+
+class TestLabelWindows:
+    def test_majority_label(self):
+        spec = WindowSpec(length=10, stride=10)
+        labels = np.array([0] * 4 + [1] * 6 + [2] * 10)
+        out = label_windows(labels, spec)
+        assert list(out) == [1, 2]
+
+    def test_uniform_labels(self):
+        spec = WindowSpec(length=8, stride=4)
+        labels = np.full(20, 7)
+        assert np.all(label_windows(labels, spec) == 7)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            label_windows(np.zeros((5, 2), dtype=int))
