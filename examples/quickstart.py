@@ -58,7 +58,14 @@ def main() -> None:
     print(f"battery life at this operating point: "
           f"{estimate_lifetime_hours(result.mean_watch_energy_j) / 24:.1f} days "
           f"(vs {estimate_lifetime_hours(small_local.watch_energy_j) / 24:.1f} days "
-          f"for TimePPG-Small always on the watch)")
+          f"for TimePPG-Small always on the watch)\n")
+
+    print("== replaying a whole fleet through the batched runtime ==")
+    fleet_corpus = SyntheticDaliaGenerator(
+        SyntheticDatasetConfig(n_subjects=3, activity_duration_s=60.0, seed=7)
+    ).generate_windowed()
+    fleet = experiment.run_fleet(fleet_corpus, constraint)
+    print(fleet.summary())
 
 
 if __name__ == "__main__":

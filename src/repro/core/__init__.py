@@ -30,7 +30,7 @@ from repro.core.configuration import (
 from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, ProfilingData
 from repro.core.pareto import is_dominated, pareto_front, pareto_indices
 from repro.core.decision_engine import Constraint, ConstraintKind, DecisionEngine
-from repro.core.runtime import CHRISRuntime, RunResult, WindowDecision
+from repro.core.runtime import CHRISRuntime, FleetResult, RunResult, WindowDecision
 
 __all__ = [
     "ModelsZoo",
@@ -49,6 +49,7 @@ __all__ = [
     "ConstraintKind",
     "DecisionEngine",
     "CHRISRuntime",
+    "FleetResult",
     "RunResult",
     "WindowDecision",
 ]

@@ -1,4 +1,4 @@
-"""CHRIS runtime simulator.
+"""CHRIS runtime simulator (vectorized batched execution engine).
 
 The runtime plays a windowed recording through the full CHRIS loop: the
 decision engine selects a configuration from the stored table according to
@@ -9,11 +9,40 @@ predictor produces the HR estimate, and the hardware co-model charges the
 corresponding energy.  The result mirrors what the paper measures on the
 real system: per-window decisions, overall MAE, per-prediction smartwatch
 energy, and offload statistics.
+
+Execution model
+---------------
+Processing is split into a cheap *planning* phase and an *execution*
+phase:
+
+1. **Plan** — difficulty prediction, configuration (re-)selection and
+   per-window model routing are computed up front as NumPy arrays.  For
+   :meth:`CHRISRuntime.run_with_connection_trace` the plan is built
+   segment-wise: the feasible configuration set changes with the BLE
+   status, so the engine re-selects exactly at each connection-status
+   change and phone targets degrade to the watch while disconnected.
+2. **Execute** — by default window indices are grouped by model and each
+   group is dispatched through the predictor's batch
+   :meth:`~repro.models.base.HeartRatePredictor.predict` API, with
+   per-window costs filled from a cached per-``(deployment, target)``
+   lookup (:meth:`repro.hw.platform.WearableSystem.cached_prediction_cost`).
+   Within each group the windows keep their recording order, so stateful
+   predictors (trackers, calibrated error models with a private random
+   stream) see exactly the same inputs in exactly the same order as the
+   reference per-window path — the two paths are decision-for-decision
+   identical.  Pass ``batched=False`` (or construct the runtime with
+   ``batched=False``) to force the reference per-window path.
+
+Results are stored as a struct-of-arrays :class:`RunResult`; the familiar
+:class:`WindowDecision` objects are materialized lazily on first access to
+:attr:`RunResult.decisions`.  :meth:`CHRISRuntime.run_many` replays a
+fleet of subjects and aggregates them into a :class:`FleetResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -50,31 +79,170 @@ class WindowDecision:
         return self.target is ExecutionTarget.PHONE
 
 
-@dataclass
+def _empty_float() -> np.ndarray:
+    return np.empty(0, dtype=float)
+
+
+def _empty_int() -> np.ndarray:
+    return np.empty(0, dtype=int)
+
+
+#: RunResult per-window array fields, in declaration order; also the order
+#: in which :func:`_cost_values` unpacks a :class:`PredictionCost`.
+_COST_FIELDS = (
+    "watch_compute_j",
+    "watch_radio_j",
+    "watch_idle_j",
+    "phone_compute_j",
+    "latency_s",
+)
+
+
+def _cost_values(cost: PredictionCost) -> tuple[float, ...]:
+    """The cost components in :data:`_COST_FIELDS` order."""
+    return tuple(getattr(cost, name) for name in _COST_FIELDS)
+
+
+@dataclass(eq=False)
 class RunResult:
-    """Aggregate outcome of a CHRIS run over a recording."""
+    """Aggregate outcome of a CHRIS run over a recording.
+
+    The per-window data lives in parallel NumPy arrays (one entry per
+    window, in recording order); every aggregate metric is computed
+    vectorized from them.  :attr:`decisions` materializes the classic
+    :class:`WindowDecision` view lazily for callers that want per-window
+    objects.
+    """
 
     configuration: ProfiledConfiguration
-    decisions: list[WindowDecision] = field(default_factory=list)
+    window_index: np.ndarray = field(default_factory=_empty_int)
+    predicted_difficulty: np.ndarray = field(default_factory=_empty_int)
+    true_difficulty: np.ndarray = field(default_factory=_empty_int)
+    model_names: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=object))
+    offloaded: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    predicted_hr: np.ndarray = field(default_factory=_empty_float)
+    true_hr: np.ndarray = field(default_factory=_empty_float)
+    watch_compute_j: np.ndarray = field(default_factory=_empty_float)
+    watch_radio_j: np.ndarray = field(default_factory=_empty_float)
+    watch_idle_j: np.ndarray = field(default_factory=_empty_float)
+    phone_compute_j: np.ndarray = field(default_factory=_empty_float)
+    latency_s: np.ndarray = field(default_factory=_empty_float)
+    #: ``(start_window_index, configuration)`` for every stretch of windows
+    #: processed under one configuration; a single entry for plain runs,
+    #: one entry per connection-status change for traced runs.
+    configuration_segments: list[tuple[int, ProfiledConfiguration]] = field(default_factory=list)
+    _decisions: tuple[WindowDecision, ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ would raise on array fields; keep
+        # the value semantics the list-based representation had.
+        if not isinstance(other, RunResult):
+            return NotImplemented
+        if (
+            self.configuration != other.configuration
+            or self.configuration_segments != other.configuration_segments
+        ):
+            return False
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in (
+                "window_index",
+                "predicted_difficulty",
+                "true_difficulty",
+                "model_names",
+                "offloaded",
+                "predicted_hr",
+                "true_hr",
+                *_COST_FIELDS,
+            )
+        )
+
+    # ------------------------------------------------------------ lazy view
+    @property
+    def decisions(self) -> tuple[WindowDecision, ...]:
+        """Per-window decisions, materialized lazily from the arrays."""
+        if self._decisions is None:
+            self._decisions = tuple(
+                WindowDecision(
+                    window_index=int(self.window_index[i]),
+                    predicted_difficulty=int(self.predicted_difficulty[i]),
+                    true_difficulty=int(self.true_difficulty[i]),
+                    model_name=str(self.model_names[i]),
+                    target=ExecutionTarget.PHONE if self.offloaded[i] else ExecutionTarget.WATCH,
+                    predicted_hr=float(self.predicted_hr[i]),
+                    true_hr=float(self.true_hr[i]),
+                    cost=PredictionCost(
+                        model_name=str(self.model_names[i]),
+                        target=ExecutionTarget.PHONE
+                        if self.offloaded[i]
+                        else ExecutionTarget.WATCH,
+                        watch_compute_j=float(self.watch_compute_j[i]),
+                        watch_radio_j=float(self.watch_radio_j[i]),
+                        watch_idle_j=float(self.watch_idle_j[i]),
+                        phone_compute_j=float(self.phone_compute_j[i]),
+                        latency_s=float(self.latency_s[i]),
+                    ),
+                )
+                for i in range(self.n_windows)
+            )
+        return self._decisions
+
+    @classmethod
+    def from_decisions(
+        cls,
+        configuration: ProfiledConfiguration,
+        decisions: Sequence[WindowDecision],
+        configuration_segments: list[tuple[int, ProfiledConfiguration]] | None = None,
+    ) -> "RunResult":
+        """Build a result from per-window decision objects (compat helper)."""
+        return cls(
+            configuration=configuration,
+            window_index=np.array([d.window_index for d in decisions], dtype=int),
+            predicted_difficulty=np.array([d.predicted_difficulty for d in decisions], dtype=int),
+            true_difficulty=np.array([d.true_difficulty for d in decisions], dtype=int),
+            model_names=np.array([d.model_name for d in decisions], dtype=object),
+            offloaded=np.array([d.offloaded for d in decisions], dtype=bool),
+            predicted_hr=np.array([d.predicted_hr for d in decisions], dtype=float),
+            true_hr=np.array([d.true_hr for d in decisions], dtype=float),
+            watch_compute_j=np.array([d.cost.watch_compute_j for d in decisions], dtype=float),
+            watch_radio_j=np.array([d.cost.watch_radio_j for d in decisions], dtype=float),
+            watch_idle_j=np.array([d.cost.watch_idle_j for d in decisions], dtype=float),
+            phone_compute_j=np.array([d.cost.phone_compute_j for d in decisions], dtype=float),
+            latency_s=np.array([d.cost.latency_s for d in decisions], dtype=float),
+            configuration_segments=list(configuration_segments or []),
+        )
+
+    # ------------------------------------------------------------ aggregates
     @property
     def n_windows(self) -> int:
         """Number of processed windows."""
-        return len(self.decisions)
+        return int(self.window_index.shape[0])
+
+    @property
+    def absolute_errors(self) -> np.ndarray:
+        """Per-window absolute HR error (BPM)."""
+        return np.abs(self.predicted_hr - self.true_hr)
+
+    @property
+    def watch_total_j_per_window(self) -> np.ndarray:
+        """Per-window total smartwatch energy (J)."""
+        return self.watch_compute_j + self.watch_radio_j + self.watch_idle_j
 
     @property
     def mae_bpm(self) -> float:
         """Mean absolute HR error over the run."""
-        if not self.decisions:
+        if self.n_windows == 0:
             return float("nan")
-        return float(np.mean([d.absolute_error for d in self.decisions]))
+        return float(np.mean(self.absolute_errors))
 
     @property
     def mean_watch_energy_j(self) -> float:
         """Average smartwatch energy per prediction (J)."""
-        if not self.decisions:
+        if self.n_windows == 0:
             return float("nan")
-        return float(np.mean([d.cost.watch_total_j for d in self.decisions]))
+        return float(np.mean(self.watch_total_j_per_window))
 
     @property
     def mean_watch_energy_mj(self) -> float:
@@ -84,35 +252,33 @@ class RunResult:
     @property
     def mean_phone_energy_j(self) -> float:
         """Average phone energy per prediction (J)."""
-        if not self.decisions:
+        if self.n_windows == 0:
             return float("nan")
-        return float(np.mean([d.cost.phone_compute_j for d in self.decisions]))
+        return float(np.mean(self.phone_compute_j))
 
     @property
     def total_watch_energy_j(self) -> float:
         """Total smartwatch energy over the run (J)."""
-        return float(np.sum([d.cost.watch_total_j for d in self.decisions]))
+        return float(np.sum(self.watch_total_j_per_window))
 
     @property
     def offload_fraction(self) -> float:
         """Fraction of windows processed on the phone."""
-        if not self.decisions:
+        if self.n_windows == 0:
             return 0.0
-        return float(np.mean([d.offloaded for d in self.decisions]))
+        return float(np.mean(self.offloaded))
 
     @property
     def mean_latency_s(self) -> float:
         """Average end-to-end prediction latency (s)."""
-        if not self.decisions:
+        if self.n_windows == 0:
             return float("nan")
-        return float(np.mean([d.cost.latency_s for d in self.decisions]))
+        return float(np.mean(self.latency_s))
 
     def per_model_counts(self) -> dict[str, int]:
         """Number of windows handled by each model."""
-        counts: dict[str, int] = {}
-        for decision in self.decisions:
-            counts[decision.model_name] = counts.get(decision.model_name, 0) + 1
-        return counts
+        names, counts = np.unique(self.model_names.astype(str), return_counts=True)
+        return {str(name): int(count) for name, count in zip(names, counts)}
 
     def summary(self) -> str:
         """Compact one-paragraph report of the run."""
@@ -126,8 +292,109 @@ class RunResult:
         )
 
 
+@dataclass
+class FleetResult:
+    """Aggregate outcome of replaying many subjects (a device fleet).
+
+    Produced by :meth:`CHRISRuntime.run_many`; aggregates are weighted by
+    each subject's window count, so they equal the metrics of one long
+    concatenated run.
+    """
+
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def add(self, subject_id: str, result: RunResult) -> None:
+        """Record one subject's run."""
+        if subject_id in self.results:
+            raise ValueError(f"subject {subject_id!r} already recorded")
+        self.results[subject_id] = result
+
+    @property
+    def subject_ids(self) -> list[str]:
+        """Replayed subjects, in insertion order."""
+        return list(self.results)
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of replayed subjects."""
+        return len(self.results)
+
+    @property
+    def n_windows(self) -> int:
+        """Total windows across the fleet."""
+        return int(sum(r.n_windows for r in self.results.values()))
+
+    def _weighted_mean(self, values: Iterable[float]) -> float:
+        total_windows = self.n_windows
+        if total_windows == 0:
+            return float("nan")
+        weighted = sum(
+            v * r.n_windows for v, r in zip(values, self.results.values())
+        )
+        return float(weighted / total_windows)
+
+    @property
+    def mae_bpm(self) -> float:
+        """Window-weighted MAE over all subjects."""
+        return self._weighted_mean(r.mae_bpm for r in self.results.values())
+
+    @property
+    def mean_watch_energy_j(self) -> float:
+        """Window-weighted smartwatch energy per prediction (J)."""
+        return self._weighted_mean(r.mean_watch_energy_j for r in self.results.values())
+
+    @property
+    def offload_fraction(self) -> float:
+        """Window-weighted fraction of offloaded windows."""
+        return self._weighted_mean(r.offload_fraction for r in self.results.values())
+
+    def mae_per_subject(self) -> dict[str, float]:
+        """MAE of every subject's run."""
+        return {sid: r.mae_bpm for sid, r in self.results.items()}
+
+    def summary(self) -> str:
+        """One line per subject plus the fleet aggregate."""
+        lines = [f"{sid}: {r.summary()}" for sid, r in self.results.items()]
+        lines.append(
+            f"fleet: MAE {self.mae_bpm:.2f} BPM, "
+            f"watch energy {self.mean_watch_energy_j * 1e3:.3f} mJ/prediction, "
+            f"{100 * self.offload_fraction:.1f}% offloaded over "
+            f"{self.n_windows} windows from {self.n_subjects} subjects"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class _ExecutionPlan:
+    """Per-window routing computed up front, before any model executes.
+
+    Models are referenced by their index in the zoo's name order
+    (``model_codes``) so grouping and mask operations run on small
+    integers instead of string arrays.
+    """
+
+    configuration: ProfiledConfiguration
+    difficulties: np.ndarray
+    model_codes: np.ndarray
+    offloaded: np.ndarray
+    segments: list[tuple[int, ProfiledConfiguration]]
+
+
 class CHRISRuntime:
-    """End-to-end CHRIS execution over windowed recordings."""
+    """End-to-end CHRIS execution over windowed recordings.
+
+    Parameters
+    ----------
+    zoo, engine, system, activity_classifier:
+        The CHRIS building blocks (hardware co-model and difficulty
+        detector are optional).
+    batched:
+        Default execution path: ``True`` dispatches window groups through
+        the predictors' batch API (fast), ``False`` replays windows one by
+        one through ``predict_window`` (reference).  Both paths produce
+        identical decisions; each ``run*`` method also accepts a
+        per-call ``batched`` override.
+    """
 
     def __init__(
         self,
@@ -135,11 +402,13 @@ class CHRISRuntime:
         engine: DecisionEngine,
         system: WearableSystem | None = None,
         activity_classifier: ActivityClassifier | None = None,
+        batched: bool = True,
     ) -> None:
         self.zoo = zoo
         self.engine = engine
         self.system = system or WearableSystem()
         self.activity_classifier = activity_classifier
+        self.batched = batched
 
     # ------------------------------------------------------------ difficulty
     def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
@@ -147,12 +416,142 @@ class CHRISRuntime:
             return windows.difficulty
         return self.activity_classifier.predict_difficulty(windows.accel_windows)
 
+    # -------------------------------------------------------------- planning
+    def _reset_predictors(self) -> None:
+        """Clear temporal predictor state so runs never leak across subjects."""
+        for entry in self.zoo:
+            entry.predictor.reset()
+
+    def _model_code(self, name: str) -> int:
+        """Index of a model in the zoo's registration order."""
+        return self.zoo.names.index(name)
+
+    def _route_windows(
+        self,
+        configuration: ProfiledConfiguration,
+        difficulties: np.ndarray,
+        connected: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized model selection for a block of difficulty levels.
+
+        Returns ``(model_codes, offloaded)`` arrays; phone targets degrade
+        to the watch when the link is down, exactly like the per-window
+        reference path.
+        """
+        model_codes = np.zeros(difficulties.shape[0], dtype=np.intp)
+        offloaded = np.zeros(difficulties.shape[0], dtype=bool)
+        for level in np.unique(difficulties):
+            name, target = self.engine.select_model(configuration, int(level))
+            if target is ExecutionTarget.PHONE and not connected:
+                target = ExecutionTarget.WATCH
+            mask = difficulties == level
+            model_codes[mask] = self._model_code(name)
+            offloaded[mask] = target is ExecutionTarget.PHONE
+        return model_codes, offloaded
+
+    # ------------------------------------------------------------- execution
+    def _execute(self, windows: WindowedSubject, plan: _ExecutionPlan, batched: bool) -> RunResult:
+        if batched:
+            predicted_hr, costs = self._execute_batched(windows, plan)
+        else:
+            predicted_hr, costs = self._execute_scalar(windows, plan)
+        return RunResult(
+            configuration=plan.configuration,
+            window_index=np.arange(windows.n_windows, dtype=int),
+            predicted_difficulty=plan.difficulties.astype(int),
+            true_difficulty=windows.difficulty.astype(int),
+            model_names=np.array(self.zoo.names, dtype=object)[plan.model_codes],
+            offloaded=plan.offloaded,
+            predicted_hr=predicted_hr,
+            true_hr=np.asarray(windows.hr, dtype=float).copy(),
+            configuration_segments=plan.segments,
+            **dict(zip(_COST_FIELDS, costs)),
+        )
+
+    def _execute_batched(
+        self, windows: WindowedSubject, plan: _ExecutionPlan
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Group windows by model and dispatch each group as one batch.
+
+        Window order is preserved inside each group, so every predictor
+        consumes its windows in recording order — the property that makes
+        this path bit-identical to the per-window reference.
+        """
+        n = windows.n_windows
+        hr = np.asarray(windows.hr, dtype=float)
+        activity = np.asarray(windows.activity, dtype=int)
+        predicted_hr = np.empty(n, dtype=float)
+        for code, name in enumerate(self.zoo.names):
+            idx = np.flatnonzero(plan.model_codes == code)
+            if idx.size == 0:
+                continue
+            entry = self.zoo.entry(name)
+            if entry.predictor.REQUIRES_SIGNALS:
+                ppg = windows.ppg_windows[idx]
+                accel = windows.accel_windows[idx]
+            else:
+                # Signal-free predictors (calibrated stand-ins) only need
+                # the batch length and the context — skip the expensive
+                # fancy-indexed copies of the big signal arrays.
+                ppg = np.broadcast_to(
+                    windows.ppg_windows[:1], (idx.size,) + windows.ppg_windows.shape[1:]
+                )
+                accel = None
+            predictions = entry.predictor.predict(
+                ppg,
+                accel,
+                true_hr=hr[idx],
+                activity=activity[idx],
+            )
+            predicted_hr[idx] = np.asarray(predictions, dtype=float)
+
+        cost_arrays = tuple(np.empty(n, dtype=float) for _ in _COST_FIELDS)
+        for code, name in enumerate(self.zoo.names):
+            for offloaded in (False, True):
+                mask = (plan.model_codes == code) & (plan.offloaded == offloaded)
+                if not np.any(mask):
+                    continue
+                target = ExecutionTarget.PHONE if offloaded else ExecutionTarget.WATCH
+                cost = self.system.cached_prediction_cost(
+                    self.zoo.entry(name).deployment, target
+                )
+                for array, value in zip(cost_arrays, _cost_values(cost)):
+                    array[mask] = value
+        return predicted_hr, cost_arrays
+
+    def _execute_scalar(
+        self, windows: WindowedSubject, plan: _ExecutionPlan
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Reference per-window path: one ``predict_window`` call per window."""
+        n = windows.n_windows
+        entries = [self.zoo.entry(name) for name in self.zoo.names]
+        predicted_hr = np.empty(n, dtype=float)
+        cost_arrays = tuple(np.empty(n, dtype=float) for _ in _COST_FIELDS)
+        for i in range(n):
+            entry = entries[plan.model_codes[i]]
+            predicted_hr[i] = float(
+                entry.predictor.predict_window(
+                    windows.ppg_windows[i],
+                    windows.accel_windows[i],
+                    true_hr=float(windows.hr[i]),
+                    activity=int(windows.activity[i]),
+                )
+            )
+            if plan.offloaded[i]:
+                cost = self.system.offloaded_cost(entry.deployment)
+            else:
+                cost = self.system.local_prediction_cost(entry.deployment)
+            for array, value in zip(cost_arrays, _cost_values(cost)):
+                array[i] = value
+        return predicted_hr, cost_arrays
+
     # ----------------------------------------------------------------- run
     def run(
         self,
         windows: WindowedSubject,
         constraint: Constraint,
         use_oracle_difficulty: bool = False,
+        batched: bool | None = None,
     ) -> RunResult:
         """Process a windowed recording under a user constraint.
 
@@ -164,8 +563,40 @@ class CHRISRuntime:
             constraint, connected=self.system.connected
         )
         return self.run_with_configuration(
-            windows, configuration, use_oracle_difficulty=use_oracle_difficulty
+            windows,
+            configuration,
+            use_oracle_difficulty=use_oracle_difficulty,
+            batched=batched,
         )
+
+    def run_with_configuration(
+        self,
+        windows: WindowedSubject,
+        configuration: ProfiledConfiguration,
+        use_oracle_difficulty: bool = False,
+        batched: bool | None = None,
+    ) -> RunResult:
+        """Process a recording with an explicitly chosen configuration.
+
+        Phone-mapped windows degrade to local execution when the BLE link
+        is currently down (the configuration itself would be re-selected
+        at the next decision point).
+        """
+        if windows.n_windows == 0:
+            raise ValueError("the recording contains no windows")
+        self._reset_predictors()
+        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
+        model_codes, offloaded = self._route_windows(
+            configuration, difficulties, connected=self.system.connected
+        )
+        plan = _ExecutionPlan(
+            configuration=configuration,
+            difficulties=difficulties,
+            model_codes=model_codes,
+            offloaded=offloaded,
+            segments=[(0, configuration)],
+        )
+        return self._execute(windows, plan, self.batched if batched is None else batched)
 
     def run_with_connection_trace(
         self,
@@ -173,6 +604,7 @@ class CHRISRuntime:
         constraint: Constraint,
         connected: np.ndarray,
         use_oracle_difficulty: bool = False,
+        batched: bool | None = None,
     ) -> RunResult:
         """Process a recording while the BLE connection comes and goes.
 
@@ -180,10 +612,11 @@ class CHRISRuntime:
         decision engine re-selects the operating configuration every time
         the connection status changes (the behaviour Sec. III-B describes:
         the connection status restricts the feasible set), so the run may
-        switch between hybrid and local-only configurations mid-stream.
-        The returned :class:`RunResult` carries the configuration active at
-        the *end* of the run; per-window decisions record what actually
-        executed.
+        switch between hybrid and local-only configurations mid-stream;
+        the switch points are recorded in
+        :attr:`RunResult.configuration_segments`.  The returned
+        :class:`RunResult` carries the configuration active at the *end*
+        of the run; per-window decisions record what actually executed.
         """
         connected = np.asarray(connected, dtype=bool)
         if connected.shape != (windows.n_windows,):
@@ -194,85 +627,64 @@ class CHRISRuntime:
         if windows.n_windows == 0:
             raise ValueError("the recording contains no windows")
 
+        self._reset_predictors()
         difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
-        true_difficulties = windows.difficulty
-        previous_status = self.system.ble.connected
-        configuration = self.engine.select_or_closest(constraint, connected=bool(connected[0]))
-        result = RunResult(configuration=configuration)
-        try:
-            current_status: bool | None = None
-            for i in range(windows.n_windows):
-                status = bool(connected[i])
-                if status != current_status:
-                    configuration = self.engine.select_or_closest(constraint, connected=status)
-                    current_status = status
-                self.system.ble.connected = status
-                model_name, target = self.engine.select_model(configuration, int(difficulties[i]))
-                if target is ExecutionTarget.PHONE and not status:
-                    target = ExecutionTarget.WATCH
-                entry = self.zoo.entry(model_name)
-                predicted_hr = entry.predictor.predict_window(
-                    windows.ppg_windows[i],
-                    windows.accel_windows[i],
-                    true_hr=float(windows.hr[i]),
-                    activity=int(windows.activity[i]),
-                )
-                cost = self.system.prediction_cost(entry.deployment, target)
-                result.decisions.append(
-                    WindowDecision(
-                        window_index=i,
-                        predicted_difficulty=int(difficulties[i]),
-                        true_difficulty=int(true_difficulties[i]),
-                        model_name=model_name,
-                        target=target,
-                        predicted_hr=float(predicted_hr),
-                        true_hr=float(windows.hr[i]),
-                        cost=cost,
-                    )
-                )
-        finally:
-            self.system.ble.connected = previous_status
-        result.configuration = configuration
-        return result
 
-    def run_with_configuration(
+        n = windows.n_windows
+        model_codes = np.zeros(n, dtype=np.intp)
+        offloaded = np.zeros(n, dtype=bool)
+        segments: list[tuple[int, ProfiledConfiguration]] = []
+        configuration_by_status: dict[bool, ProfiledConfiguration] = {}
+
+        starts = np.concatenate([[0], np.flatnonzero(np.diff(connected)) + 1])
+        ends = np.concatenate([starts[1:], [n]])
+        for start, end in zip(starts, ends):
+            status = bool(connected[start])
+            if status not in configuration_by_status:
+                configuration_by_status[status] = self.engine.select_or_closest(
+                    constraint, connected=status
+                )
+            configuration = configuration_by_status[status]
+            segments.append((int(start), configuration))
+            codes, off = self._route_windows(
+                configuration, difficulties[start:end], connected=status
+            )
+            model_codes[start:end] = codes
+            offloaded[start:end] = off
+
+        plan = _ExecutionPlan(
+            configuration=segments[-1][1],
+            difficulties=difficulties,
+            model_codes=model_codes,
+            offloaded=offloaded,
+            segments=segments,
+        )
+        return self._execute(windows, plan, self.batched if batched is None else batched)
+
+    # ------------------------------------------------------------- run_many
+    def run_many(
         self,
-        windows: WindowedSubject,
-        configuration: ProfiledConfiguration,
+        subjects: Iterable[WindowedSubject],
+        constraint: Constraint,
         use_oracle_difficulty: bool = False,
-    ) -> RunResult:
-        """Process a recording with an explicitly chosen configuration."""
-        if windows.n_windows == 0:
-            raise ValueError("the recording contains no windows")
-        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
-        true_difficulties = windows.difficulty
-        result = RunResult(configuration=configuration)
+        batched: bool | None = None,
+    ) -> FleetResult:
+        """Replay a fleet of subjects under one constraint.
 
-        for i in range(windows.n_windows):
-            model_name, target = self.engine.select_model(configuration, int(difficulties[i]))
-            if target is ExecutionTarget.PHONE and not self.system.connected:
-                # Degraded mode: if the link drops mid-run the complex model
-                # falls back to local execution (the configuration itself
-                # would be re-selected at the next decision point).
-                target = ExecutionTarget.WATCH
-            entry = self.zoo.entry(model_name)
-            predicted_hr = entry.predictor.predict_window(
-                windows.ppg_windows[i],
-                windows.accel_windows[i],
-                true_hr=float(windows.hr[i]),
-                activity=int(windows.activity[i]),
+        Predictor state is reset before every subject (each run already
+        does that), so the order of subjects never changes any individual
+        result for stateless predictors; subjects are processed in the
+        given order.
+        """
+        fleet = FleetResult()
+        for subject in subjects:
+            fleet.add(
+                subject.subject_id,
+                self.run(
+                    subject,
+                    constraint,
+                    use_oracle_difficulty=use_oracle_difficulty,
+                    batched=batched,
+                ),
             )
-            cost = self.system.prediction_cost(entry.deployment, target)
-            result.decisions.append(
-                WindowDecision(
-                    window_index=i,
-                    predicted_difficulty=int(difficulties[i]),
-                    true_difficulty=int(true_difficulties[i]),
-                    model_name=model_name,
-                    target=target,
-                    predicted_hr=float(predicted_hr),
-                    true_hr=float(windows.hr[i]),
-                    cost=cost,
-                )
-            )
-        return result
+        return fleet

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from enum import IntEnum
 
+import numpy as np
+
 
 class Activity(IntEnum):
     """The eight PPG-DaLiA activities plus the resting baseline.
@@ -68,6 +70,25 @@ def difficulty_of(activity: Activity | int) -> int:
     identifier.
     """
     return ACTIVITY_DIFFICULTY[Activity(activity)]
+
+
+#: Difficulty level indexed by raw activity identifier (0–8); the lookup
+#: table behind :func:`difficulties_of`.
+DIFFICULTY_BY_ACTIVITY_ID = np.array(
+    [ACTIVITY_DIFFICULTY[activity] for activity in ACTIVITIES], dtype=int
+)
+
+
+def difficulties_of(activities: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`difficulty_of` over an array of raw identifiers."""
+    activities = np.asarray(activities, dtype=int)
+    if activities.size and (
+        activities.min() < 0 or activities.max() >= len(ACTIVITIES)
+    ):
+        raise ValueError(
+            f"activity identifiers must be in [0, {len(ACTIVITIES) - 1}]"
+        )
+    return DIFFICULTY_BY_ACTIVITY_ID[activities]
 
 
 def activities_by_difficulty() -> tuple[Activity, ...]:

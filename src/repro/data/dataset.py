@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.activities import Activity, difficulty_of
+from repro.data.activities import difficulties_of
 from repro.signal.windowing import DEFAULT_WINDOW_SPEC, WindowSpec, label_windows, sliding_windows
 
 
@@ -117,7 +117,7 @@ class WindowedSubject:
     @property
     def difficulty(self) -> np.ndarray:
         """Ground-truth difficulty level (1–9) of each window."""
-        return np.array([difficulty_of(Activity(a)) for a in self.activity], dtype=int)
+        return difficulties_of(self.activity)
 
 
 def window_subject(recording: SubjectRecording, spec: WindowSpec = DEFAULT_WINDOW_SPEC) -> WindowedSubject:

@@ -28,6 +28,7 @@ from repro.eval.figures import (
     fig4_configuration_space,
     fig5_threshold_sweep,
 )
+from repro.eval.benchmarking import benchmark_runtime, synthetic_workload
 from repro.eval.crossval import CrossValidationResult, run_cross_validation
 from repro.eval.reporting import comparison_table, format_table
 
@@ -43,6 +44,8 @@ __all__ = [
     "fig3_baseline_bars",
     "fig4_configuration_space",
     "fig5_threshold_sweep",
+    "benchmark_runtime",
+    "synthetic_workload",
     "CrossValidationResult",
     "run_cross_validation",
     "comparison_table",

@@ -1,0 +1,125 @@
+"""Runtime throughput benchmarking utilities.
+
+Shared by the checked-in throughput benchmark
+(``benchmarks/test_runtime_throughput.py``) and the perf-trajectory
+summary script (``benchmarks/summarize_runtime.py``): both measure the
+same fixed synthetic workload, so the numbers are comparable across PRs.
+
+The workload is a large windowed pseudo-recording built directly from
+arrays (no signal synthesis), replayed once through the reference
+per-window path and once through the batched path of
+:class:`~repro.core.runtime.CHRISRuntime`.  Besides the two throughputs
+(windows/second) the measurement records the batched run's accuracy and
+offload statistics and verifies that the two paths routed every window
+identically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.decision_engine import Constraint
+from repro.data.dataset import WindowedSubject
+from repro.signal.windowing import DEFAULT_WINDOW_SPEC
+
+
+def synthetic_workload(
+    n_windows: int = 10_000,
+    window_length: int = 256,
+    seed: int = 0,
+) -> WindowedSubject:
+    """A large windowed pseudo-recording for throughput measurements.
+
+    Activities cycle through all nine difficulty levels in contiguous
+    blocks (so every model of a hybrid configuration receives work), the
+    HR follows a slow sinusoid, and the raw signals are white noise — the
+    calibrated zoo never reads them, and the workload builds in
+    milliseconds instead of synthesizing hours of PPG.
+    """
+    if n_windows <= 0:
+        raise ValueError(f"n_windows must be positive, got {n_windows}")
+    rng = np.random.default_rng(seed)
+    activity = np.arange(n_windows, dtype=int) // max(1, n_windows // 90) % 9
+    hr = 70.0 + 30.0 * np.sin(np.linspace(0.0, 20.0 * np.pi, n_windows))
+    return WindowedSubject(
+        subject_id=f"synthetic-{n_windows}w",
+        ppg_windows=rng.standard_normal((n_windows, window_length)),
+        accel_windows=rng.standard_normal((n_windows, window_length, 3)),
+        activity=activity,
+        hr=hr,
+        spec=DEFAULT_WINDOW_SPEC,
+    )
+
+
+def benchmark_runtime(
+    experiment,
+    n_windows: int = 10_000,
+    constraint: Constraint | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Measure per-window vs. batched runtime throughput on one workload.
+
+    Parameters
+    ----------
+    experiment:
+        A :class:`~repro.eval.experiment.CalibratedExperiment` (its zoo,
+        engine and system are replayed).
+    n_windows:
+        Workload size (10k windows ≈ 5.5 h of recording at the paper's
+        2-second stride).
+    constraint:
+        Operating constraint; the paper's headline MAE ≤ 5.60 BPM bound
+        when omitted.
+    seed:
+        Workload generator seed.
+    repeats:
+        Timed repetitions per path; the best (minimum) time is reported,
+        which filters out scheduler and allocator noise.
+
+    Returns a JSON-serializable dict with both throughputs, the speedup,
+    the batched run's MAE / offload / energy statistics, and a
+    ``routing_identical`` flag confirming both paths made the same
+    per-window decisions.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    constraint = constraint or Constraint.max_mae(5.60)
+    workload = synthetic_workload(n_windows=n_windows, seed=seed)
+    runtime = experiment.runtime()
+    configuration = experiment.engine.select_or_closest(constraint, connected=True)
+
+    def timed(batched: bool):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = runtime.run_with_configuration(
+                workload, configuration, use_oracle_difficulty=True, batched=batched
+            )
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    scalar, scalar_s = timed(batched=False)
+    batched, batched_s = timed(batched=True)
+
+    routing_identical = bool(
+        np.array_equal(scalar.model_names.astype(str), batched.model_names.astype(str))
+        and np.array_equal(scalar.offloaded, batched.offloaded)
+        and np.allclose(scalar.watch_total_j_per_window, batched.watch_total_j_per_window)
+    )
+    return {
+        "n_windows": int(n_windows),
+        "configuration": configuration.label(),
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "scalar_windows_per_s": n_windows / scalar_s,
+        "batched_windows_per_s": n_windows / batched_s,
+        "speedup": scalar_s / batched_s,
+        "mae_bpm": batched.mae_bpm,
+        "offload_fraction": batched.offload_fraction,
+        "mean_watch_energy_mj": batched.mean_watch_energy_mj,
+        "routing_identical": routing_identical,
+    }

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime
 from repro.data.dataset import WindowedDataset
 from repro.data.splits import CrossValidationSplit, leave_subjects_out_folds
 from repro.ml.metrics import mean_absolute_error
@@ -104,6 +106,8 @@ def run_cross_validation(
     epochs: int = 5,
     max_folds: int | None = None,
     seed: int = 0,
+    chris_runtime: "CHRISRuntime | None" = None,
+    chris_constraint: "Constraint | None" = None,
 ) -> CrossValidationResult:
     """Run the leave-subjects-out protocol.
 
@@ -125,7 +129,15 @@ def run_cross_validation(
         examples and tests can run a representative subset.
     seed:
         Seed for network initialization and training shuffling.
+    chris_runtime, chris_constraint:
+        When both are given, every test subject is additionally replayed
+        end to end through the (batched) CHRIS runtime under the
+        constraint, and the achieved system-level MAE is recorded as the
+        pseudo-model ``"CHRIS"`` — so the adaptive system can be compared
+        against its constituent models fold by fold.
     """
+    if (chris_runtime is None) != (chris_constraint is None):
+        raise ValueError("chris_runtime and chris_constraint must be given together")
     splits = leave_subjects_out_folds(dataset.subject_ids, fold_size=fold_size)
     if max_folds is not None:
         splits = splits[:max_folds]
@@ -139,6 +151,10 @@ def run_cross_validation(
             predictor.reset()
             predictions = predictor.predict(test.ppg_windows, test.accel_windows)
             fold.mae_per_model[name] = mean_absolute_error(test.hr, predictions)
+
+        if chris_runtime is not None and chris_constraint is not None:
+            fleet = chris_runtime.run_many([test], chris_constraint)
+            fold.mae_per_model["CHRIS"] = fleet.mae_bpm
 
         for name, config in (timeppg_configs or {}).items():
             train = dataset.select(list(split.train_subjects)).concatenated()

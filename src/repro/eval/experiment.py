@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.configuration import ProfiledConfiguration
 from repro.core.decision_engine import Constraint, DecisionEngine
 from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, ProfilingData
+from repro.core.runtime import CHRISRuntime, FleetResult
 from repro.core.zoo import ModelsZoo, ZooEntry
 from repro.data.dataset import WindowedDataset, WindowedSubject
 from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
@@ -202,6 +203,40 @@ class CalibratedExperiment:
         )
 
     # ------------------------------------------------------------ shortcuts
+    def runtime(
+        self,
+        activity_classifier: ActivityClassifier | None = None,
+        batched: bool = True,
+    ) -> CHRISRuntime:
+        """A CHRIS runtime wired to this experiment's zoo/engine/system."""
+        return CHRISRuntime(
+            zoo=self.zoo,
+            engine=self.engine,
+            system=self.system,
+            activity_classifier=activity_classifier,
+            batched=batched,
+        )
+
+    def run_fleet(
+        self,
+        dataset: WindowedDataset,
+        constraint: Constraint,
+        use_oracle_difficulty: bool = True,
+        activity_classifier: ActivityClassifier | None = None,
+        batched: bool = True,
+    ) -> FleetResult:
+        """Replay every subject of a corpus through the batched runtime.
+
+        The multi-subject entry point used by the benchmarks and examples:
+        one :class:`~repro.core.runtime.CHRISRuntime` is built and
+        :meth:`~repro.core.runtime.CHRISRuntime.run_many` aggregates the
+        per-subject runs into a fleet-level result.
+        """
+        runtime = self.runtime(activity_classifier=activity_classifier, batched=batched)
+        return runtime.run_many(
+            dataset.subjects, constraint, use_oracle_difficulty=use_oracle_difficulty
+        )
+
     def baseline(self, model_name: str, target: ExecutionTarget) -> BaselinePoint:
         """Look up one baseline point."""
         for point in self.baselines:

@@ -107,6 +107,8 @@ class WearableSystem:
         self.prediction_period_s = prediction_period_s
         self.offload_payload_bytes = offload_payload_bytes
         self.difficulty_detector_energy_j = difficulty_detector_energy_j
+        self._cost_cache: dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost] = {}
+        self._cost_cache_signature: tuple | None = None
 
     # ----------------------------------------------------------- connection
     @property
@@ -142,6 +144,16 @@ class WearableSystem:
         """
         if not self.ble.connected:
             raise RuntimeError("cannot offload: BLE link is disconnected")
+        return self.offloaded_cost(deployment)
+
+    def offloaded_cost(self, deployment: ModelDeployment) -> PredictionCost:
+        """Offloaded cost without the connection guard.
+
+        The batched runtime plans offloading only for windows whose BLE
+        segment is up, so it evaluates this cost regardless of the link's
+        *current* state; interactive callers should keep using
+        :meth:`offloaded_prediction_cost`.
+        """
         tx_time = self.ble.transmission_time_s(self.offload_payload_bytes)
         tx_energy = self.ble.transmission_energy_j(self.offload_payload_bytes)
         busy = tx_time  # the watch is only busy while transmitting
@@ -160,6 +172,60 @@ class WearableSystem:
         if target is ExecutionTarget.WATCH:
             return self.local_prediction_cost(deployment)
         return self.offloaded_prediction_cost(deployment)
+
+    # ------------------------------------------------------------ cost cache
+    def _cost_signature(self) -> tuple:
+        """Cheap fingerprint of every parameter the cost model reads.
+
+        Per-prediction costs consult only the watch's idle power (active
+        energies come from the deployment profiles) plus the BLE link and
+        the scalar system parameters, all captured here by value — so both
+        replacing a component and mutating it in place invalidate the
+        cache on the next lookup.
+        """
+        return (
+            self.prediction_period_s,
+            self.offload_payload_bytes,
+            self.difficulty_detector_energy_j,
+            self.watch.power.idle_w,
+            self.ble.tx_power_w,
+            self.ble.throughput_bps,
+            self.ble.connection_event_overhead_s,
+            self.ble.packetizer.mtu_bytes,
+            self.ble.packetizer.packet_overhead_bytes,
+        )
+
+    def invalidate_cost_cache(self) -> None:
+        """Drop memoized per-``(deployment, target)`` prediction costs."""
+        self._cost_cache.clear()
+        self._cost_cache_signature = None
+
+    def cached_prediction_cost(
+        self, deployment: ModelDeployment, target: ExecutionTarget
+    ) -> PredictionCost:
+        """Memoized per-``(deployment, target)`` prediction cost.
+
+        Costs are deterministic given the system parameters, so the hot
+        batched-dispatch path looks them up here instead of rebuilding a
+        :class:`PredictionCost` per window; the cache self-invalidates when
+        any fingerprinted parameter changes.  Unlike
+        :meth:`prediction_cost` this never consults the *current* BLE
+        connection state — callers are responsible for only requesting
+        phone costs for windows planned while the link is up.
+        """
+        signature = self._cost_signature()
+        if signature != self._cost_cache_signature:
+            self._cost_cache.clear()
+            self._cost_cache_signature = signature
+        key = (deployment, target)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            if target is ExecutionTarget.WATCH:
+                cost = self.local_prediction_cost(deployment)
+            else:
+                cost = self.offloaded_cost(deployment)
+            self._cost_cache[key] = cost
+        return cost
 
     # -------------------------------------------------------------- summary
     def average_watch_power_w(self, energy_per_prediction_j: float) -> float:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.activities import Activity, difficulty_of
+from repro.data.activities import Activity, difficulties_of
 from repro.ml.metrics import accuracy_score, binary_accuracy_at_threshold
 from repro.ml.random_forest import RandomForestClassifier
 from repro.signal.features import feature_vector
@@ -91,7 +91,7 @@ class ActivityClassifier:
     def predict_difficulty(self, accel_windows: np.ndarray) -> np.ndarray:
         """Predicted difficulty level (1–9) for each accelerometer window."""
         activities = self.predict_activity(accel_windows)
-        return np.array([difficulty_of(Activity(a)) for a in activities], dtype=int)
+        return difficulties_of(activities)
 
     # ------------------------------------------------------------- evaluate
     def evaluate(self, accel_windows: np.ndarray, activity_labels: np.ndarray) -> dict:
@@ -105,8 +105,8 @@ class ActivityClassifier:
         self._check_fitted()
         labels = np.asarray(activity_labels, dtype=int)
         predicted = self.predict_activity(accel_windows)
-        true_difficulty = np.array([difficulty_of(Activity(a)) for a in labels], dtype=int)
-        predicted_difficulty = np.array([difficulty_of(Activity(a)) for a in predicted], dtype=int)
+        true_difficulty = difficulties_of(labels)
+        predicted_difficulty = difficulties_of(predicted)
         per_threshold = {
             threshold: binary_accuracy_at_threshold(true_difficulty, predicted_difficulty, threshold)
             for threshold in range(1, 9)

@@ -50,6 +50,12 @@ class HeartRatePredictor:
     #: (e.g. no peaks found); chosen as a typical adult resting HR.
     FALLBACK_BPM = 70.0
 
+    #: Whether the predictor actually reads the PPG/accelerometer windows.
+    #: Calibrated stand-ins that only consume the context (ground-truth HR
+    #: and activity) set this to ``False``, which lets the batched runtime
+    #: skip materializing per-group copies of the large signal arrays.
+    REQUIRES_SIGNALS: bool = True
+
     def __init__(self, fs: float = 32.0) -> None:
         if fs <= 0:
             raise ValueError(f"fs must be positive, got {fs}")

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.activities import Activity, difficulty_of
+from repro.data.activities import Activity, difficulties_of, difficulty_of
 from repro.models.base import HeartRatePredictor, PredictorInfo
 
 #: Per-difficulty-level MAE profiles (index 0 = difficulty 1 … index 8 =
@@ -124,6 +124,8 @@ class CalibratedHRModel(HeartRatePredictor):
         Seed of the error generator (predictions are reproducible).
     """
 
+    REQUIRES_SIGNALS = False
+
     def __init__(
         self,
         profile: ErrorProfile,
@@ -137,6 +139,7 @@ class CalibratedHRModel(HeartRatePredictor):
             name=profile.model_name, n_parameters=0, macs_per_window=0
         )
         self._rng = np.random.default_rng(seed)
+        self._mae_by_difficulty = np.asarray(profile.mae_per_difficulty, dtype=float)
 
     @property
     def info(self) -> PredictorInfo:
@@ -159,6 +162,33 @@ class CalibratedHRModel(HeartRatePredictor):
         # long-run mean absolute error equal the calibrated value.
         error = self._rng.laplace(0.0, mae)
         return float(np.clip(true_hr + error, 30.0, 220.0))
+
+    def predict(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Vectorized batch prediction.
+
+        One Laplace draw per window, scaled by the per-window MAE.  NumPy
+        consumes the generator's bitstream in element order, so a batch
+        call produces bit-identical predictions to the equivalent sequence
+        of :meth:`predict_window` calls — the property the batched CHRIS
+        runtime relies on for exact equivalence with the per-window path.
+        """
+        if "true_hr" not in context or "activity" not in context:
+            raise ValueError(
+                "CalibratedHRModel requires 'true_hr' and 'activity' context entries"
+            )
+        n = np.asarray(ppg_windows).shape[0]
+        true_hr = np.broadcast_to(
+            np.asarray(context["true_hr"], dtype=float), (n,)
+        )
+        activity = np.broadcast_to(np.asarray(context["activity"], dtype=int), (n,))
+        mae = self._mae_by_difficulty[difficulties_of(activity) - 1]
+        errors = self._rng.laplace(0.0, mae)
+        return np.clip(true_hr + errors, 30.0, 220.0)
 
 
 def calibrated_model_zoo(seed: int = 0) -> dict[str, CalibratedHRModel]:

@@ -1,0 +1,219 @@
+"""Batched-vs-per-window equivalence and fleet-run tests for the runtime.
+
+The batched execution engine must be *decision-for-decision* identical to
+the reference per-window path: same model routing, same offload targets,
+same predictions (the calibrated models' random streams are consumed in
+the same order), same costs.  The equivalence tests run the two paths on
+independent deep copies of the zoo so both start from identical predictor
+state.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime, FleetResult, RunResult
+
+CONSTRAINT = Constraint.max_mae(6.0)
+
+
+def make_runtime(experiment, batched: bool) -> CHRISRuntime:
+    """A runtime over a private deep copy of the experiment's zoo.
+
+    Deep-copying the zoo gives every path its own predictor instances with
+    identical initial state (including the calibrated models' random
+    generators), while the deterministic engine/system stay shared.
+    """
+    return CHRISRuntime(
+        zoo=copy.deepcopy(experiment.zoo),
+        engine=experiment.engine,
+        system=experiment.system,
+        batched=batched,
+    )
+
+
+def assert_results_identical(a: RunResult, b: RunResult) -> None:
+    np.testing.assert_array_equal(a.window_index, b.window_index)
+    np.testing.assert_array_equal(a.predicted_difficulty, b.predicted_difficulty)
+    np.testing.assert_array_equal(a.true_difficulty, b.true_difficulty)
+    np.testing.assert_array_equal(a.model_names.astype(str), b.model_names.astype(str))
+    np.testing.assert_array_equal(a.offloaded, b.offloaded)
+    np.testing.assert_array_equal(a.predicted_hr, b.predicted_hr)
+    np.testing.assert_array_equal(a.true_hr, b.true_hr)
+    for name in (
+        "watch_compute_j",
+        "watch_radio_j",
+        "watch_idle_j",
+        "phone_compute_j",
+        "latency_s",
+    ):
+        np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+    assert a.mae_bpm == b.mae_bpm
+    assert a.configuration.label() == b.configuration.label()
+    assert [(i, c.label()) for i, c in a.configuration_segments] == [
+        (i, c.label()) for i, c in b.configuration_segments
+    ]
+
+
+class TestEquivalence:
+    def test_plain_run_identical(self, calibrated_experiment, small_dataset):
+        subject = small_dataset.subjects[2]
+        scalar = make_runtime(calibrated_experiment, batched=False).run(
+            subject, CONSTRAINT, use_oracle_difficulty=True
+        )
+        batched = make_runtime(calibrated_experiment, batched=True).run(
+            subject, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert_results_identical(scalar, batched)
+
+    def test_connection_trace_identical(self, calibrated_experiment, small_dataset):
+        subject = small_dataset.subjects[1]
+        n = subject.n_windows
+        connected = np.ones(n, dtype=bool)
+        connected[n // 4 : n // 2] = False
+        connected[3 * n // 4 :] = False
+        scalar = make_runtime(calibrated_experiment, batched=False).run_with_connection_trace(
+            subject, CONSTRAINT, connected, use_oracle_difficulty=True
+        )
+        batched = make_runtime(calibrated_experiment, batched=True).run_with_connection_trace(
+            subject, CONSTRAINT, connected, use_oracle_difficulty=True
+        )
+        assert_results_identical(scalar, batched)
+
+    def test_per_call_override_beats_constructor_default(
+        self, calibrated_experiment, small_dataset
+    ):
+        subject = small_dataset.subjects[0]
+        runtime = make_runtime(calibrated_experiment, batched=True)
+        reference = make_runtime(calibrated_experiment, batched=False)
+        overridden = runtime.run(subject, CONSTRAINT, use_oracle_difficulty=True, batched=False)
+        scalar = reference.run(subject, CONSTRAINT, use_oracle_difficulty=True)
+        assert_results_identical(overridden, scalar)
+
+    def test_rf_difficulty_identical(
+        self, calibrated_experiment, small_dataset, trained_activity_classifier
+    ):
+        subject = small_dataset.subjects[3]
+        runtimes = []
+        for batched in (False, True):
+            runtime = make_runtime(calibrated_experiment, batched=batched)
+            runtime.activity_classifier = trained_activity_classifier
+            runtimes.append(runtime)
+        scalar = runtimes[0].run(subject, CONSTRAINT, use_oracle_difficulty=False)
+        batched = runtimes[1].run(subject, CONSTRAINT, use_oracle_difficulty=False)
+        assert_results_identical(scalar, batched)
+
+
+class TestRunResultView:
+    def test_lazy_decisions_match_arrays(self, calibrated_experiment, small_dataset):
+        subject = small_dataset.subjects[2]
+        result = make_runtime(calibrated_experiment, batched=True).run(
+            subject, CONSTRAINT, use_oracle_difficulty=True
+        )
+        decisions = result.decisions
+        assert len(decisions) == result.n_windows
+        for i in (0, result.n_windows // 2, result.n_windows - 1):
+            d = decisions[i]
+            assert d.window_index == i
+            assert d.model_name == str(result.model_names[i])
+            assert d.offloaded == bool(result.offloaded[i])
+            assert d.predicted_hr == float(result.predicted_hr[i])
+            assert d.cost.watch_total_j == pytest.approx(
+                float(result.watch_total_j_per_window[i])
+            )
+        # Materialized once, then cached.
+        assert result.decisions is decisions
+
+    def test_from_decisions_roundtrip(self, calibrated_experiment, small_dataset):
+        subject = small_dataset.subjects[0]
+        result = make_runtime(calibrated_experiment, batched=True).run(
+            subject, CONSTRAINT, use_oracle_difficulty=True
+        )
+        rebuilt = RunResult.from_decisions(
+            result.configuration, result.decisions, result.configuration_segments
+        )
+        assert_results_identical(result, rebuilt)
+
+    def test_equality_has_value_semantics(self, calibrated_experiment, small_dataset):
+        """``==`` must compare contents (as the list representation did),
+        not raise on the array fields."""
+        subject = small_dataset.subjects[0]
+        result = make_runtime(calibrated_experiment, batched=True).run(
+            subject, CONSTRAINT, use_oracle_difficulty=True
+        )
+        rebuilt = RunResult.from_decisions(
+            result.configuration, result.decisions, result.configuration_segments
+        )
+        assert result == rebuilt
+        assert result != RunResult(configuration=result.configuration)
+        assert result != "not a result"
+
+    def test_empty_result_aggregates(self, calibrated_experiment):
+        configuration = calibrated_experiment.table.pareto()[0]
+        empty = RunResult(configuration=configuration)
+        assert empty.n_windows == 0
+        assert np.isnan(empty.mae_bpm)
+        assert empty.offload_fraction == 0.0
+        assert empty.per_model_counts() == {}
+
+
+class TestPredictorReset:
+    def test_runs_reset_predictor_state(self, calibrated_experiment, small_dataset):
+        """A run must not inherit tracker state from a previous subject."""
+        runtime = make_runtime(calibrated_experiment, batched=True)
+        for entry in runtime.zoo:
+            entry.predictor._last_estimate = 999.0
+        runtime.run(small_dataset.subjects[0], CONSTRAINT, use_oracle_difficulty=True)
+        # Calibrated predictors never write _last_estimate, so the sentinel
+        # surviving would mean reset() was skipped at run start.
+        for entry in runtime.zoo:
+            assert entry.predictor._last_estimate is None
+
+    def test_trace_runs_reset_predictor_state(self, calibrated_experiment, small_dataset):
+        subject = small_dataset.subjects[0]
+        runtime = make_runtime(calibrated_experiment, batched=False)
+        for entry in runtime.zoo:
+            entry.predictor._last_estimate = 999.0
+        runtime.run_with_connection_trace(
+            subject, CONSTRAINT, np.ones(subject.n_windows, dtype=bool),
+            use_oracle_difficulty=True,
+        )
+        for entry in runtime.zoo:
+            assert entry.predictor._last_estimate is None
+
+
+class TestRunMany:
+    def test_fleet_aggregates(self, calibrated_experiment, small_dataset):
+        runtime = make_runtime(calibrated_experiment, batched=True)
+        fleet = runtime.run_many(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert fleet.n_subjects == len(small_dataset.subjects)
+        assert fleet.subject_ids == small_dataset.subject_ids
+        assert fleet.n_windows == sum(s.n_windows for s in small_dataset.subjects)
+        expected_mae = sum(
+            r.mae_bpm * r.n_windows for r in fleet.results.values()
+        ) / fleet.n_windows
+        assert fleet.mae_bpm == pytest.approx(expected_mae)
+        assert 0.0 <= fleet.offload_fraction <= 1.0
+        assert fleet.mean_watch_energy_j > 0
+        assert "fleet:" in fleet.summary()
+
+    def test_duplicate_subject_rejected(self, calibrated_experiment, small_dataset):
+        runtime = make_runtime(calibrated_experiment, batched=True)
+        subject = small_dataset.subjects[0]
+        with pytest.raises(ValueError):
+            runtime.run_many([subject, subject], CONSTRAINT, use_oracle_difficulty=True)
+
+    def test_experiment_run_fleet_entry_point(self, calibrated_experiment, small_dataset):
+        fleet = calibrated_experiment.run_fleet(small_dataset, CONSTRAINT)
+        assert isinstance(fleet, FleetResult)
+        assert fleet.n_subjects == len(small_dataset.subjects)
+        assert np.isfinite(fleet.mae_bpm)
+
+    def test_fleet_empty(self):
+        fleet = FleetResult()
+        assert fleet.n_windows == 0
+        assert np.isnan(fleet.mae_bpm)

@@ -83,3 +83,76 @@ class TestConnectionTrace:
             runtime.run_with_connection_trace(
                 subject, Constraint.max_mae(6.0), np.ones(3, dtype=bool)
             )
+
+
+@pytest.mark.parametrize("batched", [False, True], ids=["scalar", "batched"])
+class TestReselection:
+    """Configuration re-selection happens exactly at status changes."""
+
+    def test_segments_start_exactly_at_status_changes(
+        self, runtime, small_dataset, batched
+    ):
+        subject = small_dataset.subjects[2]
+        n = subject.n_windows
+        connected = np.ones(n, dtype=bool)
+        connected[n // 3 : n // 2] = False
+        connected[2 * n // 3] = False  # single-window dropout
+        result = runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(6.0), connected,
+            use_oracle_difficulty=True, batched=batched,
+        )
+        expected_starts = [0] + (np.flatnonzero(np.diff(connected)) + 1).tolist()
+        assert [start for start, _ in result.configuration_segments] == expected_starts
+        # Equal statuses re-select the same configuration; the active one
+        # at the end of the run is the last segment's.
+        by_status = {}
+        for start, config in result.configuration_segments:
+            status = bool(connected[start])
+            assert by_status.setdefault(status, config.label()) == config.label()
+        assert result.configuration is result.configuration_segments[-1][1]
+
+    def test_disconnected_segments_use_local_configuration(
+        self, runtime, small_dataset, batched
+    ):
+        subject = small_dataset.subjects[1]
+        n = subject.n_windows
+        connected = np.ones(n, dtype=bool)
+        connected[: n // 2] = False
+        result = runtime.run_with_connection_trace(
+            subject, Constraint.max_mae(6.0), connected,
+            use_oracle_difficulty=True, batched=batched,
+        )
+        for start, config in result.configuration_segments:
+            if not connected[start]:
+                assert config.is_local
+        assert not result.offloaded[: n // 2].any()
+
+    def test_phone_windows_degrade_to_watch_while_disconnected(
+        self, oracle_experiment, small_dataset, batched
+    ):
+        """With a hybrid configuration forced while the link is down, the
+        complex model's windows must execute locally instead of offloading."""
+        subject = small_dataset.subjects[2]
+        hybrid = next(
+            c for c in oracle_experiment.table.feasible(connected=True)
+            if not c.is_local and 0 < c.configuration.difficulty_threshold < 9
+        )
+        runtime = CHRISRuntime(
+            zoo=oracle_experiment.zoo,
+            engine=oracle_experiment.engine,
+            system=oracle_experiment.system,
+        )
+        runtime.system.ble.disconnect()
+        try:
+            result = runtime.run_with_configuration(
+                subject, hybrid, use_oracle_difficulty=True, batched=batched
+            )
+        finally:
+            runtime.system.ble.reconnect()
+        assert result.offload_fraction == 0.0
+        # The complex model still handles the hard windows — only its
+        # execution target degraded.
+        hard = subject.difficulty > hybrid.configuration.difficulty_threshold
+        assert hard.any()
+        assert set(result.model_names[hard]) == {hybrid.configuration.complex_model}
+        assert (result.phone_compute_j == 0).all()

@@ -78,3 +78,31 @@ class TestRunCrossValidation:
             tiny_corpus, classical_models={"AT": AdaptiveThresholdPredictor()}, max_folds=2
         )
         assert "AT" in result.summary()
+
+    def test_chris_runtime_evaluated_per_fold(self, tiny_corpus, calibrated_experiment):
+        """The end-to-end CHRIS system can ride along as a pseudo-model."""
+        from repro.core.decision_engine import Constraint
+
+        result = run_cross_validation(
+            tiny_corpus,
+            classical_models={"AT": AdaptiveThresholdPredictor()},
+            fold_size=3,
+            max_folds=2,
+            chris_runtime=calibrated_experiment.runtime(),
+            chris_constraint=Constraint.max_mae(6.0),
+        )
+        assert "CHRIS" in result.model_names
+        assert 0.0 < result.mean_mae("CHRIS") < 40.0
+        for fold in result.folds:
+            assert "CHRIS" in fold.mae_per_model
+
+    def test_chris_arguments_must_come_together(self, tiny_corpus, calibrated_experiment):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_cross_validation(
+                tiny_corpus,
+                classical_models={"AT": AdaptiveThresholdPredictor()},
+                max_folds=1,
+                chris_runtime=calibrated_experiment.runtime(),
+            )

@@ -116,3 +116,48 @@ class TestConfigurationKnobs:
             WearableSystem(offload_payload_bytes=0)
         with pytest.raises(ValueError):
             WearableSystem(difficulty_detector_energy_j=-1.0)
+
+
+class TestCachedPredictionCost:
+    def test_cache_returns_same_object(self, system):
+        deployment = PAPER_DEPLOYMENTS["TimePPG-Small"]
+        first = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        second = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        assert first is second
+        assert first == system.prediction_cost(deployment, ExecutionTarget.WATCH)
+
+    def test_cached_matches_uncached_for_both_targets(self, system):
+        for name in PAPER_DEPLOYMENTS:
+            deployment = PAPER_DEPLOYMENTS[name]
+            for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
+                assert system.cached_prediction_cost(deployment, target) == (
+                    system.prediction_cost(deployment, target)
+                )
+
+    def test_cache_invalidates_when_parameters_change(self, system):
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        before = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        system.prediction_period_s = 4.0
+        after = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        assert after.watch_idle_j > before.watch_idle_j
+
+    def test_explicit_invalidation_clears_entries(self, system):
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        first = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        system.invalidate_cost_cache()
+        second = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        assert first is not second
+        assert first == second
+
+    def test_cached_phone_cost_ignores_connection_state(self, system):
+        """The batched planner guarantees phone windows were planned while
+        connected, so the cache lookup itself must not consult the link."""
+        deployment = PAPER_DEPLOYMENTS["TimePPG-Big"]
+        expected = system.prediction_cost(deployment, ExecutionTarget.PHONE)
+        system.ble.disconnect()
+        try:
+            with pytest.raises(RuntimeError):
+                system.prediction_cost(deployment, ExecutionTarget.PHONE)
+            assert system.cached_prediction_cost(deployment, ExecutionTarget.PHONE) == expected
+        finally:
+            system.ble.reconnect()
