@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Dump the runtime perf summary to ``BENCH_runtime.json``.
 
-Runs the fixed 10k-window synthetic workload of
-:mod:`repro.eval.benchmarking` through both execution paths of the CHRIS
-runtime and writes the measured throughput, MAE and offload statistics to
+Runs two fixed synthetic workloads of :mod:`repro.eval.benchmarking` —
+the 10k-window single-subject workload through both execution paths of
+the CHRIS runtime, and the 50-subject x 2k-window fleet through the
+sequential / mega-batched / process-pool fleet paths — and writes the
+measured throughputs, MAE and offload statistics to
 ``BENCH_runtime.json`` at the repository root, so successive PRs can
-track the perf trajectory of the hot path.
+track the perf trajectory of both hot paths.
 
 Run with:  PYTHONPATH=src python benchmarks/summarize_runtime.py
 """
@@ -21,15 +23,18 @@ _SRC = _REPO / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.eval.benchmarking import benchmark_runtime  # noqa: E402
+from repro.eval.benchmarking import benchmark_fleet, benchmark_runtime  # noqa: E402
 from repro.eval.experiment import CalibratedExperiment  # noqa: E402
 
 
 def main(output_path: Path | None = None) -> dict:
-    """Measure the fixed workload and persist the summary JSON."""
+    """Measure the fixed workloads and persist the summary JSON."""
     output_path = output_path or _REPO / "BENCH_runtime.json"
     experiment = CalibratedExperiment.build(seed=0, n_subjects=6, activity_duration_s=60.0)
     outcome = benchmark_runtime(experiment, n_windows=10_000, seed=0)
+    outcome["fleet"] = benchmark_fleet(
+        experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
+    )
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")
     print(json.dumps(outcome, indent=2))
     print(f"\nwritten to {output_path}")

@@ -31,6 +31,7 @@ from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, Prof
 from repro.core.pareto import is_dominated, pareto_front, pareto_indices
 from repro.core.decision_engine import Constraint, ConstraintKind, DecisionEngine
 from repro.core.runtime import CHRISRuntime, FleetResult, RunResult, WindowDecision
+from repro.core.fleet import FleetExecutor
 
 __all__ = [
     "ModelsZoo",
@@ -49,6 +50,7 @@ __all__ = [
     "ConstraintKind",
     "DecisionEngine",
     "CHRISRuntime",
+    "FleetExecutor",
     "FleetResult",
     "RunResult",
     "WindowDecision",

@@ -1,0 +1,323 @@
+"""Process-pool fleet execution engine.
+
+:class:`FleetExecutor` scales :meth:`repro.core.runtime.CHRISRuntime.run_many`
+across CPU cores: the subject list is split into contiguous shards, each
+shard is replayed by a ``concurrent.futures`` worker process, and
+per-subject :class:`~repro.core.runtime.RunResult` objects are streamed
+back to the parent as shards complete (:meth:`FleetExecutor.iter_runs`)
+or merged into one :class:`~repro.core.runtime.FleetResult` in fleet
+order (:meth:`FleetExecutor.run_fleet`).
+
+Decision-for-decision equivalence with sequential replay
+--------------------------------------------------------
+Sequential ``run_many`` resets per-run predictor state before every
+subject, but *cross-run* state — the calibrated models' Laplace streams —
+advances monotonically across the whole fleet, so a shard that starts at
+subject ``k`` must first put every predictor in the state sequential
+replay would have reached after subjects ``0..k-1``.  The parent
+therefore plans the entire fleet once (planning is vectorized and
+side-effect free), derives each model's per-subject window counts, and
+every shard task fast-forwards its private predictor copies with
+:meth:`~repro.models.base.HeartRatePredictor.advance_fleet_state` before
+replaying its subjects.  The result is bit-identical to the sequential
+path no matter how many workers execute or how shards are interleaved.
+
+Cost tables are not re-profiled per worker: the parent eagerly profiles
+its :class:`~repro.hw.platform.CostTableRegistry` for the zoo's
+deployments, serializes it to JSON, and each worker loads the table
+instead of recomputing it.
+
+Shard tasks deep-copy the pristine worker runtime before touching any
+state, so a worker that happens to execute several shards (pools do not
+balance tasks evenly) cannot leak predictor state between them.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import multiprocessing
+
+import numpy as np
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import (
+    CHRISRuntime,
+    FleetResult,
+    RunResult,
+    _check_unique_subject_ids,
+)
+from repro.data.dataset import WindowedSubject
+from repro.hw.platform import CostTableRegistry
+
+#: Worker-process state installed by :func:`_init_fleet_worker`.
+_WORKER_STATE: dict = {}
+
+
+def _init_fleet_worker(
+    runtime: CHRISRuntime,
+    subjects: Sequence[WindowedSubject],
+    traces: Mapping[str, np.ndarray],
+    registry_json: str,
+) -> None:
+    """Install the shared fleet context in a pool worker.
+
+    With the (default) ``fork`` start method the arguments are inherited
+    via process memory, not pickled, so the big signal arrays are never
+    serialized; under ``spawn`` they are pickled exactly once per worker
+    instead of once per task.
+    """
+    _WORKER_STATE["runtime"] = runtime
+    _WORKER_STATE["subjects"] = subjects
+    _WORKER_STATE["traces"] = traces
+    _WORKER_STATE["cost_registry"] = CostTableRegistry.from_json(registry_json)
+
+
+def _run_fleet_shard(
+    start: int,
+    stop: int,
+    prior_windows: Mapping[str, int],
+    constraint: Constraint,
+    use_oracle_difficulty: bool,
+    batched: bool,
+    mega_batched: bool,
+    plans: "list | None",
+) -> list[tuple[str, RunResult]]:
+    """Replay ``subjects[start:stop]`` from a pristine, fast-forwarded state.
+
+    ``prior_windows`` maps each zoo model to the number of windows the
+    plan routes to it across all subjects *before* this shard; advancing
+    by those counts reproduces the predictor state sequential replay
+    would carry into subject ``start``.  When the parent ships this
+    shard's execution ``plans`` (mega-batched dispatch), the worker
+    executes them directly instead of re-planning — difficulty inference
+    and routing run exactly once per fleet.
+    """
+    runtime: CHRISRuntime = copy.deepcopy(_WORKER_STATE["runtime"])
+    runtime.system.cost_registry = _WORKER_STATE["cost_registry"]
+    for entry in runtime.zoo:
+        entry.predictor.advance_fleet_state(int(prior_windows.get(entry.name, 0)))
+    subjects = _WORKER_STATE["subjects"][start:stop]
+    if plans is not None:
+        fleet = runtime._run_many_planned(subjects, plans)
+    else:
+        shard_ids = {s.subject_id for s in subjects}
+        traces = {
+            sid: trace
+            for sid, trace in _WORKER_STATE["traces"].items()
+            if sid in shard_ids
+        }
+        fleet = runtime.run_many(
+            subjects,
+            constraint,
+            use_oracle_difficulty=use_oracle_difficulty,
+            batched=batched,
+            mega_batched=mega_batched,
+            connected_traces=traces,
+        )
+    return list(fleet.results.items())
+
+
+class FleetExecutor:
+    """Shard a fleet of subjects across worker processes and stream results.
+
+    Every :meth:`iter_runs` / :meth:`run_fleet` call replays from the
+    runtime's *current* predictor state without mutating it (shards — and
+    the in-process fast path — work on pristine copies), so repeated
+    calls on one executor produce identical results regardless of worker
+    or shard count.  This differs from calling ``runtime.run_many``
+    directly, which advances the calibrated models' random streams
+    in place.
+
+    Parameters
+    ----------
+    runtime:
+        The CHRIS runtime to replicate into workers (its zoo, engine,
+        system and difficulty detector must be picklable, which every
+        in-repo component is).
+    max_workers:
+        Worker process count; ``os.cpu_count()`` when omitted.  With one
+        worker (or one subject) the executor runs in-process — same
+        results, no pool overhead.
+    shards_per_worker:
+        Target shards per worker; more shards stream results at a finer
+        granularity and balance uneven subjects at the cost of a little
+        per-shard setup.
+    mega_batched:
+        Whether each shard uses cross-subject mega-batched execution
+        (default) or per-subject replay inside the worker.
+    start_method:
+        ``multiprocessing`` start method; the platform default when
+        omitted (``fork`` on Linux, which shares the subjects' signal
+        arrays with workers without serializing them).
+    """
+
+    def __init__(
+        self,
+        runtime: CHRISRuntime,
+        max_workers: int | None = None,
+        shards_per_worker: int = 4,
+        mega_batched: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if shards_per_worker < 1:
+            raise ValueError(f"shards_per_worker must be >= 1, got {shards_per_worker}")
+        self.runtime = runtime
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.shards_per_worker = shards_per_worker
+        self.mega_batched = mega_batched
+        self.start_method = start_method
+
+    # ------------------------------------------------------------- sharding
+    def shard_bounds(self, n_subjects: int) -> list[tuple[int, int]]:
+        """Contiguous ``(start, stop)`` subject ranges, one per shard."""
+        if n_subjects <= 0:
+            return []
+        n_shards = min(n_subjects, self.max_workers * self.shards_per_worker)
+        edges = np.linspace(0, n_subjects, n_shards + 1, dtype=int)
+        return [
+            (int(start), int(stop))
+            for start, stop in zip(edges[:-1], edges[1:])
+            if stop > start
+        ]
+
+    def _prior_window_counts(
+        self, plans: Sequence, bounds: Sequence[tuple[int, int]]
+    ) -> list[dict[str, int]]:
+        """Cumulative per-model window counts preceding each shard."""
+        names = self.runtime.zoo.names
+        cumulative = {name: 0 for name in names}
+        prefix = [dict(cumulative)]
+        for counts in self.runtime.model_window_counts(plans):
+            for name in names:
+                cumulative[name] += counts[name]
+            prefix.append(dict(cumulative))
+        return [prefix[start] for start, _ in bounds]
+
+    # ------------------------------------------------------------ streaming
+    def iter_runs(
+        self,
+        subjects: Iterable[WindowedSubject],
+        constraint: Constraint,
+        use_oracle_difficulty: bool = False,
+        batched: bool = True,
+        connected_traces: Mapping[str, np.ndarray] | None = None,
+    ) -> Iterator[tuple[str, RunResult]]:
+        """Replay the fleet, yielding ``(subject_id, result)`` as shards finish.
+
+        Results within a shard arrive in subject order; across shards they
+        arrive in completion order, so consumers that need fleet order
+        should use :meth:`run_fleet` (or reorder themselves).
+        """
+        subjects = list(subjects)
+        traces = dict(connected_traces or {})
+        _check_unique_subject_ids(s.subject_id for s in subjects)
+        unknown = sorted(set(traces) - {s.subject_id for s in subjects})
+        if unknown:
+            raise KeyError(f"connection traces for unknown subjects: {unknown}")
+        if not subjects:
+            return
+        bounds = self.shard_bounds(len(subjects))
+        if len(bounds) <= 1 or self.max_workers == 1:
+            # In-process fast path: no pool, same decisions.  Like every
+            # shard task, run on a pristine copy so the executor never
+            # advances the parent runtime's predictor streams — repeated
+            # run_fleet calls replay identically whatever the worker count.
+            fleet = copy.deepcopy(self.runtime).run_many(
+                subjects,
+                constraint,
+                use_oracle_difficulty=use_oracle_difficulty,
+                batched=batched,
+                mega_batched=self.mega_batched,
+                connected_traces=traces,
+            )
+            yield from fleet.results.items()
+            return
+
+        # Plan the entire fleet once, in the parent: the plans give every
+        # shard's fast-forward counts, and (on the mega-batched path) are
+        # shipped to the workers so difficulty inference and routing are
+        # never repeated per shard.
+        plans = self.runtime._plan_fleet(subjects, constraint, use_oracle_difficulty, traces)
+        priors = self._prior_window_counts(plans, bounds)
+        ship_plans = batched and self.mega_batched
+        self._profile_cost_tables()
+        registry_json = self.runtime.system.cost_registry.to_json()
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method is not None
+            else None
+        )
+        pending: set = set()
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(bounds)),
+            mp_context=context,
+            initializer=_init_fleet_worker,
+            initargs=(self.runtime, subjects, traces, registry_json),
+        )
+        try:
+            pending = {
+                pool.submit(
+                    _run_fleet_shard,
+                    start,
+                    stop,
+                    prior,
+                    constraint,
+                    use_oracle_difficulty,
+                    batched,
+                    self.mega_batched,
+                    plans[start:stop] if ship_plans else None,
+                )
+                for (start, stop), prior in zip(bounds, priors)
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield from future.result()
+        finally:
+            # Abandoning the generator early (consumer break/close) must
+            # not block on shards whose results nobody will read.
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _profile_cost_tables(self) -> None:
+        """Eagerly profile the cost registry so workers only do table hits."""
+        system = self.runtime.system
+        system.cost_registry.profile_system(
+            system, [entry.deployment for entry in self.runtime.zoo]
+        )
+
+    # ------------------------------------------------------------ aggregate
+    def run_fleet(
+        self,
+        subjects: Iterable[WindowedSubject],
+        constraint: Constraint,
+        use_oracle_difficulty: bool = False,
+        batched: bool = True,
+        connected_traces: Mapping[str, np.ndarray] | None = None,
+    ) -> FleetResult:
+        """Replay the fleet in parallel and merge into fleet (subject) order.
+
+        The merged result is decision-for-decision identical to
+        ``runtime.run_many`` over the same subjects.
+        """
+        subjects = list(subjects)
+        collected = dict(
+            self.iter_runs(
+                subjects,
+                constraint,
+                use_oracle_difficulty=use_oracle_difficulty,
+                batched=batched,
+                connected_traces=connected_traces,
+            )
+        )
+        fleet = FleetResult()
+        for subject in subjects:
+            fleet.add(subject.subject_id, collected[subject.subject_id])
+        return fleet

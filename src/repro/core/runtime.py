@@ -37,16 +37,31 @@ Results are stored as a struct-of-arrays :class:`RunResult`; the familiar
 :class:`WindowDecision` objects are materialized lazily on first access to
 :attr:`RunResult.decisions`.  :meth:`CHRISRuntime.run_many` replays a
 fleet of subjects and aggregates them into a :class:`FleetResult`.
+
+Fleet mega-batching
+-------------------
+By default :meth:`CHRISRuntime.run_many` *mega-batches* the fleet: every
+subject is planned individually (so per-subject difficulty streams,
+connection traces and configuration segments are preserved), but
+execution stacks all subjects' windows into per-model groups across the
+whole population and dispatches **one** ``predict`` call per model for
+the entire fleet.  Predictors declare whether that fusion is legal via
+:attr:`~repro.models.base.HeartRatePredictor.FLEET_BATCHABLE`; stateful
+trackers fall back to one batch per ``(model, subject)`` segment with the
+reset boundaries sequential replay would have had, so the mega path is
+decision-for-decision identical to sequential :meth:`run_many` either
+way.  Multi-process sharding on top of this lives in
+:mod:`repro.core.fleet`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.configuration import ProfiledConfiguration
+from repro.core.configuration import NUM_DIFFICULTY_LEVELS, ProfiledConfiguration
 from repro.core.decision_engine import Constraint, DecisionEngine
 from repro.core.zoo import ModelsZoo
 from repro.data.dataset import WindowedSubject
@@ -101,6 +116,15 @@ _COST_FIELDS = (
 def _cost_values(cost: PredictionCost) -> tuple[float, ...]:
     """The cost components in :data:`_COST_FIELDS` order."""
     return tuple(getattr(cost, name) for name in _COST_FIELDS)
+
+
+def _check_unique_subject_ids(subject_ids: Iterable[str]) -> None:
+    """Raise like :meth:`FleetResult.add` would on the first duplicate id."""
+    seen: set[str] = set()
+    for sid in subject_ids:
+        if sid in seen:
+            raise ValueError(f"subject {sid!r} already recorded")
+        seen.add(sid)
 
 
 @dataclass(eq=False)
@@ -394,6 +418,11 @@ class CHRISRuntime:
         one through ``predict_window`` (reference).  Both paths produce
         identical decisions; each ``run*`` method also accepts a
         per-call ``batched`` override.
+    mega_batched:
+        Default fleet execution path of :meth:`run_many`: ``True`` stacks
+        all subjects' windows into per-model groups across the whole fleet
+        (fast, identical decisions), ``False`` replays subjects one at a
+        time.  Only effective when ``batched`` resolves to ``True``.
     """
 
     def __init__(
@@ -403,12 +432,14 @@ class CHRISRuntime:
         system: WearableSystem | None = None,
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
+        mega_batched: bool = True,
     ) -> None:
         self.zoo = zoo
         self.engine = engine
         self.system = system or WearableSystem()
         self.activity_classifier = activity_classifier
         self.batched = batched
+        self.mega_batched = mega_batched
 
     # ------------------------------------------------------------ difficulty
     def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
@@ -448,6 +479,118 @@ class CHRISRuntime:
             model_codes[mask] = self._model_code(name)
             offloaded[mask] = target is ExecutionTarget.PHONE
         return model_codes, offloaded
+
+    def _fleet_router(self):
+        """A drop-in for :meth:`_route_windows` that amortizes across a fleet.
+
+        Routing is a pure function of ``(configuration, connection
+        status)`` per difficulty level, so the fleet planner resolves all
+        nine levels once into a lookup table and maps every further
+        subject's difficulty array through it — same decisions as the
+        per-subject path, without re-querying the engine per subject.
+        """
+        lut_cache: dict[tuple[int, bool], tuple[np.ndarray, np.ndarray]] = {}
+
+        def route(
+            configuration: ProfiledConfiguration,
+            difficulties: np.ndarray,
+            connected: bool,
+        ) -> tuple[np.ndarray, np.ndarray]:
+            key = (id(configuration), connected)
+            lut = lut_cache.get(key)
+            if lut is None:
+                codes = np.zeros(NUM_DIFFICULTY_LEVELS + 1, dtype=np.intp)
+                offloaded = np.zeros(NUM_DIFFICULTY_LEVELS + 1, dtype=bool)
+                for level in range(1, NUM_DIFFICULTY_LEVELS + 1):
+                    name, target = self.engine.select_model(configuration, level)
+                    if target is ExecutionTarget.PHONE and not connected:
+                        target = ExecutionTarget.WATCH
+                    codes[level] = self._model_code(name)
+                    offloaded[level] = target is ExecutionTarget.PHONE
+                lut = (codes, offloaded)
+                lut_cache[key] = lut
+            codes, offloaded = lut
+            return codes[difficulties], offloaded[difficulties]
+
+        return route
+
+    def _plan_plain(
+        self,
+        windows: WindowedSubject,
+        configuration: ProfiledConfiguration,
+        use_oracle_difficulty: bool,
+        route=None,
+    ) -> _ExecutionPlan:
+        """Routing plan for one recording under a fixed configuration."""
+        if windows.n_windows == 0:
+            raise ValueError("the recording contains no windows")
+        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
+        model_codes, offloaded = (route or self._route_windows)(
+            configuration, difficulties, connected=self.system.connected
+        )
+        return _ExecutionPlan(
+            configuration=configuration,
+            difficulties=difficulties,
+            model_codes=model_codes,
+            offloaded=offloaded,
+            segments=[(0, configuration)],
+        )
+
+    def _plan_traced(
+        self,
+        windows: WindowedSubject,
+        constraint: Constraint,
+        connected: np.ndarray,
+        use_oracle_difficulty: bool,
+        route=None,
+    ) -> _ExecutionPlan:
+        """Segment-wise routing plan for a recording with a BLE trace.
+
+        The engine re-selects the operating configuration at every
+        connection-status change; the resulting plan carries one
+        configuration segment per change and the configuration active at
+        the *end* of the run.
+        """
+        connected = np.asarray(connected, dtype=bool)
+        if connected.shape != (windows.n_windows,):
+            raise ValueError(
+                f"connected must have one entry per window "
+                f"({windows.n_windows}), got shape {connected.shape}"
+            )
+        if windows.n_windows == 0:
+            raise ValueError("the recording contains no windows")
+
+        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
+
+        n = windows.n_windows
+        model_codes = np.zeros(n, dtype=np.intp)
+        offloaded = np.zeros(n, dtype=bool)
+        segments: list[tuple[int, ProfiledConfiguration]] = []
+        configuration_by_status: dict[bool, ProfiledConfiguration] = {}
+
+        starts = np.concatenate([[0], np.flatnonzero(np.diff(connected)) + 1])
+        ends = np.concatenate([starts[1:], [n]])
+        for start, end in zip(starts, ends):
+            status = bool(connected[start])
+            if status not in configuration_by_status:
+                configuration_by_status[status] = self.engine.select_or_closest(
+                    constraint, connected=status
+                )
+            configuration = configuration_by_status[status]
+            segments.append((int(start), configuration))
+            codes, off = (route or self._route_windows)(
+                configuration, difficulties[start:end], connected=status
+            )
+            model_codes[start:end] = codes
+            offloaded[start:end] = off
+
+        return _ExecutionPlan(
+            configuration=segments[-1][1],
+            difficulties=difficulties,
+            model_codes=model_codes,
+            offloaded=offloaded,
+            segments=segments,
+        )
 
     # ------------------------------------------------------------- execution
     def _execute(self, windows: WindowedSubject, plan: _ExecutionPlan, batched: bool) -> RunResult:
@@ -582,20 +725,8 @@ class CHRISRuntime:
         is currently down (the configuration itself would be re-selected
         at the next decision point).
         """
-        if windows.n_windows == 0:
-            raise ValueError("the recording contains no windows")
+        plan = self._plan_plain(windows, configuration, use_oracle_difficulty)
         self._reset_predictors()
-        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
-        model_codes, offloaded = self._route_windows(
-            configuration, difficulties, connected=self.system.connected
-        )
-        plan = _ExecutionPlan(
-            configuration=configuration,
-            difficulties=difficulties,
-            model_codes=model_codes,
-            offloaded=offloaded,
-            segments=[(0, configuration)],
-        )
         return self._execute(windows, plan, self.batched if batched is None else batched)
 
     def run_with_connection_trace(
@@ -618,47 +749,8 @@ class CHRISRuntime:
         :class:`RunResult` carries the configuration active at the *end*
         of the run; per-window decisions record what actually executed.
         """
-        connected = np.asarray(connected, dtype=bool)
-        if connected.shape != (windows.n_windows,):
-            raise ValueError(
-                f"connected must have one entry per window "
-                f"({windows.n_windows}), got shape {connected.shape}"
-            )
-        if windows.n_windows == 0:
-            raise ValueError("the recording contains no windows")
-
+        plan = self._plan_traced(windows, constraint, connected, use_oracle_difficulty)
         self._reset_predictors()
-        difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
-
-        n = windows.n_windows
-        model_codes = np.zeros(n, dtype=np.intp)
-        offloaded = np.zeros(n, dtype=bool)
-        segments: list[tuple[int, ProfiledConfiguration]] = []
-        configuration_by_status: dict[bool, ProfiledConfiguration] = {}
-
-        starts = np.concatenate([[0], np.flatnonzero(np.diff(connected)) + 1])
-        ends = np.concatenate([starts[1:], [n]])
-        for start, end in zip(starts, ends):
-            status = bool(connected[start])
-            if status not in configuration_by_status:
-                configuration_by_status[status] = self.engine.select_or_closest(
-                    constraint, connected=status
-                )
-            configuration = configuration_by_status[status]
-            segments.append((int(start), configuration))
-            codes, off = self._route_windows(
-                configuration, difficulties[start:end], connected=status
-            )
-            model_codes[start:end] = codes
-            offloaded[start:end] = off
-
-        plan = _ExecutionPlan(
-            configuration=segments[-1][1],
-            difficulties=difficulties,
-            model_codes=model_codes,
-            offloaded=offloaded,
-            segments=segments,
-        )
         return self._execute(windows, plan, self.batched if batched is None else batched)
 
     # ------------------------------------------------------------- run_many
@@ -668,23 +760,280 @@ class CHRISRuntime:
         constraint: Constraint,
         use_oracle_difficulty: bool = False,
         batched: bool | None = None,
+        mega_batched: bool | None = None,
+        connected_traces: Mapping[str, np.ndarray] | None = None,
     ) -> FleetResult:
         """Replay a fleet of subjects under one constraint.
 
-        Predictor state is reset before every subject (each run already
-        does that), so the order of subjects never changes any individual
-        result for stateless predictors; subjects are processed in the
-        given order.
+        Predictor state is reset before every subject, so the order of
+        subjects never changes any individual result for stateless
+        predictors; subjects are processed in the given order.
+
+        Parameters
+        ----------
+        subjects, constraint, use_oracle_difficulty, batched:
+            As in :meth:`run`.
+        mega_batched:
+            Override of the constructor's fleet execution path: ``True``
+            stacks all subjects' windows into per-model groups across the
+            whole fleet and dispatches one ``predict`` call per
+            fleet-batchable model for the entire population;  ``False``
+            replays subjects one at a time.  Both paths are
+            decision-for-decision identical; mega-batching requires the
+            batched per-subject path.
+        connected_traces:
+            Optional per-subject BLE traces keyed by subject id; traced
+            subjects are replayed via the connection-trace path (segment
+            re-selection), the others with the connection's current
+            status.
         """
+        subjects = list(subjects)
+        traces = dict(connected_traces or {})
+        known = {s.subject_id for s in subjects}
+        unknown = sorted(set(traces) - known)
+        if unknown:
+            raise KeyError(f"connection traces for unknown subjects: {unknown}")
+
+        use_batched = self.batched if batched is None else batched
+        use_mega = self.mega_batched if mega_batched is None else mega_batched
+        if use_batched and use_mega and subjects:
+            return self._run_many_mega(subjects, constraint, use_oracle_difficulty, traces)
+
         fleet = FleetResult()
         for subject in subjects:
-            fleet.add(
-                subject.subject_id,
-                self.run(
+            if subject.subject_id in traces:
+                result = self.run_with_connection_trace(
+                    subject,
+                    constraint,
+                    traces[subject.subject_id],
+                    use_oracle_difficulty=use_oracle_difficulty,
+                    batched=batched,
+                )
+            else:
+                result = self.run(
                     subject,
                     constraint,
                     use_oracle_difficulty=use_oracle_difficulty,
                     batched=batched,
+                )
+            fleet.add(subject.subject_id, result)
+        return fleet
+
+    # --------------------------------------------------------- fleet planning
+    def _plan_fleet(
+        self,
+        subjects: Sequence[WindowedSubject],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        traces: Mapping[str, np.ndarray],
+    ) -> list[_ExecutionPlan]:
+        """One execution plan per subject, in fleet order.
+
+        Untraced subjects share one configuration: sequential replay
+        re-selects per subject, but selection is a deterministic function
+        of ``(constraint, connection status)`` and neither changes between
+        planning steps, so selecting once is decision-identical.  Planning
+        never touches predictor state.
+        """
+        route = self._fleet_router()
+        shared_configuration: ProfiledConfiguration | None = None
+        plans = []
+        for subject in subjects:
+            trace = traces.get(subject.subject_id)
+            if trace is not None:
+                plans.append(
+                    self._plan_traced(
+                        subject, constraint, trace, use_oracle_difficulty, route=route
+                    )
+                )
+            else:
+                if shared_configuration is None:
+                    shared_configuration = self.engine.select_or_closest(
+                        constraint, connected=self.system.connected
+                    )
+                plans.append(
+                    self._plan_plain(
+                        subject, shared_configuration, use_oracle_difficulty, route=route
+                    )
+                )
+        return plans
+
+    def model_window_counts(self, plans: "Sequence[_ExecutionPlan]") -> list[dict[str, int]]:
+        """Planned window count of every zoo model, one dict per plan.
+
+        Cross-run predictor state advances per routed window, so these
+        counts are what :meth:`~repro.models.base.HeartRatePredictor.advance_fleet_state`
+        consumes — the fleet executor accumulates them to fast-forward
+        shard-local predictor copies.
+        """
+        return [
+            {
+                name: int(np.count_nonzero(plan.model_codes == code))
+                for code, name in enumerate(self.zoo.names)
+            }
+            for plan in plans
+        ]
+
+    def planned_model_window_counts(
+        self,
+        subjects: Iterable[WindowedSubject],
+        constraint: Constraint,
+        use_oracle_difficulty: bool = False,
+        connected_traces: Mapping[str, np.ndarray] | None = None,
+    ) -> list[dict[str, int]]:
+        """Per-subject planned window count of every zoo model (no execution).
+
+        Planning is side-effect free: no predictor executes and no state
+        advances.
+        """
+        plans = self._plan_fleet(
+            list(subjects), constraint, use_oracle_difficulty, dict(connected_traces or {})
+        )
+        return self.model_window_counts(plans)
+
+    # -------------------------------------------------------- mega execution
+    def _run_many_mega(
+        self,
+        subjects: Sequence[WindowedSubject],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        traces: Mapping[str, np.ndarray],
+    ) -> FleetResult:
+        """Cross-subject mega-batched fleet replay.
+
+        Plans every subject individually, executes the whole population in
+        per-model groups, then splits the fleet arrays back into
+        per-subject :class:`RunResult` views (NumPy slices of the shared
+        arrays, so the split allocates nothing per subject).
+        """
+        _check_unique_subject_ids(s.subject_id for s in subjects)
+        plans = self._plan_fleet(subjects, constraint, use_oracle_difficulty, traces)
+        return self._run_many_planned(subjects, plans)
+
+    def _run_many_planned(
+        self, subjects: Sequence[WindowedSubject], plans: Sequence[_ExecutionPlan]
+    ) -> FleetResult:
+        """Execute precomputed fleet plans (mega-batched).
+
+        Split out of :meth:`_run_many_mega` so fleet-executor workers can
+        replay a shard from plans computed once in the parent instead of
+        re-planning (and re-running difficulty inference) per shard.
+        """
+        self._reset_predictors()
+        predicted_hr, cost_arrays = self._execute_fleet(subjects, plans)
+
+        fleet = FleetResult()
+        names = np.array(self.zoo.names, dtype=object)
+        start = 0
+        for subject, plan in zip(subjects, plans):
+            end = start + subject.n_windows
+            fleet.add(
+                subject.subject_id,
+                RunResult(
+                    configuration=plan.configuration,
+                    window_index=np.arange(subject.n_windows, dtype=int),
+                    predicted_difficulty=plan.difficulties.astype(int),
+                    true_difficulty=subject.difficulty.astype(int),
+                    model_names=names[plan.model_codes],
+                    offloaded=plan.offloaded,
+                    predicted_hr=predicted_hr[start:end],
+                    true_hr=np.asarray(subject.hr, dtype=float).copy(),
+                    configuration_segments=plan.segments,
+                    **{
+                        field_name: array[start:end]
+                        for field_name, array in zip(_COST_FIELDS, cost_arrays)
+                    },
                 ),
             )
+            start = end
         return fleet
+
+    def _execute_fleet(
+        self, subjects: Sequence[WindowedSubject], plans: Sequence[_ExecutionPlan]
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Execute all subjects' plans in per-model fleet-wide groups.
+
+        Window order within each group is subject-major with recording
+        order inside every subject — exactly the order in which sequential
+        replay feeds each predictor, which is what makes the fused
+        ``predict`` calls bit-identical.  Predictors that cannot legally
+        fuse across the per-subject ``reset()`` boundary
+        (``FLEET_BATCHABLE = False``) are dispatched one batch per
+        ``(model, subject)`` segment with those boundaries re-enacted.
+        """
+        counts = [s.n_windows for s in subjects]
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        n_total = int(bounds[-1])
+        model_codes = np.concatenate([p.model_codes for p in plans])
+        offloaded = np.concatenate([p.offloaded for p in plans])
+        hr = np.concatenate([np.asarray(s.hr, dtype=float) for s in subjects])
+        activity = np.concatenate([np.asarray(s.activity, dtype=int) for s in subjects])
+        predicted_hr = np.empty(n_total, dtype=float)
+
+        for code, name in enumerate(self.zoo.names):
+            predictor = self.zoo.entry(name).predictor
+            if predictor.FLEET_BATCHABLE:
+                idx = np.flatnonzero(model_codes == code)
+                if idx.size == 0:
+                    continue
+                if predictor.REQUIRES_SIGNALS:
+                    ppg = np.concatenate(
+                        [
+                            s.ppg_windows[p.model_codes == code]
+                            for s, p in zip(subjects, plans)
+                        ]
+                    )
+                    accel = np.concatenate(
+                        [
+                            s.accel_windows[p.model_codes == code]
+                            for s, p in zip(subjects, plans)
+                        ]
+                    )
+                else:
+                    template = subjects[0].ppg_windows
+                    ppg = np.broadcast_to(
+                        template[:1], (idx.size,) + template.shape[1:]
+                    )
+                    accel = None
+                predictions = predictor.predict(
+                    ppg, accel, true_hr=hr[idx], activity=activity[idx]
+                )
+                predicted_hr[idx] = np.asarray(predictions, dtype=float)
+            else:
+                for offset, subject, plan in zip(bounds[:-1], subjects, plans):
+                    # Sequential replay resets before every subject whether
+                    # or not this model receives windows from it.
+                    predictor.reset()
+                    local_idx = np.flatnonzero(plan.model_codes == code)
+                    if local_idx.size == 0:
+                        continue
+                    if predictor.REQUIRES_SIGNALS:
+                        ppg = subject.ppg_windows[local_idx]
+                        accel = subject.accel_windows[local_idx]
+                    else:
+                        ppg = np.broadcast_to(
+                            subject.ppg_windows[:1],
+                            (local_idx.size,) + subject.ppg_windows.shape[1:],
+                        )
+                        accel = None
+                    predictions = predictor.predict(
+                        ppg,
+                        accel,
+                        true_hr=np.asarray(subject.hr, dtype=float)[local_idx],
+                        activity=np.asarray(subject.activity, dtype=int)[local_idx],
+                    )
+                    predicted_hr[offset + local_idx] = np.asarray(predictions, dtype=float)
+
+        cost_arrays = tuple(np.empty(n_total, dtype=float) for _ in _COST_FIELDS)
+        for code, name in enumerate(self.zoo.names):
+            for is_offloaded in (False, True):
+                mask = (model_codes == code) & (offloaded == is_offloaded)
+                if not np.any(mask):
+                    continue
+                target = ExecutionTarget.PHONE if is_offloaded else ExecutionTarget.WATCH
+                cost = self.system.cached_prediction_cost(
+                    self.zoo.entry(name).deployment, target
+                )
+                for array, value in zip(cost_arrays, _cost_values(cost)):
+                    array[mask] = value
+        return predicted_hr, cost_arrays

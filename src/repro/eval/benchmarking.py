@@ -16,11 +16,14 @@ identically.
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 
 import numpy as np
 
 from repro.core.decision_engine import Constraint
+from repro.core.fleet import FleetExecutor
 from repro.data.dataset import WindowedSubject
 from repro.signal.windowing import DEFAULT_WINDOW_SPEC
 
@@ -122,4 +125,119 @@ def benchmark_runtime(
         "offload_fraction": batched.offload_fraction,
         "mean_watch_energy_mj": batched.mean_watch_energy_mj,
         "routing_identical": routing_identical,
+    }
+
+
+def synthetic_fleet(
+    n_subjects: int = 50,
+    n_windows_per_subject: int = 2_000,
+    window_length: int = 16,
+    seed: int = 0,
+) -> list[WindowedSubject]:
+    """A fleet of windowed pseudo-recordings for fleet-throughput runs.
+
+    One :func:`synthetic_workload` per subject with a distinct seed and
+    id.  The window length is kept short because the calibrated zoo never
+    reads the signal arrays; 50 subjects x 2k windows fit in ~40 MB
+    instead of the ~1 GB full-length windows would take.
+    """
+    if n_subjects <= 0:
+        raise ValueError(f"n_subjects must be positive, got {n_subjects}")
+    fleet = []
+    for i in range(n_subjects):
+        subject = synthetic_workload(
+            n_windows=n_windows_per_subject, window_length=window_length, seed=seed + i
+        )
+        subject.subject_id = f"fleet-{i:03d}"
+        fleet.append(subject)
+    return fleet
+
+
+def benchmark_fleet(
+    experiment,
+    n_subjects: int = 50,
+    n_windows_per_subject: int = 2_000,
+    constraint: Constraint | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+    max_workers: int | None = None,
+) -> dict:
+    """Measure fleet-replay throughput: sequential vs mega-batched vs pool.
+
+    Three paths replay the same ``n_subjects`` x ``n_windows_per_subject``
+    fleet:
+
+    * **sequential** — per-subject batched replay (the PR-1 baseline);
+    * **mega** — cross-subject mega-batching: one ``predict`` call per
+      model for the entire population, in-process;
+    * **pool** — :class:`~repro.core.fleet.FleetExecutor` sharding across
+      ``max_workers`` worker processes (``os.cpu_count()`` by default).
+
+    Every timed run starts from a deep copy of the runtime so all paths
+    consume identical predictor state; the best of ``repeats`` wall
+    times is reported per path, plus a ``decisions_identical`` flag
+    confirming the fast paths replayed every window exactly like the
+    sequential reference.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    constraint = constraint or Constraint.max_mae(5.60)
+    subjects = synthetic_fleet(
+        n_subjects=n_subjects, n_windows_per_subject=n_windows_per_subject, seed=seed
+    )
+    n_windows_total = sum(s.n_windows for s in subjects)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    configuration = experiment.engine.select_or_closest(constraint, connected=True)
+
+    def timed(run):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            runtime = copy.deepcopy(experiment.runtime())
+            start = time.perf_counter()
+            result = run(runtime)
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    sequential, sequential_s = timed(
+        lambda rt: rt.run_many(
+            subjects, constraint, use_oracle_difficulty=True, mega_batched=False
+        )
+    )
+    mega, mega_s = timed(
+        lambda rt: rt.run_many(
+            subjects, constraint, use_oracle_difficulty=True, mega_batched=True
+        )
+    )
+    pool, pool_s = timed(
+        lambda rt: FleetExecutor(rt, max_workers=workers).run_fleet(
+            subjects, constraint, use_oracle_difficulty=True
+        )
+    )
+
+    def identical(fleet) -> bool:
+        return fleet.subject_ids == sequential.subject_ids and all(
+            fleet.results[sid] == sequential.results[sid] for sid in fleet.subject_ids
+        )
+
+    return {
+        "n_subjects": int(n_subjects),
+        "n_windows_per_subject": int(n_windows_per_subject),
+        "n_windows_total": int(n_windows_total),
+        "configuration": configuration.label(),
+        "workers": int(workers),
+        "sequential_seconds": sequential_s,
+        "mega_seconds": mega_s,
+        "pool_seconds": pool_s,
+        "sequential_subjects_per_s": n_subjects / sequential_s,
+        "mega_subjects_per_s": n_subjects / mega_s,
+        "pool_subjects_per_s": n_subjects / pool_s,
+        "sequential_windows_per_s": n_windows_total / sequential_s,
+        "mega_windows_per_s": n_windows_total / mega_s,
+        "pool_windows_per_s": n_windows_total / pool_s,
+        "mega_speedup": sequential_s / mega_s,
+        "pool_speedup": sequential_s / pool_s,
+        "mae_bpm": mega.mae_bpm,
+        "offload_fraction": mega.offload_fraction,
+        "decisions_identical": bool(identical(mega) and identical(pool)),
     }

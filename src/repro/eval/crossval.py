@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.decision_engine import Constraint
+from repro.core.fleet import FleetExecutor
 from repro.core.runtime import CHRISRuntime
 from repro.data.dataset import WindowedDataset
 from repro.data.splits import CrossValidationSplit, leave_subjects_out_folds
@@ -48,13 +49,11 @@ class CrossValidationResult:
 
     @property
     def model_names(self) -> list[str]:
-        """All evaluated model names."""
-        names: list[str] = []
+        """All evaluated model names, in first-seen order."""
+        names: dict[str, None] = {}
         for fold in self.folds:
-            for name in fold.mae_per_model:
-                if name not in names:
-                    names.append(name)
-        return names
+            names.update(dict.fromkeys(fold.mae_per_model))
+        return list(names)
 
     def summary(self) -> str:
         """One line per model with the aggregate MAE."""
@@ -106,7 +105,7 @@ def run_cross_validation(
     epochs: int = 5,
     max_folds: int | None = None,
     seed: int = 0,
-    chris_runtime: "CHRISRuntime | None" = None,
+    chris_runtime: "CHRISRuntime | FleetExecutor | None" = None,
     chris_constraint: "Constraint | None" = None,
 ) -> CrossValidationResult:
     """Run the leave-subjects-out protocol.
@@ -134,7 +133,13 @@ def run_cross_validation(
         end to end through the (batched) CHRIS runtime under the
         constraint, and the achieved system-level MAE is recorded as the
         pseudo-model ``"CHRIS"`` — so the adaptive system can be compared
-        against its constituent models fold by fold.
+        against its constituent models fold by fold.  A
+        :class:`~repro.core.fleet.FleetExecutor` may be passed instead of
+        a runtime to replay through the process-pool fleet engine; note
+        the executor never mutates its runtime, so every fold then
+        replays from the same pristine predictor state, whereas a
+        :class:`CHRISRuntime`'s calibrated random streams advance from
+        fold to fold.
     """
     if (chris_runtime is None) != (chris_constraint is None):
         raise ValueError("chris_runtime and chris_constraint must be given together")
@@ -153,15 +158,22 @@ def run_cross_validation(
             fold.mae_per_model[name] = mean_absolute_error(test.hr, predictions)
 
         if chris_runtime is not None and chris_constraint is not None:
-            fleet = chris_runtime.run_many([test], chris_constraint)
+            if isinstance(chris_runtime, FleetExecutor):
+                fleet = chris_runtime.run_fleet([test], chris_constraint)
+            else:
+                fleet = chris_runtime.run_many([test], chris_constraint)
             fold.mae_per_model["CHRIS"] = fleet.mae_bpm
 
-        for name, config in (timeppg_configs or {}).items():
+        if timeppg_configs:
+            # The fold's train/val concatenation is variant-independent;
+            # hoisted out of the loop so multi-variant folds don't redo
+            # the same array copies.
             train = dataset.select(list(split.train_subjects)).concatenated()
             val = dataset.select(list(split.val_subjects)).concatenated()
-            predictor = _train_timeppg(config, train, val, epochs=epochs, seed=seed)
-            predictions = predictor.predict(test.ppg_windows, test.accel_windows)
-            fold.mae_per_model[name] = mean_absolute_error(test.hr, predictions)
+            for name, config in timeppg_configs.items():
+                predictor = _train_timeppg(config, train, val, epochs=epochs, seed=seed)
+                predictions = predictor.predict(test.ppg_windows, test.accel_windows)
+                fold.mae_per_model[name] = mean_absolute_error(test.hr, predictions)
 
         result.folds.append(fold)
     return result

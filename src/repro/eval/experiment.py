@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.configuration import ProfiledConfiguration
 from repro.core.decision_engine import Constraint, DecisionEngine
+from repro.core.fleet import FleetExecutor
 from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, ProfilingData
 from repro.core.runtime import CHRISRuntime, FleetResult
 from repro.core.zoo import ModelsZoo, ZooEntry
@@ -207,6 +208,7 @@ class CalibratedExperiment:
         self,
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
+        mega_batched: bool = True,
     ) -> CHRISRuntime:
         """A CHRIS runtime wired to this experiment's zoo/engine/system."""
         return CHRISRuntime(
@@ -215,6 +217,22 @@ class CalibratedExperiment:
             system=self.system,
             activity_classifier=activity_classifier,
             batched=batched,
+            mega_batched=mega_batched,
+        )
+
+    def fleet_executor(
+        self,
+        max_workers: int | None = None,
+        activity_classifier: ActivityClassifier | None = None,
+        mega_batched: bool = True,
+        shards_per_worker: int = 4,
+    ) -> FleetExecutor:
+        """A process-pool fleet executor over this experiment's runtime."""
+        return FleetExecutor(
+            self.runtime(activity_classifier=activity_classifier, mega_batched=mega_batched),
+            max_workers=max_workers,
+            shards_per_worker=shards_per_worker,
+            mega_batched=mega_batched,
         )
 
     def run_fleet(
@@ -224,17 +242,32 @@ class CalibratedExperiment:
         use_oracle_difficulty: bool = True,
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
+        mega_batched: bool = True,
+        max_workers: int | None = None,
     ) -> FleetResult:
-        """Replay every subject of a corpus through the batched runtime.
+        """Replay every subject of a corpus through the fleet engine.
 
-        The multi-subject entry point used by the benchmarks and examples:
-        one :class:`~repro.core.runtime.CHRISRuntime` is built and
-        :meth:`~repro.core.runtime.CHRISRuntime.run_many` aggregates the
-        per-subject runs into a fleet-level result.
+        The multi-subject entry point used by the benchmarks and examples.
+        By default the corpus is replayed in-process with cross-subject
+        mega-batching; passing ``max_workers > 1`` shards the subjects
+        across a :class:`~repro.core.fleet.FleetExecutor` process pool.
+        ``max_workers`` is purely a throughput knob: every path produces
+        decision-for-decision identical results, and no path mutates the
+        experiment's predictors (the executor replays pristine copies), so
+        repeated calls replay identically.  Use
+        :meth:`runtime` + ``run_many`` directly for the advancing-stream
+        semantics of consecutive runs.
         """
-        runtime = self.runtime(activity_classifier=activity_classifier, batched=batched)
-        return runtime.run_many(
-            dataset.subjects, constraint, use_oracle_difficulty=use_oracle_difficulty
+        executor = self.fleet_executor(
+            max_workers=max_workers if max_workers is not None else 1,
+            activity_classifier=activity_classifier,
+            mega_batched=mega_batched,
+        )
+        return executor.run_fleet(
+            dataset.subjects,
+            constraint,
+            use_oracle_difficulty=use_oracle_difficulty,
+            batched=batched,
         )
 
     def baseline(self, model_name: str, target: ExecutionTarget) -> BaselinePoint:

@@ -36,7 +36,12 @@ from repro.hw.profiles import (
     build_deployment_table,
     deployment_for,
 )
-from repro.hw.platform import PredictionCost, WearableSystem
+from repro.hw.platform import (
+    SHARED_COST_REGISTRY,
+    CostTableRegistry,
+    PredictionCost,
+    WearableSystem,
+)
 from repro.hw.trace import EnergyBreakdown, EnergyTrace
 
 __all__ = [
@@ -62,4 +67,6 @@ __all__ = [
     "deployment_for",
     "PredictionCost",
     "WearableSystem",
+    "CostTableRegistry",
+    "SHARED_COST_REGISTRY",
 ]

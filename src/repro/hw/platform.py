@@ -22,7 +22,8 @@ can be configured to study what happens when that assumption is dropped
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 
 from repro.hw.ble import BLELink, WINDOW_PAYLOAD_BYTES
 from repro.hw.device import ComputeDevice
@@ -65,6 +66,143 @@ class PredictionCost:
         return self.target is ExecutionTarget.PHONE
 
 
+class CostTableRegistry:
+    """Shared per-hardware-revision prediction-cost tables.
+
+    Per-prediction costs are deterministic functions of the *hardware
+    revision* — the tuple of every system parameter the cost model reads
+    (see :meth:`WearableSystem.hardware_revision`).  A fleet of thousands
+    of simulated devices typically spans only a handful of revisions, so
+    profiling each ``(deployment, target)`` pair once per revision and
+    sharing the table across all :class:`WearableSystem` instances removes
+    the per-system re-profiling the first runtime versions did.
+
+    The registry is serializable (:meth:`to_json` / :meth:`from_json`) so
+    fleet workers in other processes can load the parent's profiled tables
+    instead of recomputing them.
+
+    A module-level instance (:data:`SHARED_COST_REGISTRY`) backs every
+    :class:`WearableSystem` that is not given a private registry.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple, dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost]] = {}
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def n_revisions(self) -> int:
+        """Number of distinct hardware revisions profiled so far."""
+        return len(self._tables)
+
+    @property
+    def n_entries(self) -> int:
+        """Total number of memoized ``(deployment, target)`` costs."""
+        return sum(len(t) for t in self._tables.values())
+
+    def revisions(self) -> list[tuple]:
+        """The profiled hardware-revision keys."""
+        return list(self._tables)
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(
+        self,
+        system: "WearableSystem",
+        deployment: ModelDeployment,
+        target: ExecutionTarget,
+    ) -> PredictionCost:
+        """Memoized cost of one prediction on ``system``'s hardware revision.
+
+        Profiles the pair on first sight and returns the shared
+        :class:`PredictionCost` object afterwards — including to *other*
+        system instances of the same revision.  Like the cache it
+        replaces, the lookup never consults the current BLE connection
+        state; callers only request phone costs for windows planned while
+        the link was up.
+        """
+        table = self._tables.setdefault(system.hardware_revision(), {})
+        key = (deployment, target)
+        cost = table.get(key)
+        if cost is None:
+            if target is ExecutionTarget.WATCH:
+                cost = system.local_prediction_cost(deployment)
+            else:
+                cost = system.offloaded_cost(deployment)
+            table[key] = cost
+        return cost
+
+    def profile_system(
+        self, system: "WearableSystem", deployments: "list[ModelDeployment] | tuple[ModelDeployment, ...]"
+    ) -> tuple:
+        """Eagerly profile both targets of every deployment on one system.
+
+        Returns the system's revision key; after this call every lookup a
+        fleet run can make for these deployments is a pure dictionary hit,
+        so the table can be serialized and shipped to workers.
+        """
+        for deployment in deployments:
+            for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
+                self.lookup(system, deployment, target)
+        return system.hardware_revision()
+
+    def drop(self, revision: tuple) -> None:
+        """Forget one revision's table (no-op when absent)."""
+        self._tables.pop(revision, None)
+
+    def clear(self) -> None:
+        """Forget every profiled table."""
+        self._tables.clear()
+
+    # ------------------------------------------------------------- serialization
+    def to_json(self) -> str:
+        """JSON dump of every profiled table.
+
+        Floats survive the round trip exactly (JSON numbers are emitted
+        with ``repr`` precision), so a table loaded in a worker process
+        produces bit-identical costs to the parent's.
+        """
+        payload = [
+            {
+                "revision": list(revision),
+                "entries": [
+                    {
+                        "deployment": asdict(deployment),
+                        "target": target.value,
+                        "cost": asdict(cost) | {"target": cost.target.value},
+                    }
+                    for (deployment, target), cost in table.items()
+                ],
+            }
+            for revision, table in self._tables.items()
+        ]
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostTableRegistry":
+        """Rebuild a registry from :meth:`to_json` output."""
+        registry = cls()
+        for block in json.loads(text):
+            table = registry._tables.setdefault(tuple(block["revision"]), {})
+            for entry in block["entries"]:
+                deployment = ModelDeployment(**entry["deployment"])
+                target = ExecutionTarget(entry["target"])
+                cost_fields = dict(entry["cost"])
+                cost_fields["target"] = ExecutionTarget(cost_fields["target"])
+                table[(deployment, target)] = PredictionCost(**cost_fields)
+        return registry
+
+    def merge(self, other: "CostTableRegistry") -> None:
+        """Adopt every entry of ``other`` (existing entries win)."""
+        for revision, table in other._tables.items():
+            mine = self._tables.setdefault(revision, {})
+            for key, cost in table.items():
+                mine.setdefault(key, cost)
+
+
+#: Registry backing every :class:`WearableSystem` without a private one:
+#: heterogeneous device populations profile each hardware revision once.
+SHARED_COST_REGISTRY = CostTableRegistry()
+
+
 class WearableSystem:
     """The two-device platform of the paper.
 
@@ -82,6 +220,10 @@ class WearableSystem:
     difficulty_detector_energy_j:
         Per-prediction MCU energy of the activity recognizer; 0 because the
         paper runs it on the accelerometer's ML core.
+    cost_registry:
+        Cost-table registry this system memoizes into; the process-wide
+        :data:`SHARED_COST_REGISTRY` when omitted, so identical hardware
+        revisions across a fleet are profiled exactly once.
     """
 
     def __init__(
@@ -92,6 +234,7 @@ class WearableSystem:
         prediction_period_s: float = PREDICTION_PERIOD_S,
         offload_payload_bytes: int = WINDOW_PAYLOAD_BYTES,
         difficulty_detector_energy_j: float = 0.0,
+        cost_registry: CostTableRegistry | None = None,
     ) -> None:
         if prediction_period_s <= 0:
             raise ValueError(f"prediction_period_s must be positive, got {prediction_period_s}")
@@ -107,8 +250,7 @@ class WearableSystem:
         self.prediction_period_s = prediction_period_s
         self.offload_payload_bytes = offload_payload_bytes
         self.difficulty_detector_energy_j = difficulty_detector_energy_j
-        self._cost_cache: dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost] = {}
-        self._cost_cache_signature: tuple | None = None
+        self.cost_registry = cost_registry if cost_registry is not None else SHARED_COST_REGISTRY
 
     # ----------------------------------------------------------- connection
     @property
@@ -173,15 +315,17 @@ class WearableSystem:
             return self.local_prediction_cost(deployment)
         return self.offloaded_prediction_cost(deployment)
 
-    # ------------------------------------------------------------ cost cache
-    def _cost_signature(self) -> tuple:
-        """Cheap fingerprint of every parameter the cost model reads.
+    # ------------------------------------------------------------ cost tables
+    def hardware_revision(self) -> tuple:
+        """Fingerprint of every parameter the cost model reads.
 
         Per-prediction costs consult only the watch's idle power (active
         energies come from the deployment profiles) plus the BLE link and
-        the scalar system parameters, all captured here by value — so both
-        replacing a component and mutating it in place invalidate the
-        cache on the next lookup.
+        the scalar system parameters, all captured here by value — two
+        systems with equal revisions produce identical costs, which is the
+        key the shared :class:`CostTableRegistry` memoizes by.  Both
+        replacing a component and mutating it in place change the revision
+        and therefore miss into a fresh table on the next lookup.
         """
         return (
             self.prediction_period_s,
@@ -196,9 +340,8 @@ class WearableSystem:
         )
 
     def invalidate_cost_cache(self) -> None:
-        """Drop memoized per-``(deployment, target)`` prediction costs."""
-        self._cost_cache.clear()
-        self._cost_cache_signature = None
+        """Drop this revision's memoized prediction costs from the registry."""
+        self.cost_registry.drop(self.hardware_revision())
 
     def cached_prediction_cost(
         self, deployment: ModelDeployment, target: ExecutionTarget
@@ -206,26 +349,14 @@ class WearableSystem:
         """Memoized per-``(deployment, target)`` prediction cost.
 
         Costs are deterministic given the system parameters, so the hot
-        batched-dispatch path looks them up here instead of rebuilding a
-        :class:`PredictionCost` per window; the cache self-invalidates when
-        any fingerprinted parameter changes.  Unlike
+        batched-dispatch path looks them up in the shared
+        :class:`CostTableRegistry` (keyed by :meth:`hardware_revision`)
+        instead of rebuilding a :class:`PredictionCost` per window.  Unlike
         :meth:`prediction_cost` this never consults the *current* BLE
         connection state — callers are responsible for only requesting
         phone costs for windows planned while the link is up.
         """
-        signature = self._cost_signature()
-        if signature != self._cost_cache_signature:
-            self._cost_cache.clear()
-            self._cost_cache_signature = signature
-        key = (deployment, target)
-        cost = self._cost_cache.get(key)
-        if cost is None:
-            if target is ExecutionTarget.WATCH:
-                cost = self.local_prediction_cost(deployment)
-            else:
-                cost = self.offloaded_cost(deployment)
-            self._cost_cache[key] = cost
-        return cost
+        return self.cost_registry.lookup(self, deployment, target)
 
     # -------------------------------------------------------------- summary
     def average_watch_power_w(self, energy_per_prediction_j: float) -> float:

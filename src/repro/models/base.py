@@ -56,6 +56,15 @@ class HeartRatePredictor:
     #: skip materializing per-group copies of the large signal arrays.
     REQUIRES_SIGNALS: bool = True
 
+    #: Whether back-to-back runs can be fused into one batched
+    #: :meth:`predict` call.  ``True`` requires that :meth:`reset` does not
+    #: influence predictions (no per-run temporal state is consumed by
+    #: :meth:`predict`), so concatenating two subjects' window streams is
+    #: bit-identical to two sequential runs.  Stateful trackers (anything
+    #: reading ``_last_estimate`` or similar) must keep this ``False``; the
+    #: fleet engine then dispatches them per subject segment instead.
+    FLEET_BATCHABLE: bool = False
+
     def __init__(self, fs: float = 32.0) -> None:
         if fs <= 0:
             raise ValueError(f"fs must be positive, got {fs}")
@@ -116,6 +125,21 @@ class HeartRatePredictor:
     def reset(self) -> None:
         """Forget temporal state (the last valid estimate)."""
         self._last_estimate = None
+
+    def advance_fleet_state(self, n_windows: int) -> None:
+        """Fast-forward cross-run state past ``n_windows`` foreign windows.
+
+        A fleet shard that starts mid-population must put every predictor
+        in the exact state sequential replay would have reached after the
+        preceding subjects' windows.  Per-run temporal state is cleared by
+        :meth:`reset` at the start of every run, so for most predictors
+        nothing persists and resetting is sufficient; predictors with
+        cross-run state (the calibrated models' random streams) override
+        this to consume exactly one state step per window.
+        """
+        if n_windows < 0:
+            raise ValueError(f"n_windows must be >= 0, got {n_windows}")
+        self.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.info.name})"

@@ -125,6 +125,10 @@ class CalibratedHRModel(HeartRatePredictor):
     """
 
     REQUIRES_SIGNALS = False
+    #: Predictions never read the per-run state ``reset()`` clears (the
+    #: Laplace stream continues across runs), so whole fleets of subjects
+    #: can be fused into one ``predict`` call per model.
+    FLEET_BATCHABLE = True
 
     def __init__(
         self,
@@ -189,6 +193,19 @@ class CalibratedHRModel(HeartRatePredictor):
         mae = self._mae_by_difficulty[difficulties_of(activity) - 1]
         errors = self._rng.laplace(0.0, mae)
         return np.clip(true_hr + errors, 30.0, 220.0)
+
+    def advance_fleet_state(self, n_windows: int) -> None:
+        """Consume exactly the random variates ``n_windows`` predictions would.
+
+        ``random_laplace`` draws one uniform per variate regardless of the
+        scale parameter, so drawing ``n_windows`` unit-scale variates
+        advances the generator bit-exactly as the skipped predictions
+        would have — the property fleet shards rely on to start from the
+        same stream position as sequential replay.
+        """
+        super().advance_fleet_state(n_windows)
+        if n_windows:
+            self._rng.laplace(0.0, 1.0, size=n_windows)
 
 
 def calibrated_model_zoo(seed: int = 0) -> dict[str, CalibratedHRModel]:

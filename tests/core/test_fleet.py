@@ -1,0 +1,369 @@
+"""Fleet execution engine tests: mega-batching, pool sharding, streaming.
+
+Every fast fleet path — cross-subject mega-batching in one process and
+process-pool sharding via :class:`FleetExecutor` — must produce a
+:class:`FleetResult` bit-identical to sequential per-subject
+``run_many``: same per-window decisions, predictions, costs, MAE and
+energy, including fleets with per-subject BLE connection traces.  The
+paths are compared on independent deep copies of the zoo so every run
+starts from identical predictor state (including the calibrated models'
+random streams).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.core.fleet import FleetExecutor
+from repro.core.runtime import CHRISRuntime, FleetResult
+
+from tests.core.test_runtime_batched import assert_results_identical
+
+CONSTRAINT = Constraint.max_mae(6.0)
+
+
+def make_runtime(experiment, mega_batched: bool) -> CHRISRuntime:
+    """A runtime over a private deep copy of the experiment's zoo."""
+    return CHRISRuntime(
+        zoo=copy.deepcopy(experiment.zoo),
+        engine=experiment.engine,
+        system=experiment.system,
+        mega_batched=mega_batched,
+    )
+
+
+def assert_fleets_identical(a: FleetResult, b: FleetResult) -> None:
+    assert a.subject_ids == b.subject_ids
+    for sid in a.subject_ids:
+        assert_results_identical(a.results[sid], b.results[sid])
+    assert a.mae_bpm == b.mae_bpm
+    assert a.mean_watch_energy_j == b.mean_watch_energy_j
+    assert a.offload_fraction == b.offload_fraction
+
+
+def half_disconnected_trace(n: int) -> np.ndarray:
+    connected = np.ones(n, dtype=bool)
+    connected[n // 4 : n // 2] = False
+    connected[-n // 8 :] = False
+    return connected
+
+
+@pytest.fixture()
+def sequential_fleet(calibrated_experiment, small_dataset) -> FleetResult:
+    return make_runtime(calibrated_experiment, mega_batched=False).run_many(
+        small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+    )
+
+
+class TestMegaBatchedEquivalence:
+    def test_mega_identical_to_sequential(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        mega = make_runtime(calibrated_experiment, mega_batched=True).run_many(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert_fleets_identical(sequential_fleet, mega)
+
+    def test_mega_identical_with_connection_traces(
+        self, calibrated_experiment, small_dataset
+    ):
+        """A fleet where some devices lose BLE mid-run replays identically."""
+        traces = {
+            subject.subject_id: half_disconnected_trace(subject.n_windows)
+            for subject in small_dataset.subjects[::2]
+        }
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            connected_traces=traces,
+        )
+        mega = make_runtime(calibrated_experiment, mega_batched=True).run_many(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            connected_traces=traces,
+        )
+        assert_fleets_identical(sequential, mega)
+        traced = sequential.results[small_dataset.subjects[0].subject_id]
+        assert len(traced.configuration_segments) > 1
+
+    def test_mega_identical_with_rf_difficulty(
+        self, calibrated_experiment, small_dataset, trained_activity_classifier
+    ):
+        fleets = []
+        for mega in (False, True):
+            runtime = make_runtime(calibrated_experiment, mega_batched=mega)
+            runtime.activity_classifier = trained_activity_classifier
+            fleets.append(
+                runtime.run_many(
+                    small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=False
+                )
+            )
+        assert_fleets_identical(*fleets)
+
+    def test_mega_identical_with_non_fleet_batchable_predictor(
+        self, calibrated_experiment, small_dataset
+    ):
+        """The stateful fallback (per-(model, subject) segments with
+        re-enacted reset boundaries) must also be decision-identical."""
+        fleets = []
+        for mega in (False, True):
+            runtime = make_runtime(calibrated_experiment, mega_batched=mega)
+            # Force one model through the stateful-predictor path; the
+            # calibrated model's predictions are reset-insensitive, so
+            # segment-wise dispatch must reproduce the fused result.
+            runtime.zoo.entry("TimePPG-Big").predictor.FLEET_BATCHABLE = False
+            fleets.append(
+                runtime.run_many(
+                    small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+                )
+            )
+        assert_fleets_identical(*fleets)
+        counts = fleets[1].results[small_dataset.subjects[0].subject_id].per_model_counts()
+        assert counts.get("TimePPG-Big", 0) > 0  # the fallback branch ran
+
+    def test_mega_rejects_duplicate_subjects(self, calibrated_experiment, small_dataset):
+        runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        subject = small_dataset.subjects[0]
+        with pytest.raises(ValueError):
+            runtime.run_many([subject, subject], CONSTRAINT, use_oracle_difficulty=True)
+
+    def test_trace_for_unknown_subject_rejected(self, calibrated_experiment, small_dataset):
+        runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        with pytest.raises(KeyError):
+            runtime.run_many(
+                small_dataset.subjects,
+                CONSTRAINT,
+                use_oracle_difficulty=True,
+                connected_traces={"nobody": np.ones(4, dtype=bool)},
+            )
+
+    def test_planned_counts_match_executed_routing(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        counts = make_runtime(
+            calibrated_experiment, mega_batched=True
+        ).planned_model_window_counts(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        for subject, planned in zip(small_dataset.subjects, counts):
+            executed = sequential_fleet.results[subject.subject_id].per_model_counts()
+            assert {k: v for k, v in planned.items() if v} == executed
+
+
+class TestFleetExecutor:
+    def test_pool_identical_to_sequential(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        """Sharded multi-process replay is bit-identical, workers > 1."""
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=2,
+        )
+        parallel = executor.run_fleet(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert_fleets_identical(sequential_fleet, parallel)
+
+    def test_pool_identical_with_connection_traces(
+        self, calibrated_experiment, small_dataset
+    ):
+        traces = {
+            subject.subject_id: half_disconnected_trace(subject.n_windows)
+            for subject in small_dataset.subjects[1::2]
+        }
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            connected_traces=traces,
+        )
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        parallel = executor.run_fleet(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            connected_traces=traces,
+        )
+        assert_fleets_identical(sequential, parallel)
+
+    def test_pool_identical_with_rf_difficulty(
+        self, calibrated_experiment, small_dataset, trained_activity_classifier
+    ):
+        """Shipped plans carry the classifier's difficulty stream; workers
+        must not re-infer (they would get the same answer, but the test
+        pins that the parent-planned path stays decision-identical)."""
+        reference_runtime = make_runtime(calibrated_experiment, mega_batched=False)
+        reference_runtime.activity_classifier = trained_activity_classifier
+        sequential = reference_runtime.run_many(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=False
+        )
+        pooled_runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        pooled_runtime.activity_classifier = trained_activity_classifier
+        parallel = FleetExecutor(pooled_runtime, max_workers=2).run_fleet(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=False
+        )
+        assert_fleets_identical(sequential, parallel)
+
+    def test_pool_rejects_trace_for_unknown_subject(
+        self, calibrated_experiment, small_dataset
+    ):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        with pytest.raises(KeyError):
+            list(
+                executor.iter_runs(
+                    small_dataset.subjects,
+                    CONSTRAINT,
+                    use_oracle_difficulty=True,
+                    connected_traces={"typo-id": np.ones(4, dtype=bool)},
+                )
+            )
+
+    def test_iter_runs_early_break_does_not_hang(
+        self, calibrated_experiment, small_dataset
+    ):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=2,
+        )
+        stream = executor.iter_runs(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        first = next(stream)
+        assert first[1].n_windows > 0
+        stream.close()  # must cancel pending shards, not block on them
+
+    def test_iter_runs_streams_every_subject(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=2,
+        )
+        streamed = dict(
+            executor.iter_runs(small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True)
+        )
+        assert sorted(streamed) == sorted(sequential_fleet.subject_ids)
+        for sid, result in streamed.items():
+            assert_results_identical(sequential_fleet.results[sid], result)
+
+    def test_repeated_calls_replay_identically(
+        self, calibrated_experiment, small_dataset
+    ):
+        """Executor calls never advance the parent runtime's predictor
+        streams, so back-to-back runs are bit-identical whatever the
+        worker count."""
+        pooled = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        first = pooled.run_fleet(small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True)
+        second = pooled.run_fleet(small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True)
+        assert_fleets_identical(first, second)
+        in_process = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=1
+        )
+        assert_fleets_identical(
+            first,
+            in_process.run_fleet(small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True),
+        )
+
+    def test_single_worker_runs_in_process(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=1
+        )
+        fleet = executor.run_fleet(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert_fleets_identical(sequential_fleet, fleet)
+
+    def test_shard_bounds_partition_subjects(self, calibrated_experiment):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=3,
+            shards_per_worker=2,
+        )
+        bounds = executor.shard_bounds(10)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (_, stop), (start, _) in zip(bounds[:-1], bounds[1:]):
+            assert stop == start
+        assert executor.shard_bounds(0) == []
+
+    def test_duplicate_subjects_rejected(self, calibrated_experiment, small_dataset):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        subject = small_dataset.subjects[0]
+        with pytest.raises(ValueError):
+            list(executor.iter_runs([subject, subject], CONSTRAINT))
+
+    def test_validation(self, calibrated_experiment):
+        runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        with pytest.raises(ValueError):
+            FleetExecutor(runtime, max_workers=0)
+        with pytest.raises(ValueError):
+            FleetExecutor(runtime, shards_per_worker=0)
+
+    def test_empty_fleet(self, calibrated_experiment):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        assert list(executor.iter_runs([], CONSTRAINT)) == []
+        assert executor.run_fleet([], CONSTRAINT).n_subjects == 0
+
+
+class TestExperimentWiring:
+    def test_run_fleet_with_workers(self, calibrated_experiment, small_dataset):
+        """Each path runs on a private experiment copy: the calibrated
+        models' random streams advance across runs, so sharing one zoo
+        between the two calls would change the second's predictions."""
+        sequential = copy.deepcopy(calibrated_experiment).run_fleet(
+            small_dataset, CONSTRAINT, mega_batched=False
+        )
+        pooled = copy.deepcopy(calibrated_experiment).run_fleet(
+            small_dataset, CONSTRAINT, max_workers=2
+        )
+        assert pooled.subject_ids == sequential.subject_ids
+        assert pooled.mae_bpm == sequential.mae_bpm
+
+    def test_crossval_accepts_fleet_executor(self, calibrated_experiment, small_dataset):
+        from repro.data.dataset import WindowedDataset
+        from repro.data.splits import leave_subjects_out_folds
+        from repro.eval.crossval import run_cross_validation
+        from repro.models import AdaptiveThresholdPredictor
+
+        corpus = WindowedDataset(small_dataset.subjects)
+        via_executor = run_cross_validation(
+            corpus,
+            classical_models={"AT": AdaptiveThresholdPredictor()},
+            fold_size=2,
+            max_folds=2,
+            chris_runtime=FleetExecutor(
+                make_runtime(calibrated_experiment, mega_batched=True), max_workers=1
+            ),
+            chris_constraint=CONSTRAINT,
+        )
+        assert "CHRIS" in via_executor.model_names
+        # Executor calls never mutate their runtime, so every fold's CHRIS
+        # replay starts from the pristine predictor state — each fold must
+        # match a fresh runtime's run on that fold's test subject.
+        splits = leave_subjects_out_folds(corpus.subject_ids, fold_size=2)[:2]
+        for split, fold in zip(splits, via_executor.folds):
+            expected = (
+                make_runtime(calibrated_experiment, mega_batched=True)
+                .run_many([corpus.subject(split.test_subject)], CONSTRAINT)
+                .mae_bpm
+            )
+            assert fold.mae_per_model["CHRIS"] == expected

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.hw.ble import BLELink
-from repro.hw.platform import PREDICTION_PERIOD_S, WearableSystem
+from repro.hw.platform import (
+    PREDICTION_PERIOD_S,
+    CostTableRegistry,
+    WearableSystem,
+)
 from repro.hw.profiles import PAPER_DEPLOYMENTS, ExecutionTarget
 from repro.models.registry import PAPER_MODEL_STATS
 
@@ -161,3 +165,79 @@ class TestCachedPredictionCost:
             assert system.cached_prediction_cost(deployment, ExecutionTarget.PHONE) == expected
         finally:
             system.ble.reconnect()
+
+
+class TestCostTableRegistry:
+    def test_shared_across_system_instances(self):
+        """Identical hardware revisions are profiled once for the whole fleet."""
+        registry = CostTableRegistry()
+        fleet = [WearableSystem(cost_registry=registry) for _ in range(5)]
+        deployment = PAPER_DEPLOYMENTS["TimePPG-Small"]
+        costs = [
+            system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+            for system in fleet
+        ]
+        assert all(cost is costs[0] for cost in costs)
+        assert registry.n_revisions == 1
+        assert registry.n_entries == 1
+
+    def test_heterogeneous_revisions_get_separate_tables(self):
+        registry = CostTableRegistry()
+        stock = WearableSystem(cost_registry=registry)
+        modified = WearableSystem(cost_registry=registry, prediction_period_s=4.0)
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        a = stock.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        b = modified.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        assert registry.n_revisions == 2
+        assert b.watch_idle_j > a.watch_idle_j
+
+    def test_profile_system_fills_every_pair(self):
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        deployments = list(PAPER_DEPLOYMENTS.values())
+        revision = registry.profile_system(system, deployments)
+        assert revision == system.hardware_revision()
+        assert registry.n_entries == 2 * len(deployments)
+
+    def test_json_roundtrip_is_bit_exact(self):
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        registry.profile_system(system, list(PAPER_DEPLOYMENTS.values()))
+        loaded = CostTableRegistry.from_json(registry.to_json())
+        assert loaded.revisions() == registry.revisions()
+        assert loaded.n_entries == registry.n_entries
+        worker = WearableSystem(cost_registry=loaded)
+        for deployment in PAPER_DEPLOYMENTS.values():
+            for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
+                assert worker.cached_prediction_cost(deployment, target) == (
+                    system.cached_prediction_cost(deployment, target)
+                )
+        # The loaded table served every lookup: nothing was re-profiled.
+        assert loaded.n_entries == registry.n_entries
+
+    def test_merge_keeps_existing_entries(self):
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        mine = system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        other = CostTableRegistry.from_json(registry.to_json())
+        registry.merge(other)
+        assert system.cached_prediction_cost(deployment, ExecutionTarget.WATCH) is mine
+
+    def test_clear_and_drop(self):
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        registry.drop(system.hardware_revision())
+        assert registry.n_revisions == 0
+        registry.drop(system.hardware_revision())  # no-op when absent
+        system.cached_prediction_cost(deployment, ExecutionTarget.WATCH)
+        registry.clear()
+        assert registry.n_entries == 0
+
+    def test_default_systems_share_the_module_registry(self):
+        from repro.hw.platform import SHARED_COST_REGISTRY
+
+        assert WearableSystem().cost_registry is SHARED_COST_REGISTRY
+        assert WearableSystem().cost_registry is WearableSystem().cost_registry

@@ -46,12 +46,20 @@ class TestExamples:
         assert "Fig. 5" in result.stdout
         assert "connection loss" in result.stdout
 
+    def test_fleet_simulation_streams_a_heterogeneous_fleet(self):
+        result = run_example("fleet_simulation.py")
+        assert result.returncode == 0, result.stderr
+        assert "streaming per-subject results" in result.stdout
+        assert "2 hardware revisions" in result.stdout
+        assert "fleet speedup" in result.stdout
+
     def test_all_examples_are_present_and_importable_as_scripts(self):
         expected = {
             "quickstart.py",
             "offload_exploration.py",
             "train_and_deploy_timeppg.py",
             "activity_difficulty_detector.py",
+            "fleet_simulation.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present
