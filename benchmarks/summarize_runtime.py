@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Dump the runtime perf summary to ``BENCH_runtime.json``.
 
-Runs two fixed synthetic workloads of :mod:`repro.eval.benchmarking` —
+Runs the fixed synthetic workloads of :mod:`repro.eval.benchmarking` —
 the 10k-window single-subject workload through both execution paths of
 the CHRIS runtime, and the 50-subject x 2k-window fleet through the
-sequential / mega-batched / process-pool fleet paths — and writes the
-measured throughputs, MAE and offload statistics to
-``BENCH_runtime.json`` at the repository root, so successive PRs can
-track the perf trajectory of both hot paths.
+sequential / mega-batched / process-pool fleet paths (``"fleet"`` block)
+and through the online dynamic-session scheduler (``"scheduler"``
+block) — and writes the measured throughputs, MAE and offload statistics
+to ``BENCH_runtime.json`` at the repository root, so successive PRs can
+track the perf trajectory of every hot path.
 
 Run with:  PYTHONPATH=src python benchmarks/summarize_runtime.py
 """
@@ -23,7 +24,11 @@ _SRC = _REPO / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.eval.benchmarking import benchmark_fleet, benchmark_runtime  # noqa: E402
+from repro.eval.benchmarking import (  # noqa: E402
+    benchmark_fleet,
+    benchmark_runtime,
+    benchmark_scheduler,
+)
 from repro.eval.experiment import CalibratedExperiment  # noqa: E402
 
 
@@ -33,6 +38,9 @@ def main(output_path: Path | None = None) -> dict:
     experiment = CalibratedExperiment.build(seed=0, n_subjects=6, activity_duration_s=60.0)
     outcome = benchmark_runtime(experiment, n_windows=10_000, seed=0)
     outcome["fleet"] = benchmark_fleet(
+        experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
+    )
+    outcome["scheduler"] = benchmark_scheduler(
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")

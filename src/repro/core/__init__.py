@@ -31,7 +31,8 @@ from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, Prof
 from repro.core.pareto import is_dominated, pareto_front, pareto_indices
 from repro.core.decision_engine import Constraint, ConstraintKind, DecisionEngine
 from repro.core.runtime import CHRISRuntime, FleetResult, RunResult, WindowDecision
-from repro.core.fleet import FleetExecutor
+from repro.core.fleet import FleetExecutor, SharedSubjectStore
+from repro.core.scheduler import FleetScheduler, FleetSession, SessionState
 
 __all__ = [
     "ModelsZoo",
@@ -52,6 +53,10 @@ __all__ = [
     "CHRISRuntime",
     "FleetExecutor",
     "FleetResult",
+    "FleetScheduler",
+    "FleetSession",
     "RunResult",
+    "SessionState",
+    "SharedSubjectStore",
     "WindowDecision",
 ]

@@ -24,12 +24,24 @@ path no matter how many workers execute or how shards are interleaved.
 
 Cost tables are not re-profiled per worker: the parent eagerly profiles
 its :class:`~repro.hw.platform.CostTableRegistry` for the zoo's
-deployments, serializes it to JSON, and each worker loads the table
-instead of recomputing it.
+deployments (every hardware revision of a heterogeneous fleet),
+serializes it to JSON, and each worker loads the table instead of
+recomputing it.
 
 Shard tasks deep-copy the pristine worker runtime before touching any
 state, so a worker that happens to execute several shards (pools do not
 balance tasks evenly) cannot leak predictor state between them.
+
+Shared-memory signals
+---------------------
+Under the ``fork`` start method workers inherit the subjects' signal
+arrays through process memory for free.  ``spawn``-based platforms would
+instead pickle the whole fleet once per worker; to avoid that,
+:class:`SharedSubjectStore` copies the per-subject arrays into
+:mod:`multiprocessing.shared_memory` blocks once, and every worker
+*attaches* zero-copy NumPy views.  :class:`FleetExecutor` turns this on
+automatically whenever the effective start method is not ``fork`` (and
+on request via ``share_signals=True``).
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from __future__ import annotations
 import copy
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import shared_memory
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import multiprocessing
@@ -51,29 +64,154 @@ from repro.core.runtime import (
     _check_unique_subject_ids,
 )
 from repro.data.dataset import WindowedSubject
-from repro.hw.platform import CostTableRegistry
+from repro.hw.platform import CostTableRegistry, WearableSystem
 
 #: Worker-process state installed by :func:`_init_fleet_worker`.
 _WORKER_STATE: dict = {}
 
 
+#: ``WindowedSubject`` array fields mirrored into shared memory.  Each
+#: block keeps the fleet's own dtype (checked uniform by ``supports``),
+#: so attached views are bit-identical to the originals — a float32
+#: fleet must not silently become float64 in the workers.
+_SHARED_FIELDS: tuple[str, ...] = ("ppg_windows", "accel_windows", "activity", "hr")
+
+
+class SharedSubjectStore:
+    """Fleet signal arrays in :mod:`multiprocessing.shared_memory` blocks.
+
+    One block per array field, holding all subjects' windows concatenated
+    along axis 0; the picklable :attr:`manifest` records block names,
+    shapes and per-subject offsets, so worker processes :meth:`attach`
+    zero-copy views instead of receiving pickled copies.  The creating
+    process owns the blocks: call :meth:`close` and :meth:`unlink` when
+    every consumer is done (closing the pool first).
+    """
+
+    def __init__(self, subjects: Sequence[WindowedSubject]) -> None:
+        subjects = list(subjects)
+        if not subjects:
+            raise ValueError("cannot share an empty fleet")
+        if not self.supports(subjects):
+            raise ValueError(
+                "subjects have inconsistent window geometry; shared-memory "
+                "blocks require uniform trailing array dimensions and dtypes"
+            )
+        self._shms: list[shared_memory.SharedMemory] = []
+        blocks: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        counts = [s.n_windows for s in subjects]
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        try:
+            for field in _SHARED_FIELDS:
+                dtype = getattr(subjects[0], field).dtype
+                arrays = [np.ascontiguousarray(getattr(s, field)) for s in subjects]
+                shape = (int(bounds[-1]), *arrays[0].shape[1:])
+                size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                self._shms.append(shm)
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+                for array, start, stop in zip(arrays, bounds[:-1], bounds[1:]):
+                    view[start:stop] = array
+                blocks[field] = (shm.name, shape, np.dtype(dtype).str)
+        except BaseException:
+            # A failure on a later block must not strand the earlier ones
+            # in /dev/shm until interpreter exit.
+            self.close()
+            self.unlink()
+            raise
+        self.manifest = {
+            "blocks": blocks,
+            "subjects": [
+                (s.subject_id, int(start), int(stop), s.spec)
+                for s, start, stop in zip(subjects, bounds[:-1], bounds[1:])
+            ],
+        }
+
+    @staticmethod
+    def supports(subjects: Sequence[WindowedSubject]) -> bool:
+        """Whether the fleet's arrays can share one block per field."""
+        if not subjects:
+            return False
+        first = subjects[0]
+        return all(
+            getattr(s, field).shape[1:] == getattr(first, field).shape[1:]
+            and getattr(s, field).dtype == getattr(first, field).dtype
+            for s in subjects
+            for field in _SHARED_FIELDS
+        )
+
+    @classmethod
+    def attach(cls, manifest: dict) -> tuple[list, list[WindowedSubject]]:
+        """Open the blocks of a :attr:`manifest` and rebuild subject views.
+
+        Returns ``(handles, subjects)``; the caller must keep ``handles``
+        referenced for as long as the subjects' arrays are in use (the
+        views borrow the mapped buffers).  Pool workers share the parent's
+        resource tracker, so attaching re-registers the same names
+        idempotently and the creator's :meth:`unlink` retires them once.
+        """
+        handles = []
+        views: dict[str, np.ndarray] = {}
+        for field, (name, shape, dtype_str) in manifest["blocks"].items():
+            shm = shared_memory.SharedMemory(name=name)
+            handles.append(shm)
+            views[field] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf)
+        subjects = [
+            WindowedSubject(
+                subject_id=sid,
+                ppg_windows=views["ppg_windows"][start:stop],
+                accel_windows=views["accel_windows"][start:stop],
+                activity=views["activity"][start:stop],
+                hr=views["hr"][start:stop],
+                spec=spec,
+            )
+            for sid, start, stop, spec in manifest["subjects"]
+        ]
+        return handles, subjects
+
+    def close(self) -> None:
+        """Detach this process's mappings (the blocks stay alive)."""
+        for shm in self._shms:
+            shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the blocks (call after every consumer detached)."""
+        for shm in self._shms:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+
 def _init_fleet_worker(
     runtime: CHRISRuntime,
-    subjects: Sequence[WindowedSubject],
+    subjects: "Sequence[WindowedSubject] | None",
     traces: Mapping[str, np.ndarray],
     registry_json: str,
+    systems: Mapping[str, WearableSystem],
+    shared_manifest: "dict | None",
 ) -> None:
     """Install the shared fleet context in a pool worker.
 
     With the (default) ``fork`` start method the arguments are inherited
     via process memory, not pickled, so the big signal arrays are never
-    serialized; under ``spawn`` they are pickled exactly once per worker
-    instead of once per task.
+    serialized; under ``spawn`` the executor ships a
+    :class:`SharedSubjectStore` manifest instead and the worker attaches
+    zero-copy views (``subjects`` is then ``None``).
     """
+    if shared_manifest is not None:
+        handles, subjects = SharedSubjectStore.attach(shared_manifest)
+        _WORKER_STATE["shared_handles"] = handles
     _WORKER_STATE["runtime"] = runtime
     _WORKER_STATE["subjects"] = subjects
     _WORKER_STATE["traces"] = traces
-    _WORKER_STATE["cost_registry"] = CostTableRegistry.from_json(registry_json)
+    registry = CostTableRegistry.from_json(registry_json)
+    # The parent profiled every revision the fleet can touch before
+    # serializing; a miss in the worker therefore means the wrong or a
+    # partial table was shipped — fail loudly instead of re-profiling.
+    registry.strict = True
+    _WORKER_STATE["cost_registry"] = registry
+    _WORKER_STATE["systems"] = systems
 
 
 def _run_fleet_shard(
@@ -98,13 +236,17 @@ def _run_fleet_shard(
     """
     runtime: CHRISRuntime = copy.deepcopy(_WORKER_STATE["runtime"])
     runtime.system.cost_registry = _WORKER_STATE["cost_registry"]
+    systems: Mapping[str, WearableSystem] = _WORKER_STATE["systems"]
+    for system in systems.values():
+        system.cost_registry = _WORKER_STATE["cost_registry"]
     for entry in runtime.zoo:
         entry.predictor.advance_fleet_state(int(prior_windows.get(entry.name, 0)))
     subjects = _WORKER_STATE["subjects"][start:stop]
+    shard_ids = {s.subject_id for s in subjects}
+    shard_systems = {sid: sys for sid, sys in systems.items() if sid in shard_ids}
     if plans is not None:
-        fleet = runtime._run_many_planned(subjects, plans)
+        fleet = runtime._run_many_planned(subjects, plans, systems=shard_systems)
     else:
-        shard_ids = {s.subject_id for s in subjects}
         traces = {
             sid: trace
             for sid, trace in _WORKER_STATE["traces"].items()
@@ -117,6 +259,7 @@ def _run_fleet_shard(
             batched=batched,
             mega_batched=mega_batched,
             connected_traces=traces,
+            systems=shard_systems,
         )
     return list(fleet.results.items())
 
@@ -153,6 +296,14 @@ class FleetExecutor:
         ``multiprocessing`` start method; the platform default when
         omitted (``fork`` on Linux, which shares the subjects' signal
         arrays with workers without serializing them).
+    share_signals:
+        Whether to put the fleet's signal arrays into
+        :class:`SharedSubjectStore` shared-memory blocks that workers
+        attach instead of receiving pickled copies.  When omitted, shared
+        memory is used exactly when the effective start method is not
+        ``fork`` (``spawn``/``forkserver`` platforms), where it replaces
+        the per-worker pickling of the whole fleet.  Fleets with
+        non-uniform window geometry fall back to pickling.
     """
 
     def __init__(
@@ -162,6 +313,7 @@ class FleetExecutor:
         shards_per_worker: int = 4,
         mega_batched: bool = True,
         start_method: str | None = None,
+        share_signals: bool | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -172,6 +324,7 @@ class FleetExecutor:
         self.shards_per_worker = shards_per_worker
         self.mega_batched = mega_batched
         self.start_method = start_method
+        self.share_signals = share_signals
 
     # ------------------------------------------------------------- sharding
     def shard_bounds(self, n_subjects: int) -> list[tuple[int, int]]:
@@ -207,19 +360,27 @@ class FleetExecutor:
         use_oracle_difficulty: bool = False,
         batched: bool = True,
         connected_traces: Mapping[str, np.ndarray] | None = None,
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> Iterator[tuple[str, RunResult]]:
         """Replay the fleet, yielding ``(subject_id, result)`` as shards finish.
 
         Results within a shard arrive in subject order; across shards they
         arrive in completion order, so consumers that need fleet order
-        should use :meth:`run_fleet` (or reorder themselves).
+        should use :meth:`run_fleet` (or reorder themselves).  One run can
+        mix hardware revisions: ``systems`` maps subject ids to the
+        :class:`~repro.hw.platform.WearableSystem` each device runs.
         """
         subjects = list(subjects)
         traces = dict(connected_traces or {})
+        systems = dict(systems or {})
         _check_unique_subject_ids(s.subject_id for s in subjects)
-        unknown = sorted(set(traces) - {s.subject_id for s in subjects})
+        known = {s.subject_id for s in subjects}
+        unknown = sorted(set(traces) - known)
         if unknown:
             raise KeyError(f"connection traces for unknown subjects: {unknown}")
+        unknown = sorted(set(systems) - known)
+        if unknown:
+            raise KeyError(f"systems for unknown subjects: {unknown}")
         if not subjects:
             return
         bounds = self.shard_bounds(len(subjects))
@@ -235,6 +396,7 @@ class FleetExecutor:
                 batched=batched,
                 mega_batched=self.mega_batched,
                 connected_traces=traces,
+                systems=systems,
             )
             yield from fleet.results.items()
             return
@@ -243,24 +405,49 @@ class FleetExecutor:
         # shard's fast-forward counts, and (on the mega-batched path) are
         # shipped to the workers so difficulty inference and routing are
         # never repeated per shard.
-        plans = self.runtime._plan_fleet(subjects, constraint, use_oracle_difficulty, traces)
+        plans = self.runtime._plan_fleet(
+            subjects, constraint, use_oracle_difficulty, traces, systems=systems
+        )
         priors = self._prior_window_counts(plans, bounds)
         ship_plans = batched and self.mega_batched
-        self._profile_cost_tables()
+        self._profile_cost_tables(systems)
         registry_json = self.runtime.system.cost_registry.to_json()
         context = (
             multiprocessing.get_context(self.start_method)
             if self.start_method is not None
             else None
         )
-        pending: set = set()
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.max_workers, len(bounds)),
-            mp_context=context,
-            initializer=_init_fleet_worker,
-            initargs=(self.runtime, subjects, traces, registry_json),
+        start_method = (
+            self.start_method
+            if self.start_method is not None
+            else multiprocessing.get_start_method()
         )
+        share = (
+            self.share_signals
+            if self.share_signals is not None
+            else start_method != "fork"
+        )
+        store = (
+            SharedSubjectStore(subjects)
+            if share and SharedSubjectStore.supports(subjects)
+            else None
+        )
+        pending: set = set()
+        pool = None
         try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(bounds)),
+                mp_context=context,
+                initializer=_init_fleet_worker,
+                initargs=(
+                    self.runtime,
+                    None if store is not None else subjects,
+                    traces,
+                    registry_json,
+                    systems,
+                    store.manifest if store is not None else None,
+                ),
+            )
             pending = {
                 pool.submit(
                     _run_fleet_shard,
@@ -281,17 +468,34 @@ class FleetExecutor:
                     yield from future.result()
         finally:
             # Abandoning the generator early (consumer break/close) must
-            # not block on shards whose results nobody will read.
+            # not block on shards whose results nobody will read — and
+            # the shared-memory blocks must be unlinked even if pool
+            # construction itself failed.
             for future in pending:
                 future.cancel()
-            pool.shutdown(wait=True, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            if store is not None:
+                store.close()
+                store.unlink()
 
-    def _profile_cost_tables(self) -> None:
-        """Eagerly profile the cost registry so workers only do table hits."""
-        system = self.runtime.system
-        system.cost_registry.profile_system(
-            system, [entry.deployment for entry in self.runtime.zoo]
-        )
+    def _profile_cost_tables(
+        self, systems: Mapping[str, WearableSystem] | None = None
+    ) -> None:
+        """Eagerly profile the cost registry so workers only do table hits.
+
+        Covers the default system plus every distinct hardware revision of
+        a heterogeneous fleet — each revision is profiled exactly once.
+        """
+        deployments = [entry.deployment for entry in self.runtime.zoo]
+        registry = self.runtime.system.cost_registry
+        registry.profile_system(self.runtime.system, deployments)
+        for system in (systems or {}).values():
+            system.cost_registry.profile_system(system, deployments)
+            if system.cost_registry is not registry:
+                # Workers only receive the runtime registry's JSON; fold
+                # private registries in so their tables ship too.
+                registry.merge(system.cost_registry)
 
     # ------------------------------------------------------------ aggregate
     def run_fleet(
@@ -301,6 +505,7 @@ class FleetExecutor:
         use_oracle_difficulty: bool = False,
         batched: bool = True,
         connected_traces: Mapping[str, np.ndarray] | None = None,
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> FleetResult:
         """Replay the fleet in parallel and merge into fleet (subject) order.
 
@@ -315,6 +520,7 @@ class FleetExecutor:
                 use_oracle_difficulty=use_oracle_difficulty,
                 batched=batched,
                 connected_traces=connected_traces,
+                systems=systems,
             )
         )
         fleet = FleetResult()

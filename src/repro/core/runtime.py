@@ -51,7 +51,20 @@ trackers fall back to one batch per ``(model, subject)`` segment with the
 reset boundaries sequential replay would have had, so the mega path is
 decision-for-decision identical to sequential :meth:`run_many` either
 way.  Multi-process sharding on top of this lives in
-:mod:`repro.core.fleet`.
+:mod:`repro.core.fleet`; dynamically arriving/leaving sessions in
+:mod:`repro.core.scheduler`.
+
+Heterogeneous hardware
+----------------------
+A fleet does not have to run on one hardware build: every multi-subject
+entry point accepts ``systems``, a per-subject-id mapping to the
+:class:`~repro.hw.platform.WearableSystem` that subject's device runs
+(subjects absent from the mapping use the runtime's default system).
+Difficulty prediction and model routing are hardware-independent; per
+subject, the connection status of *its* system gates configuration
+selection, and the cost fill groups windows by hardware revision so each
+``(deployment, target)`` pair is looked up once per revision through the
+shared :class:`~repro.hw.platform.CostTableRegistry`.
 """
 
 from __future__ import annotations
@@ -520,13 +533,21 @@ class CHRISRuntime:
         configuration: ProfiledConfiguration,
         use_oracle_difficulty: bool,
         route=None,
+        connected: bool | None = None,
     ) -> _ExecutionPlan:
-        """Routing plan for one recording under a fixed configuration."""
+        """Routing plan for one recording under a fixed configuration.
+
+        ``connected`` overrides the default system's current BLE status —
+        heterogeneous fleets route each subject against the status of its
+        own hardware.
+        """
         if windows.n_windows == 0:
             raise ValueError("the recording contains no windows")
+        if connected is None:
+            connected = self.system.connected
         difficulties = self._predicted_difficulty(windows, use_oracle_difficulty)
         model_codes, offloaded = (route or self._route_windows)(
-            configuration, difficulties, connected=self.system.connected
+            configuration, difficulties, connected=connected
         )
         return _ExecutionPlan(
             configuration=configuration,
@@ -593,11 +614,18 @@ class CHRISRuntime:
         )
 
     # ------------------------------------------------------------- execution
-    def _execute(self, windows: WindowedSubject, plan: _ExecutionPlan, batched: bool) -> RunResult:
+    def _execute(
+        self,
+        windows: WindowedSubject,
+        plan: _ExecutionPlan,
+        batched: bool,
+        system: WearableSystem | None = None,
+    ) -> RunResult:
+        system = system if system is not None else self.system
         if batched:
-            predicted_hr, costs = self._execute_batched(windows, plan)
+            predicted_hr, costs = self._execute_batched(windows, plan, system)
         else:
-            predicted_hr, costs = self._execute_scalar(windows, plan)
+            predicted_hr, costs = self._execute_scalar(windows, plan, system)
         return RunResult(
             configuration=plan.configuration,
             window_index=np.arange(windows.n_windows, dtype=int),
@@ -612,7 +640,7 @@ class CHRISRuntime:
         )
 
     def _execute_batched(
-        self, windows: WindowedSubject, plan: _ExecutionPlan
+        self, windows: WindowedSubject, plan: _ExecutionPlan, system: WearableSystem
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """Group windows by model and dispatch each group as one batch.
 
@@ -655,7 +683,7 @@ class CHRISRuntime:
                 if not np.any(mask):
                     continue
                 target = ExecutionTarget.PHONE if offloaded else ExecutionTarget.WATCH
-                cost = self.system.cached_prediction_cost(
+                cost = system.cached_prediction_cost(
                     self.zoo.entry(name).deployment, target
                 )
                 for array, value in zip(cost_arrays, _cost_values(cost)):
@@ -663,7 +691,7 @@ class CHRISRuntime:
         return predicted_hr, cost_arrays
 
     def _execute_scalar(
-        self, windows: WindowedSubject, plan: _ExecutionPlan
+        self, windows: WindowedSubject, plan: _ExecutionPlan, system: WearableSystem
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """Reference per-window path: one ``predict_window`` call per window."""
         n = windows.n_windows
@@ -681,9 +709,9 @@ class CHRISRuntime:
                 )
             )
             if plan.offloaded[i]:
-                cost = self.system.offloaded_cost(entry.deployment)
+                cost = system.offloaded_cost(entry.deployment)
             else:
-                cost = self.system.local_prediction_cost(entry.deployment)
+                cost = system.local_prediction_cost(entry.deployment)
             for array, value in zip(cost_arrays, _cost_values(cost)):
                 array[i] = value
         return predicted_hr, cost_arrays
@@ -695,21 +723,26 @@ class CHRISRuntime:
         constraint: Constraint,
         use_oracle_difficulty: bool = False,
         batched: bool | None = None,
+        system: WearableSystem | None = None,
     ) -> RunResult:
         """Process a windowed recording under a user constraint.
 
         The configuration is selected once at the start of the run from
         the current connection status (as the paper does: re-selection
         only happens when the constraint or the connection changes).
+        ``system`` overrides the runtime's default hardware for this run
+        (heterogeneous fleets pass each subject's own device).
         """
+        system = system if system is not None else self.system
         configuration = self.engine.select_or_closest(
-            constraint, connected=self.system.connected
+            constraint, connected=system.connected
         )
         return self.run_with_configuration(
             windows,
             configuration,
             use_oracle_difficulty=use_oracle_difficulty,
             batched=batched,
+            system=system,
         )
 
     def run_with_configuration(
@@ -718,6 +751,7 @@ class CHRISRuntime:
         configuration: ProfiledConfiguration,
         use_oracle_difficulty: bool = False,
         batched: bool | None = None,
+        system: WearableSystem | None = None,
     ) -> RunResult:
         """Process a recording with an explicitly chosen configuration.
 
@@ -725,9 +759,14 @@ class CHRISRuntime:
         is currently down (the configuration itself would be re-selected
         at the next decision point).
         """
-        plan = self._plan_plain(windows, configuration, use_oracle_difficulty)
+        system = system if system is not None else self.system
+        plan = self._plan_plain(
+            windows, configuration, use_oracle_difficulty, connected=system.connected
+        )
         self._reset_predictors()
-        return self._execute(windows, plan, self.batched if batched is None else batched)
+        return self._execute(
+            windows, plan, self.batched if batched is None else batched, system=system
+        )
 
     def run_with_connection_trace(
         self,
@@ -736,6 +775,7 @@ class CHRISRuntime:
         connected: np.ndarray,
         use_oracle_difficulty: bool = False,
         batched: bool | None = None,
+        system: WearableSystem | None = None,
     ) -> RunResult:
         """Process a recording while the BLE connection comes and goes.
 
@@ -751,7 +791,9 @@ class CHRISRuntime:
         """
         plan = self._plan_traced(windows, constraint, connected, use_oracle_difficulty)
         self._reset_predictors()
-        return self._execute(windows, plan, self.batched if batched is None else batched)
+        return self._execute(
+            windows, plan, self.batched if batched is None else batched, system=system
+        )
 
     # ------------------------------------------------------------- run_many
     def run_many(
@@ -762,6 +804,7 @@ class CHRISRuntime:
         batched: bool | None = None,
         mega_batched: bool | None = None,
         connected_traces: Mapping[str, np.ndarray] | None = None,
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> FleetResult:
         """Replay a fleet of subjects under one constraint.
 
@@ -786,21 +829,32 @@ class CHRISRuntime:
             subjects are replayed via the connection-trace path (segment
             re-selection), the others with the connection's current
             status.
+        systems:
+            Optional per-subject hardware keyed by subject id — one fleet
+            run can mix device revisions.  Subjects absent from the
+            mapping run on the runtime's default system.
         """
         subjects = list(subjects)
         traces = dict(connected_traces or {})
+        systems = dict(systems or {})
         known = {s.subject_id for s in subjects}
         unknown = sorted(set(traces) - known)
         if unknown:
             raise KeyError(f"connection traces for unknown subjects: {unknown}")
+        unknown = sorted(set(systems) - known)
+        if unknown:
+            raise KeyError(f"systems for unknown subjects: {unknown}")
 
         use_batched = self.batched if batched is None else batched
         use_mega = self.mega_batched if mega_batched is None else mega_batched
         if use_batched and use_mega and subjects:
-            return self._run_many_mega(subjects, constraint, use_oracle_difficulty, traces)
+            return self._run_many_mega(
+                subjects, constraint, use_oracle_difficulty, traces, systems
+            )
 
         fleet = FleetResult()
         for subject in subjects:
+            system = systems.get(subject.subject_id)
             if subject.subject_id in traces:
                 result = self.run_with_connection_trace(
                     subject,
@@ -808,6 +862,7 @@ class CHRISRuntime:
                     traces[subject.subject_id],
                     use_oracle_difficulty=use_oracle_difficulty,
                     batched=batched,
+                    system=system,
                 )
             else:
                 result = self.run(
@@ -815,6 +870,7 @@ class CHRISRuntime:
                     constraint,
                     use_oracle_difficulty=use_oracle_difficulty,
                     batched=batched,
+                    system=system,
                 )
             fleet.add(subject.subject_id, result)
         return fleet
@@ -826,17 +882,21 @@ class CHRISRuntime:
         constraint: Constraint,
         use_oracle_difficulty: bool,
         traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> list[_ExecutionPlan]:
         """One execution plan per subject, in fleet order.
 
-        Untraced subjects share one configuration: sequential replay
-        re-selects per subject, but selection is a deterministic function
-        of ``(constraint, connection status)`` and neither changes between
-        planning steps, so selecting once is decision-identical.  Planning
-        never touches predictor state.
+        Untraced subjects on the same connection status share one
+        configuration: sequential replay re-selects per subject, but
+        selection is a deterministic function of ``(constraint,
+        connection status)``, so selecting once per status is
+        decision-identical.  With per-subject ``systems`` the status is
+        each subject's own hardware's.  Planning never touches predictor
+        state.
         """
+        systems = systems or {}
         route = self._fleet_router()
-        shared_configuration: ProfiledConfiguration | None = None
+        configuration_by_status: dict[bool, ProfiledConfiguration] = {}
         plans = []
         for subject in subjects:
             trace = traces.get(subject.subject_id)
@@ -847,13 +907,20 @@ class CHRISRuntime:
                     )
                 )
             else:
-                if shared_configuration is None:
-                    shared_configuration = self.engine.select_or_closest(
-                        constraint, connected=self.system.connected
+                status = bool(
+                    systems.get(subject.subject_id, self.system).connected
+                )
+                if status not in configuration_by_status:
+                    configuration_by_status[status] = self.engine.select_or_closest(
+                        constraint, connected=status
                     )
                 plans.append(
                     self._plan_plain(
-                        subject, shared_configuration, use_oracle_difficulty, route=route
+                        subject,
+                        configuration_by_status[status],
+                        use_oracle_difficulty,
+                        route=route,
+                        connected=status,
                     )
                 )
         return plans
@@ -880,6 +947,7 @@ class CHRISRuntime:
         constraint: Constraint,
         use_oracle_difficulty: bool = False,
         connected_traces: Mapping[str, np.ndarray] | None = None,
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> list[dict[str, int]]:
         """Per-subject planned window count of every zoo model (no execution).
 
@@ -887,7 +955,11 @@ class CHRISRuntime:
         advances.
         """
         plans = self._plan_fleet(
-            list(subjects), constraint, use_oracle_difficulty, dict(connected_traces or {})
+            list(subjects),
+            constraint,
+            use_oracle_difficulty,
+            dict(connected_traces or {}),
+            systems=systems,
         )
         return self.model_window_counts(plans)
 
@@ -898,6 +970,7 @@ class CHRISRuntime:
         constraint: Constraint,
         use_oracle_difficulty: bool,
         traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> FleetResult:
         """Cross-subject mega-batched fleet replay.
 
@@ -907,11 +980,16 @@ class CHRISRuntime:
         arrays, so the split allocates nothing per subject).
         """
         _check_unique_subject_ids(s.subject_id for s in subjects)
-        plans = self._plan_fleet(subjects, constraint, use_oracle_difficulty, traces)
-        return self._run_many_planned(subjects, plans)
+        plans = self._plan_fleet(
+            subjects, constraint, use_oracle_difficulty, traces, systems=systems
+        )
+        return self._run_many_planned(subjects, plans, systems=systems)
 
     def _run_many_planned(
-        self, subjects: Sequence[WindowedSubject], plans: Sequence[_ExecutionPlan]
+        self,
+        subjects: Sequence[WindowedSubject],
+        plans: Sequence[_ExecutionPlan],
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> FleetResult:
         """Execute precomputed fleet plans (mega-batched).
 
@@ -920,7 +998,7 @@ class CHRISRuntime:
         re-planning (and re-running difficulty inference) per shard.
         """
         self._reset_predictors()
-        predicted_hr, cost_arrays = self._execute_fleet(subjects, plans)
+        predicted_hr, cost_arrays = self._execute_fleet(subjects, plans, systems=systems)
 
         fleet = FleetResult()
         names = np.array(self.zoo.names, dtype=object)
@@ -949,7 +1027,10 @@ class CHRISRuntime:
         return fleet
 
     def _execute_fleet(
-        self, subjects: Sequence[WindowedSubject], plans: Sequence[_ExecutionPlan]
+        self,
+        subjects: Sequence[WindowedSubject],
+        plans: Sequence[_ExecutionPlan],
+        systems: Mapping[str, WearableSystem] | None = None,
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """Execute all subjects' plans in per-model fleet-wide groups.
 
@@ -960,6 +1041,10 @@ class CHRISRuntime:
         fuse across the per-subject ``reset()`` boundary
         (``FLEET_BATCHABLE = False``) are dispatched one batch per
         ``(model, subject)`` segment with those boundaries re-enacted.
+
+        With heterogeneous ``systems`` the cost fill additionally groups
+        windows by hardware revision, so each ``(deployment, target)``
+        lookup happens once per revision for the whole fleet.
         """
         counts = [s.n_windows for s in subjects]
         bounds = np.concatenate([[0], np.cumsum(counts)])
@@ -1024,16 +1109,40 @@ class CHRISRuntime:
                     )
                     predicted_hr[offset + local_idx] = np.asarray(predictions, dtype=float)
 
+        # Group subjects by the hardware that executes them; a homogeneous
+        # fleet collapses to one group and skips the per-group masking.
+        systems = systems or {}
+        group_systems: list[WearableSystem] = []
+        group_by_revision: dict[tuple, int] = {}
+        subject_groups = np.empty(len(subjects), dtype=np.intp)
+        for i, subject in enumerate(subjects):
+            system = systems.get(subject.subject_id, self.system)
+            revision = system.hardware_revision()
+            gid = group_by_revision.get(revision)
+            if gid is None:
+                gid = len(group_systems)
+                group_by_revision[revision] = gid
+                group_systems.append(system)
+            subject_groups[i] = gid
+        if len(group_systems) > 1:
+            window_groups = np.repeat(subject_groups, counts)
+            group_masks = [window_groups == gid for gid in range(len(group_systems))]
+        else:
+            group_masks = [None]
+
         cost_arrays = tuple(np.empty(n_total, dtype=float) for _ in _COST_FIELDS)
         for code, name in enumerate(self.zoo.names):
+            deployment = self.zoo.entry(name).deployment
             for is_offloaded in (False, True):
-                mask = (model_codes == code) & (offloaded == is_offloaded)
-                if not np.any(mask):
+                base_mask = (model_codes == code) & (offloaded == is_offloaded)
+                if not np.any(base_mask):
                     continue
                 target = ExecutionTarget.PHONE if is_offloaded else ExecutionTarget.WATCH
-                cost = self.system.cached_prediction_cost(
-                    self.zoo.entry(name).deployment, target
-                )
-                for array, value in zip(cost_arrays, _cost_values(cost)):
-                    array[mask] = value
+                for system, group_mask in zip(group_systems, group_masks):
+                    mask = base_mask if group_mask is None else base_mask & group_mask
+                    if group_mask is not None and not np.any(mask):
+                        continue
+                    cost = system.cached_prediction_cost(deployment, target)
+                    for array, value in zip(cost_arrays, _cost_values(cost)):
+                        array[mask] = value
         return predicted_hr, cost_arrays

@@ -1,0 +1,534 @@
+"""Online fleet scheduler for dynamically arriving/leaving sessions.
+
+:class:`FleetScheduler` generalizes the fixed-subject-list fleet engine
+(:meth:`repro.core.runtime.CHRISRuntime.run_many`,
+:class:`repro.core.fleet.FleetExecutor`) to an *online* service: sessions
+are :meth:`~FleetScheduler.submit`-ted at any time, may be
+:meth:`~FleetScheduler.retire`-d while still queued, and completed
+:class:`RunResult`\\ s stream back through the
+:meth:`~FleetScheduler.as_completed` generator as they finish — there is
+no fixed subject list.  Each session can bring its own
+:class:`~repro.hw.platform.WearableSystem`, so one scheduler serves a
+heterogeneous device population; per-revision costs are shared through
+the system's :class:`~repro.hw.platform.CostTableRegistry`.
+
+Execution model
+---------------
+A dispatcher thread drains the arrival queue into *batches*: every
+session waiting when the dispatcher wakes (bounded by
+``max_batch_size``) is planned and executed as one cross-subject
+mega-batch (:meth:`~repro.core.runtime.CHRISRuntime._run_many_planned`),
+dispatched onto a bounded worker pool of ``max_workers`` threads.  Under
+load, arrivals therefore coalesce into large fused ``predict`` calls —
+the same amortization that makes mega-batched ``run_many`` several times
+faster than per-subject replay — while a lightly loaded scheduler
+degenerates to one small batch per arrival with minimal latency.
+
+Equivalence contract
+--------------------
+The scheduler is **decision-for-decision identical to sequential
+replay**: collecting every completed session's result reproduces exactly
+``runtime.run_many(subjects, constraint)`` over the completed sessions
+in submission order, no matter how arrivals were batched or how many
+workers executed.  Two mechanisms guarantee this:
+
+* batches are *planned* in submission order on the scheduler's private
+  stream runtime, whose predictors are then fast-forwarded with
+  :meth:`~repro.models.base.HeartRatePredictor.advance_fleet_state` by
+  exactly the windows the batch routes to each model — so the next batch
+  starts from the state sequential replay would have reached;
+* each batch executes on a copy of the stream runtime snapshotted
+  *before* that fast-forward, so concurrent batches never share mutable
+  predictor state (with one worker, batches run serially in dispatch
+  order and the stream runtime executes them directly — execution itself
+  is the fast-forward).
+
+Sessions retired while still queued are never planned and never advance
+any predictor stream — the contract holds over the sessions that
+actually ran.  A batch that fails *during execution* leaves the stream
+position unaccounted for; the scheduler then poisons itself (queued
+sessions fail, further submissions raise) instead of letting later
+sessions silently diverge from sequential replay.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+import math
+import queue
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime, RunResult
+from repro.data.dataset import WindowedSubject
+from repro.hw.platform import WearableSystem
+
+
+class SessionState(Enum):
+    """Lifecycle of one scheduled session."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    RETIRED = "retired"
+
+
+@dataclass(eq=False)
+class FleetSession:
+    """Handle for one submitted recording (returned by :meth:`FleetScheduler.submit`).
+
+    The scheduler mutates :attr:`state`, :attr:`result` and :attr:`error`;
+    consumers read them after the session is yielded by
+    :meth:`FleetScheduler.as_completed` (or after
+    :meth:`FleetScheduler.join`).
+    """
+
+    subject_id: str
+    recording: WindowedSubject
+    system: WearableSystem | None = None
+    connected_trace: np.ndarray | None = None
+    ticket: int = 0
+    state: SessionState = SessionState.QUEUED
+    result: RunResult | None = field(default=None, repr=False)
+    error: BaseException | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the session reached a terminal state."""
+        return self.state in (SessionState.DONE, SessionState.FAILED, SessionState.RETIRED)
+
+
+class FleetScheduler:
+    """Dynamic-session fleet scheduler over one CHRIS runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The CHRIS runtime to serve; the scheduler works on a private deep
+        copy, so the caller's runtime (and its predictor streams) is
+        never mutated.
+    constraint:
+        Operating constraint shared by every session — the same role it
+        plays in :meth:`~repro.core.runtime.CHRISRuntime.run_many`, whose
+        sequential replay the scheduler reproduces bit-identically.
+    max_workers:
+        Worker-thread pool size executing dispatched batches.
+    max_batch_size:
+        Upper bound on sessions fused into one mega-batch; ``None``
+        (default) fuses everything waiting at dispatch time.
+    use_oracle_difficulty:
+        Whether planning uses ground-truth difficulty instead of the
+        runtime's activity classifier.
+
+    Use as a context manager (or call :meth:`close`) so the dispatcher
+    thread and worker pool are torn down deterministically.
+    """
+
+    def __init__(
+        self,
+        runtime: CHRISRuntime,
+        constraint: Constraint,
+        max_workers: int = 1,
+        max_batch_size: int | None = None,
+        use_oracle_difficulty: bool = False,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.constraint = constraint
+        self.max_workers = max_workers
+        self.max_batch_size = max_batch_size
+        self.use_oracle_difficulty = use_oracle_difficulty
+        #: Stream runtime: planned in submission order and fast-forwarded
+        #: batch by batch; always holds the predictor state sequential
+        #: replay would have after every dispatched session.
+        self._runtime = copy.deepcopy(runtime)
+        self._tickets = itertools.count()
+        self._lock = threading.Lock()
+        self._arrivals = threading.Condition(self._lock)
+        self._resolved = threading.Condition(self._lock)
+        self._pending: deque[FleetSession] = deque()
+        self._active_ids: set[str] = set()
+        self._unresolved = 0
+        self._closed = False
+        self._paused = False
+        #: Batches are stamped with a monotonically increasing *epoch* in
+        #: dispatch (= stream) order.  When a batch fails after predictor
+        #: streams may have advanced (fast-forward or partial execution),
+        #: ``_corrupt_epoch`` records the earliest failed epoch: every
+        #: batch of a *later* epoch was fast-forwarded assuming the
+        #: failed one would execute, so its stream position — and any
+        #: result it produces — no longer matches sequential replay and
+        #: must be failed rather than delivered.  Guarded by ``_lock``.
+        self._corrupt_epoch: float = math.inf
+        self._epochs = itertools.count()
+        self._done_q: "queue.Queue[FleetSession]" = queue.Queue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fleet-worker"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="fleet-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------ submission
+    def submit(
+        self,
+        subject_id: str,
+        recording: WindowedSubject,
+        system: WearableSystem | None = None,
+        connected_trace: np.ndarray | None = None,
+    ) -> FleetSession:
+        """Enqueue one session; returns its handle immediately.
+
+        ``system`` attaches the subject's own hardware (heterogeneous
+        fleets); ``connected_trace`` replays the session through the
+        BLE-trace path.  A subject id may be resubmitted once its
+        previous session resolved; two live sessions with one id are
+        rejected (their results would be indistinguishable).  The session
+        id is authoritative: a recording carrying a different
+        ``subject_id`` is relabeled, so one recording can back several
+        session ids.
+        """
+        if recording.n_windows == 0:
+            raise ValueError(
+                f"session {subject_id!r}: the recording contains no windows"
+            )
+        if recording.subject_id != subject_id:
+            recording = dataclasses.replace(recording, subject_id=subject_id)
+        if connected_trace is not None:
+            connected_trace = np.asarray(connected_trace, dtype=bool)
+            if connected_trace.shape != (recording.n_windows,):
+                raise ValueError(
+                    f"connected_trace must have one entry per window "
+                    f"({recording.n_windows}), got shape {connected_trace.shape}"
+                )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._corrupt_epoch is not math.inf:
+                raise RuntimeError(
+                    "scheduler predictor streams were corrupted by an earlier "
+                    "batch failure; results could no longer match sequential "
+                    "replay — create a fresh scheduler"
+                )
+            if subject_id in self._active_ids:
+                raise ValueError(f"session for subject {subject_id!r} is already live")
+            session = FleetSession(
+                subject_id=subject_id,
+                recording=recording,
+                system=system,
+                connected_trace=connected_trace,
+                ticket=next(self._tickets),
+            )
+            self._active_ids.add(subject_id)
+            self._pending.append(session)
+            self._unresolved += 1
+            self._arrivals.notify_all()
+        return session
+
+    def retire(self, session: FleetSession) -> bool:
+        """Withdraw a session that has not been dispatched yet.
+
+        Returns ``True`` when the session was still queued (it is removed
+        without ever touching predictor state) and ``False`` when it
+        already started or finished — an online fleet cannot un-run a
+        device.
+        """
+        with self._lock:
+            if session.state is not SessionState.QUEUED or session not in self._pending:
+                return False
+            self._pending.remove(session)
+            session.state = SessionState.RETIRED
+            self._resolve_locked(session, deliver=False)
+        return True
+
+    # ------------------------------------------------------------ dispatching
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._arrivals:
+                while (not self._pending or self._paused) and not self._closed:
+                    self._arrivals.wait()
+                if not self._pending and self._closed:
+                    return
+                batch: list[FleetSession] = []
+                limit = self.max_batch_size or len(self._pending)
+                while self._pending and len(batch) < limit:
+                    session = self._pending.popleft()
+                    session.state = SessionState.RUNNING
+                    batch.append(session)
+            epoch = next(self._epochs)
+            with self._lock:
+                corrupted = self._corrupt_epoch is not math.inf
+            if corrupted:
+                self._fail_batch(
+                    batch,
+                    RuntimeError(
+                        "not dispatched: predictor streams were corrupted by "
+                        "an earlier batch failure"
+                    ),
+                )
+                continue
+            try:
+                task_runtime, plans, systems = self._prepare_batch(batch, epoch)
+            except BaseException as exc:  # noqa: BLE001 - reported per session
+                self._fail_batch(batch, exc)
+                continue
+            try:
+                self._pool.submit(
+                    self._execute_batch, task_runtime, batch, plans, systems, epoch
+                )
+            except BaseException as exc:  # noqa: BLE001 - pool shut down mid-flight
+                if self.max_workers > 1:
+                    # The snapshot path already fast-forwarded the stream
+                    # runtime past this batch; with the batch never
+                    # executing, that position is unaccounted for.  (With
+                    # one worker nothing was advanced — no poisoning.)
+                    self._mark_corrupt(epoch)
+                self._fail_batch(batch, exc)
+
+    def _prepare_batch(
+        self, batch: list[FleetSession], epoch: int
+    ) -> tuple[CHRISRuntime, list, dict[str, WearableSystem]]:
+        """Plan a batch on the stream runtime and snapshot its execution state.
+
+        Planning is side-effect free; the execution snapshot is taken
+        *before* the stream runtime is fast-forwarded by the batch's
+        per-model window counts, so the snapshot starts exactly where
+        sequential replay would and the next batch starts exactly after
+        it.
+        """
+        subjects = [s.recording for s in batch]
+        traces = {
+            s.subject_id: s.connected_trace
+            for s in batch
+            if s.connected_trace is not None
+        }
+        systems = {s.subject_id: s.system for s in batch if s.system is not None}
+        plans = self._runtime._plan_fleet(
+            subjects, self.constraint, self.use_oracle_difficulty, traces, systems=systems
+        )
+        self._profile_cost_tables(systems.values())
+        if self.max_workers == 1:
+            # A single worker executes batches strictly in dispatch order,
+            # so the stream runtime can execute them itself: execution
+            # advances the predictor streams exactly like sequential
+            # replay, with no snapshot and no double fast-forward.
+            return self._runtime, plans, systems
+        # Concurrent batches must not share mutable predictor state:
+        # snapshot only what execution mutates — the zoo.  The engine,
+        # system and classifier are read-only during execution (cost
+        # tables were just profiled eagerly), so sharing them keeps the
+        # per-batch snapshot cost proportional to the zoo, not the whole
+        # experiment.  The stream runtime is then fast-forwarded by the
+        # batch's per-model window counts so the next batch starts from
+        # the state sequential replay would have reached.
+        task_runtime = CHRISRuntime(
+            zoo=copy.deepcopy(self._runtime.zoo),
+            engine=self._runtime.engine,
+            system=self._runtime.system,
+            activity_classifier=self._runtime.activity_classifier,
+            batched=self._runtime.batched,
+            mega_batched=self._runtime.mega_batched,
+        )
+        totals: dict[str, int] = {}
+        for counts in self._runtime.model_window_counts(plans):
+            for name, count in counts.items():
+                totals[name] = totals.get(name, 0) + count
+        try:
+            for entry in self._runtime.zoo:
+                entry.predictor.advance_fleet_state(totals.get(entry.name, 0))
+        except BaseException:
+            # A half-applied fast-forward leaves the stream position
+            # undefined; poison the scheduler rather than let later
+            # sessions silently diverge from sequential replay.
+            self._mark_corrupt(epoch)
+            raise
+        return task_runtime, plans, systems
+
+    def _mark_corrupt(self, epoch: int) -> None:
+        """Record that stream positions from ``epoch`` onward are invalid."""
+        with self._lock:
+            self._corrupt_epoch = min(self._corrupt_epoch, epoch)
+
+    def _profile_cost_tables(self, systems) -> None:
+        """Profile every revision up front so worker threads only read.
+
+        Registries are plain dicts shared across worker threads; eager
+        profiling in the (single) dispatcher thread makes every later
+        lookup a read-only hit.
+        """
+        deployments = [entry.deployment for entry in self._runtime.zoo]
+        self._runtime.system.cost_registry.profile_system(self._runtime.system, deployments)
+        for system in systems:
+            system.cost_registry.profile_system(system, deployments)
+
+    def _execute_batch(
+        self,
+        runtime: CHRISRuntime,
+        batch: list[FleetSession],
+        plans: list,
+        systems: dict[str, WearableSystem],
+        epoch: int,
+    ) -> None:
+        try:
+            fleet = runtime._run_many_planned(
+                [s.recording for s in batch], plans, systems=systems
+            )
+            results = [fleet.results[s.subject_id] for s in batch]
+        except BaseException as exc:  # noqa: BLE001 - reported per session
+            # The batch's stream consumption is unaccounted for: with one
+            # worker the shared stream runtime may have advanced partway;
+            # with several, the fast-forward in _prepare_batch assumed the
+            # batch would execute.  Either way stream positions from this
+            # epoch onward could no longer match sequential replay —
+            # poison the scheduler.
+            self._mark_corrupt(epoch)
+            self._fail_batch(batch, exc)
+            return
+        with self._lock:
+            if epoch > self._corrupt_epoch:
+                # An *earlier* batch failed while this one was in flight:
+                # this batch's snapshot was fast-forwarded assuming the
+                # failed batch would execute, so these results diverge
+                # from sequential replay and must not be delivered.
+                error = RuntimeError(
+                    "discarded: an earlier batch failed mid-stream, so this "
+                    "batch's predictor stream position no longer matches "
+                    "sequential replay"
+                )
+                for session in batch:
+                    session.error = error
+                    session.state = SessionState.FAILED
+                    self._resolve_locked(session, deliver=True)
+                return
+            for session, result in zip(batch, results):
+                session.result = result
+                session.state = SessionState.DONE
+                self._resolve_locked(session, deliver=True)
+
+    def _fail_batch(self, batch: list[FleetSession], exc: BaseException) -> None:
+        """Mark every session of a batch failed with the shared error.
+
+        Batches fail as a unit: by the time planning or execution raises,
+        the batch's sessions are entangled (shared plans, shared predictor
+        stream), so the error is reported on each of them.  Per-session
+        input problems are caught at :meth:`submit` (empty recordings,
+        trace shape) precisely so they cannot poison a batch.
+        """
+        with self._lock:
+            for session in batch:
+                session.error = exc
+                session.state = SessionState.FAILED
+                self._resolve_locked(session, deliver=True)
+
+    def _resolve_locked(self, session: FleetSession, deliver: bool) -> None:
+        """Bookkeeping for a session reaching a terminal state (lock held)."""
+        self._active_ids.discard(session.subject_id)
+        if deliver:
+            self._done_q.put(session)
+        self._unresolved -= 1
+        self._resolved.notify_all()
+
+    # --------------------------------------------------------------- results
+    def next_done(self, timeout: float | None = None) -> FleetSession | None:
+        """The next completed (or failed) session, ``None`` on timeout."""
+        try:
+            return self._done_q.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def as_completed(self) -> Iterator[FleetSession]:
+        """Yield sessions as they complete, until no work is outstanding.
+
+        The generator ends when every session submitted so far has been
+        resolved *and* delivered; submissions made while iterating extend
+        the stream.  Results arrive in completion order — consumers that
+        need submission order can sort by :attr:`FleetSession.ticket`.
+        Intended for a single consumer.
+        """
+        while True:
+            try:
+                yield self._done_q.get_nowait()
+                continue
+            except queue.Empty:
+                pass
+            with self._lock:
+                outstanding = self._unresolved
+            if outstanding == 0:
+                # Every resolution enqueues its session *before*
+                # decrementing _unresolved (both under the lock), so
+                # having observed zero, anything resolved so far is
+                # already in the queue: one final drain cannot strand a
+                # delivery.  A submission arriving after the drain below
+                # belongs to the next as_completed() call.
+                try:
+                    yield self._done_q.get_nowait()
+                    continue
+                except queue.Empty:
+                    with self._lock:
+                        if self._unresolved:
+                            continue
+                    try:
+                        yield self._done_q.get_nowait()
+                        continue
+                    except queue.Empty:
+                        return
+            session = self.next_done(timeout=0.05)
+            if session is not None:
+                yield session
+
+    def __iter__(self) -> Iterator[FleetSession]:
+        return self.as_completed()
+
+    # ------------------------------------------------------------- lifecycle
+    def pause(self) -> None:
+        """Hold queued sessions back from dispatch (arrivals still accepted).
+
+        Already-dispatched batches keep running; queued sessions stay
+        retirable until :meth:`resume`.  ``close()`` overrides a pause so
+        shutdown always drains.
+        """
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Resume dispatching after :meth:`pause`."""
+        with self._lock:
+            self._paused = False
+            self._arrivals.notify_all()
+
+    def join(self) -> None:
+        """Block until every submitted session has resolved."""
+        with self._resolved:
+            while self._unresolved:
+                self._resolved.wait()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting sessions and (optionally) drain outstanding work."""
+        with self._lock:
+            self._closed = True
+            self._arrivals.notify_all()
+        if wait:
+            self.join()
+            self._dispatcher.join()
+            self._pool.shutdown(wait=True)
+        else:
+            self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "FleetScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=exc_type is None)

@@ -19,6 +19,7 @@ from repro.core.decision_engine import Constraint, DecisionEngine
 from repro.core.fleet import FleetExecutor
 from repro.core.profiling import ConfigurationProfiler, ConfigurationTable, ProfilingData
 from repro.core.runtime import CHRISRuntime, FleetResult
+from repro.core.scheduler import FleetScheduler, SessionState
 from repro.core.zoo import ModelsZoo, ZooEntry
 from repro.data.dataset import WindowedDataset, WindowedSubject
 from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
@@ -235,6 +236,28 @@ class CalibratedExperiment:
             mega_batched=mega_batched,
         )
 
+    def fleet_scheduler(
+        self,
+        constraint: Constraint,
+        max_workers: int = 1,
+        max_batch_size: int | None = None,
+        use_oracle_difficulty: bool = True,
+        activity_classifier: ActivityClassifier | None = None,
+    ) -> FleetScheduler:
+        """An online session scheduler over this experiment's runtime.
+
+        Sessions submitted to the returned scheduler replay
+        decision-identically to sequential ``run_many`` in submission
+        order; close it (or use it as a context manager) when done.
+        """
+        return FleetScheduler(
+            self.runtime(activity_classifier=activity_classifier),
+            constraint,
+            max_workers=max_workers,
+            max_batch_size=max_batch_size,
+            use_oracle_difficulty=use_oracle_difficulty,
+        )
+
     def run_fleet(
         self,
         dataset: WindowedDataset,
@@ -244,6 +267,7 @@ class CalibratedExperiment:
         batched: bool = True,
         mega_batched: bool = True,
         max_workers: int | None = None,
+        scheduler: FleetScheduler | None = None,
     ) -> FleetResult:
         """Replay every subject of a corpus through the fleet engine.
 
@@ -257,7 +281,58 @@ class CalibratedExperiment:
         repeated calls replay identically.  Use
         :meth:`runtime` + ``run_many`` directly for the advancing-stream
         semantics of consecutive runs.
+
+        Passing a :class:`~repro.core.scheduler.FleetScheduler` routes the
+        corpus through the online scheduler instead: every subject is
+        submitted as a session and the completed results are merged in
+        corpus order.  The scheduler must have been built for the same
+        constraint (its sessions all share one; a mismatch raises),
+        should have no undelivered results, and is *not* closed — the
+        caller keeps submitting to it.  On this path the *scheduler's
+        own* configuration governs execution; arguments that would change
+        *decisions* (``constraint``, ``use_oracle_difficulty``,
+        ``activity_classifier``) are validated against it and a conflict
+        raises, while the pure throughput knobs (``batched``,
+        ``mega_batched``, ``max_workers``) are ignored — every execution
+        path makes identical decisions regardless.  Note that a
+        scheduler's predictor streams advance across calls (online
+        semantics), unlike the executor paths.
         """
+        if scheduler is not None:
+            if scheduler.constraint != constraint:
+                raise ValueError(
+                    f"scheduler was built for constraint {scheduler.constraint}, "
+                    f"run_fleet was asked for {constraint}"
+                )
+            if scheduler.use_oracle_difficulty != use_oracle_difficulty:
+                raise ValueError(
+                    f"scheduler was built with use_oracle_difficulty="
+                    f"{scheduler.use_oracle_difficulty}, run_fleet was asked "
+                    f"for {use_oracle_difficulty} — the results would differ"
+                )
+            if activity_classifier is not None:
+                raise ValueError(
+                    "activity_classifier cannot be overridden on the scheduler "
+                    "path; build the scheduler with it "
+                    "(fleet_scheduler(..., activity_classifier=...))"
+                )
+            sessions = [
+                scheduler.submit(subject.subject_id, subject)
+                for subject in dataset.subjects
+            ]
+            remaining = {id(s) for s in sessions}
+            for session in scheduler.as_completed():
+                remaining.discard(id(session))
+                if not remaining:
+                    break
+            fleet = FleetResult()
+            for session in sessions:
+                if session.state is not SessionState.DONE:
+                    raise session.error or RuntimeError(
+                        f"session {session.subject_id!r} ended {session.state.value}"
+                    )
+                fleet.add(session.subject_id, session.result)
+            return fleet
         executor = self.fleet_executor(
             max_workers=max_workers if max_workers is not None else 1,
             activity_classifier=activity_classifier,

@@ -38,6 +38,7 @@ from repro.hw.profiles import (
 )
 from repro.hw.platform import (
     SHARED_COST_REGISTRY,
+    CostTableError,
     CostTableRegistry,
     PredictionCost,
     WearableSystem,
@@ -67,6 +68,7 @@ __all__ = [
     "deployment_for",
     "PredictionCost",
     "WearableSystem",
+    "CostTableError",
     "CostTableRegistry",
     "SHARED_COST_REGISTRY",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from repro.hw.ble import BLELink, WINDOW_PAYLOAD_BYTES
 from repro.hw.device import ComputeDevice
@@ -66,6 +67,16 @@ class PredictionCost:
         return self.target is ExecutionTarget.PHONE
 
 
+class CostTableError(RuntimeError):
+    """A cost-table payload is corrupt, or a strict lookup found no table.
+
+    Raised instead of silently re-profiling so fleet deployments that
+    ship serialized tables to workers fail loudly when a table is
+    corrupt, belongs to the wrong hardware revision, or only partially
+    covers the zoo.
+    """
+
+
 class CostTableRegistry:
     """Shared per-hardware-revision prediction-cost tables.
 
@@ -87,6 +98,12 @@ class CostTableRegistry:
 
     def __init__(self) -> None:
         self._tables: dict[tuple, dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost]] = {}
+        #: In strict mode a lookup miss raises :class:`CostTableError`
+        #: instead of profiling.  Fleet workers that load a table the
+        #: parent shipped turn this on: a miss there means the parent
+        #: shipped the wrong or a partial table, which silent
+        #: re-profiling would mask.
+        self.strict = False
 
     # ------------------------------------------------------------- inspection
     @property
@@ -114,11 +131,14 @@ class CostTableRegistry:
 
         Profiles the pair on first sight and returns the shared
         :class:`PredictionCost` object afterwards — including to *other*
-        system instances of the same revision.  Like the cache it
-        replaces, the lookup never consults the current BLE connection
-        state; callers only request phone costs for windows planned while
-        the link was up.
+        system instances of the same revision.  In :attr:`strict` mode a
+        miss raises instead of profiling (see :meth:`cost_for`).  Like
+        the cache it replaces, the lookup never consults the current BLE
+        connection state; callers only request phone costs for windows
+        planned while the link was up.
         """
+        if self.strict:
+            return self.cost_for(system, deployment, target)
         table = self._tables.setdefault(system.hardware_revision(), {})
         key = (deployment, target)
         cost = table.get(key)
@@ -143,6 +163,37 @@ class CostTableRegistry:
             for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
                 self.lookup(system, deployment, target)
         return system.hardware_revision()
+
+    def cost_for(
+        self,
+        system: "WearableSystem",
+        deployment: ModelDeployment,
+        target: ExecutionTarget,
+    ) -> PredictionCost:
+        """Strict lookup: the memoized cost, or :class:`CostTableError`.
+
+        Unlike a default-mode :meth:`lookup` this never profiles on a
+        miss — fleet workers run their loaded registry with
+        :attr:`strict` enabled (see
+        :func:`repro.core.fleet._init_fleet_worker`), which routes every
+        lookup here so "the parent shipped the wrong/partial table"
+        fails loudly instead of being papered over by recomputation.
+        """
+        revision = system.hardware_revision()
+        table = self._tables.get(revision)
+        if table is None:
+            raise CostTableError(
+                f"no cost table for hardware revision {revision}; "
+                f"profiled revisions: {sorted(map(str, self._tables)) or 'none'}"
+            )
+        cost = table.get((deployment, target))
+        if cost is None:
+            raise CostTableError(
+                f"cost table for hardware revision {revision} is partial: "
+                f"missing ({deployment.name!r}, {target.value!r}) "
+                f"[{len(table)} entries present]"
+            )
+        return cost
 
     def drop(self, revision: tuple) -> None:
         """Forget one revision's table (no-op when absent)."""
@@ -178,17 +229,75 @@ class CostTableRegistry:
 
     @classmethod
     def from_json(cls, text: str) -> "CostTableRegistry":
-        """Rebuild a registry from :meth:`to_json` output."""
+        """Rebuild a registry from :meth:`to_json` output.
+
+        Raises
+        ------
+        CostTableError
+            If the payload is not valid JSON or does not have the
+            :meth:`to_json` structure (missing keys, malformed
+            deployments, unknown execution targets).  Corrupt tables must
+            fail loudly: a worker that silently fell back to an empty
+            registry would re-profile costs the parent thought it had
+            shipped.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CostTableError(f"corrupt cost-table JSON: {exc}") from exc
+        if not isinstance(payload, list):
+            raise CostTableError(
+                f"corrupt cost-table payload: expected a list of revision "
+                f"blocks, got {type(payload).__name__}"
+            )
         registry = cls()
-        for block in json.loads(text):
-            table = registry._tables.setdefault(tuple(block["revision"]), {})
-            for entry in block["entries"]:
-                deployment = ModelDeployment(**entry["deployment"])
-                target = ExecutionTarget(entry["target"])
-                cost_fields = dict(entry["cost"])
-                cost_fields["target"] = ExecutionTarget(cost_fields["target"])
-                table[(deployment, target)] = PredictionCost(**cost_fields)
+        for i, block in enumerate(payload):
+            try:
+                revision = tuple(block["revision"])
+                entries = block["entries"]
+            except (TypeError, KeyError) as exc:
+                raise CostTableError(
+                    f"corrupt cost-table payload: revision block {i} has no "
+                    f"'revision'/'entries' structure ({exc!r})"
+                ) from exc
+            if not isinstance(entries, list):
+                raise CostTableError(
+                    f"corrupt cost-table payload: revision block {i} 'entries' "
+                    f"must be a list, got {type(entries).__name__}"
+                )
+            table = registry._tables.setdefault(revision, {})
+            for entry in entries:
+                try:
+                    deployment = ModelDeployment(**entry["deployment"])
+                    target = ExecutionTarget(entry["target"])
+                    cost_fields = dict(entry["cost"])
+                    cost_fields["target"] = ExecutionTarget(cost_fields["target"])
+                    table[(deployment, target)] = PredictionCost(**cost_fields)
+                except (TypeError, KeyError, ValueError) as exc:
+                    raise CostTableError(
+                        f"corrupt cost-table entry in revision {revision}: {exc!r}"
+                    ) from exc
         return registry
+
+    def to_json_file(self, path: "str | Path") -> None:
+        """Persist the registry next to a deployment (see :meth:`from_json_file`)."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_json_file(cls, path: "str | Path") -> "CostTableRegistry":
+        """Load a registry persisted with :meth:`to_json_file`.
+
+        Raises
+        ------
+        CostTableError
+            If the file cannot be read or its content is corrupt — never
+            an empty registry, which would silently re-profile.
+        """
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise CostTableError(f"cannot read cost-table file {path}: {exc}") from exc
+        return cls.from_json(text)
 
     def merge(self, other: "CostTableRegistry") -> None:
         """Adopt every entry of ``other`` (existing entries win)."""

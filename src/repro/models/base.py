@@ -141,5 +141,19 @@ class HeartRatePredictor:
             raise ValueError(f"n_windows must be >= 0, got {n_windows}")
         self.reset()
 
+    def fleet_state_signature(self):
+        """Comparable token of the *cross-run* state (what survives :meth:`reset`).
+
+        Two predictors with equal signatures produce identical prediction
+        streams from the next run onward.  The fleet scheduler's
+        equivalence tests use this to check that
+        :meth:`advance_fleet_state` lands on exactly the state ``n``
+        executed predictions would have reached.  Predictors whose only
+        temporal state is per-run (cleared by :meth:`reset`) have no
+        cross-run state and return ``None``; predictors with cross-run
+        state (the calibrated models' random streams) override this.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.info.name})"

@@ -207,6 +207,10 @@ class CalibratedHRModel(HeartRatePredictor):
         if n_windows:
             self._rng.laplace(0.0, 1.0, size=n_windows)
 
+    def fleet_state_signature(self):
+        """The generator's bit-stream position (the only cross-run state)."""
+        return self._rng.bit_generator.state
+
 
 def calibrated_model_zoo(seed: int = 0) -> dict[str, CalibratedHRModel]:
     """The three paper models as calibrated error models, keyed by name."""

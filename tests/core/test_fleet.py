@@ -16,8 +16,9 @@ import numpy as np
 import pytest
 
 from repro.core.decision_engine import Constraint
-from repro.core.fleet import FleetExecutor
+from repro.core.fleet import FleetExecutor, SharedSubjectStore
 from repro.core.runtime import CHRISRuntime, FleetResult
+from repro.hw.platform import CostTableRegistry, WearableSystem
 
 from tests.core.test_runtime_batched import assert_results_identical
 
@@ -322,6 +323,132 @@ class TestFleetExecutor:
         )
         assert list(executor.iter_runs([], CONSTRAINT)) == []
         assert executor.run_fleet([], CONSTRAINT).n_subjects == 0
+
+
+class TestHeterogeneousFleets:
+    def make_systems(self, small_dataset):
+        registry = CostTableRegistry()
+        stock = WearableSystem(cost_registry=registry)
+        compressed = WearableSystem(
+            cost_registry=registry, offload_payload_bytes=64 * 4 * 2
+        )
+        systems = {
+            subject.subject_id: compressed if i % 2 else stock
+            for i, subject in enumerate(small_dataset.subjects)
+        }
+        return registry, systems
+
+    def test_mixed_revisions_in_one_run_identical_to_sequential(
+        self, calibrated_experiment, small_dataset
+    ):
+        """One executor now serves a mixed-revision population directly —
+        no more one-executor-per-revision (cf. examples/fleet_simulation)."""
+        registry, systems = self.make_systems(small_dataset)
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            systems=systems,
+        )
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=2,
+        )
+        pooled = executor.run_fleet(
+            small_dataset.subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            systems=systems,
+        )
+        assert_fleets_identical(sequential, pooled)
+        assert registry.n_revisions == 2
+        # The revisions genuinely differ on offloaded windows.
+        stock_result = pooled.results[small_dataset.subjects[0].subject_id]
+        rev_b_result = pooled.results[small_dataset.subjects[1].subject_id]
+        stock_radio = stock_result.watch_radio_j[stock_result.offloaded]
+        rev_b_radio = rev_b_result.watch_radio_j[rev_b_result.offloaded]
+        assert stock_radio.size and rev_b_radio.size
+        assert rev_b_radio.max() < stock_radio.min()
+
+    def test_systems_for_unknown_subject_rejected(
+        self, calibrated_experiment, small_dataset
+    ):
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True), max_workers=2
+        )
+        with pytest.raises(KeyError, match="systems for unknown subjects"):
+            list(
+                executor.iter_runs(
+                    small_dataset.subjects,
+                    CONSTRAINT,
+                    use_oracle_difficulty=True,
+                    systems={"nobody": WearableSystem()},
+                )
+            )
+        runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        with pytest.raises(KeyError, match="systems for unknown subjects"):
+            runtime.run_many(
+                small_dataset.subjects,
+                CONSTRAINT,
+                use_oracle_difficulty=True,
+                systems={"nobody": WearableSystem()},
+            )
+
+
+class TestSharedSubjectStore:
+    def test_preserves_dtypes_bit_exactly(self, small_dataset):
+        """A float32 fleet must stay float32 in the workers — a silent
+        float64 upcast would break bit-equivalence with sequential replay
+        for signal-reading predictors."""
+        subject = copy.copy(small_dataset.subjects[0])
+        subject.ppg_windows = subject.ppg_windows.astype(np.float32)
+        subject.accel_windows = subject.accel_windows.astype(np.float32)
+        store = SharedSubjectStore([subject])
+        try:
+            handles, [view] = SharedSubjectStore.attach(store.manifest)
+            try:
+                assert view.ppg_windows.dtype == np.float32
+                assert view.accel_windows.dtype == np.float32
+                np.testing.assert_array_equal(view.ppg_windows, subject.ppg_windows)
+            finally:
+                del view
+                for handle in handles:
+                    handle.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_mixed_dtypes_fall_back_to_pickling(self, small_dataset):
+        subjects = [copy.copy(s) for s in small_dataset.subjects[:2]]
+        subjects[1].ppg_windows = subjects[1].ppg_windows.astype(np.float32)
+        assert not SharedSubjectStore.supports(subjects)
+
+    def test_rejects_empty_and_mixed_geometry(self, small_dataset):
+        with pytest.raises(ValueError):
+            SharedSubjectStore([])
+        subjects = list(small_dataset.subjects[:2])
+        short = copy.copy(subjects[1])
+        short.ppg_windows = subjects[1].ppg_windows[:, : subjects[1].ppg_windows.shape[1] // 2]
+        assert not SharedSubjectStore.supports([subjects[0], short])
+        with pytest.raises(ValueError, match="window geometry"):
+            SharedSubjectStore([subjects[0], short])
+
+    @pytest.mark.slow
+    def test_spawn_pool_attaches_shared_memory(
+        self, calibrated_experiment, small_dataset, sequential_fleet
+    ):
+        """A spawn pool (shared memory on by default) replays identically."""
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=1,
+            start_method="spawn",
+        )
+        parallel = executor.run_fleet(
+            small_dataset.subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        assert_fleets_identical(sequential_fleet, parallel)
 
 
 class TestExperimentWiring:

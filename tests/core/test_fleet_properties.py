@@ -1,0 +1,293 @@
+"""Property-based equivalence suite for the fleet engines.
+
+The fleet correctness contract — *every* fast multi-subject path is
+decision-for-decision identical to sequential ``run_many`` replay — is
+pinned here across seeded randomized scenarios instead of a handful of
+hand-picked fixtures.  Hypothesis draws fleet compositions (subject
+counts and lengths, BLE traces or not, heterogeneous hardware revisions,
+RF vs oracle difficulty, stateful vs ``FLEET_BATCHABLE`` predictors,
+worker counts 1/2/4, arrival orderings, batch-size limits, mid-queue
+retirements) and every example asserts bit-identical results:
+
+* :class:`~repro.core.scheduler.FleetScheduler` — dynamic sessions
+  submitted one by one must replay exactly like sequential ``run_many``
+  over the completed sessions in submission order, and the scheduler's
+  predictor streams must land on exactly the state sequential replay
+  reaches (checked through
+  :meth:`~repro.models.base.HeartRatePredictor.fleet_state_signature`);
+* :class:`~repro.core.fleet.FleetExecutor` — process-pool sharding with
+  mixed hardware revisions in one run;
+* :class:`~repro.core.fleet.SharedSubjectStore` — shared-memory blocks
+  must round-trip the fleet's arrays exactly.
+
+The suite is deterministic (``derandomize=True``): every run replays the
+same example corpus, so tier-1 stays reproducible.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis", reason="property suite needs hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.decision_engine import Constraint
+from repro.core.fleet import FleetExecutor, SharedSubjectStore
+from repro.core.runtime import CHRISRuntime
+from repro.core.scheduler import FleetScheduler, SessionState
+from repro.data.dataset import WindowedSubject
+from repro.eval.experiment import CalibratedExperiment
+from repro.hw.platform import CostTableRegistry, WearableSystem
+from repro.ml.activity_classifier import ActivityClassifier
+from repro.signal.windowing import DEFAULT_WINDOW_SPEC
+
+from tests.core.test_runtime_batched import assert_results_identical
+
+CONSTRAINT = Constraint.max_mae(6.0)
+WINDOW_LENGTH = 16
+
+SCENARIO_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _experiment() -> CalibratedExperiment:
+    """One calibrated experiment shared by every example (read-only)."""
+    return CalibratedExperiment.build(seed=0, n_subjects=4, activity_duration_s=40.0)
+
+
+@functools.lru_cache(maxsize=1)
+def _classifier() -> ActivityClassifier:
+    """An RF difficulty detector trained on the property-suite geometry."""
+    rng = np.random.default_rng(99)
+    accel = rng.standard_normal((270, WINDOW_LENGTH, 3))
+    activity = np.arange(270) % 9
+    return ActivityClassifier(random_state=0).fit(accel, activity)
+
+
+@functools.lru_cache(maxsize=4)
+def _hardware(kind: str) -> WearableSystem:
+    """Hardware revisions of the heterogeneous population (shared registry)."""
+    registry = _hardware_registry()
+    if kind == "stock":
+        return WearableSystem(cost_registry=registry)
+    if kind == "compressed":
+        return WearableSystem(cost_registry=registry, offload_payload_bytes=64 * 4 * 2)
+    if kind == "fast-period":
+        return WearableSystem(cost_registry=registry, prediction_period_s=1.5)
+    raise KeyError(kind)
+
+
+@functools.lru_cache(maxsize=1)
+def _hardware_registry() -> CostTableRegistry:
+    return CostTableRegistry()
+
+
+def make_subject(subject_id: str, n_windows: int, seed: int) -> WindowedSubject:
+    """A windowed pseudo-recording; signals are noise (calibrated zoo)."""
+    rng = np.random.default_rng(seed)
+    return WindowedSubject(
+        subject_id=subject_id,
+        ppg_windows=rng.standard_normal((n_windows, WINDOW_LENGTH)),
+        accel_windows=rng.standard_normal((n_windows, WINDOW_LENGTH, 3)),
+        activity=rng.integers(0, 9, size=n_windows),
+        hr=70.0 + 30.0 * rng.random(n_windows),
+        spec=DEFAULT_WINDOW_SPEC,
+    )
+
+
+def make_trace(n_windows: int, seed: int) -> np.ndarray:
+    """A BLE trace with at least one status change when possible."""
+    rng = np.random.default_rng(seed)
+    trace = rng.random(n_windows) < 0.7
+    trace[0] = True
+    if n_windows > 1:
+        trace[n_windows // 2] = False
+    return trace
+
+
+@st.composite
+def fleet_scenarios(draw):
+    n_subjects = draw(st.integers(min_value=1, max_value=5))
+    subjects = []
+    for i in range(n_subjects):
+        subjects.append(
+            {
+                "n_windows": draw(st.integers(min_value=8, max_value=60)),
+                "seed": draw(st.integers(min_value=0, max_value=2**16)),
+                "traced": draw(st.booleans()),
+                "hardware": draw(
+                    st.sampled_from([None, "stock", "compressed", "fast-period"])
+                ),
+            }
+        )
+    return {
+        "subjects": subjects,
+        "order": draw(st.permutations(range(n_subjects))),
+        "workers": draw(st.sampled_from([1, 2, 4])),
+        "max_batch": draw(st.sampled_from([None, 1, 2])),
+        "use_rf": draw(st.booleans()),
+        "stateful": draw(st.booleans()),
+        "retire": draw(st.integers(min_value=-1, max_value=n_subjects - 1)),
+    }
+
+
+def build_fleet(scenario):
+    """Materialize a scenario: subjects in arrival order, traces, systems."""
+    subjects = [
+        make_subject(f"prop-{i:02d}", spec["n_windows"], spec["seed"])
+        for i, spec in enumerate(scenario["subjects"])
+    ]
+    arrival = [subjects[i] for i in scenario["order"]]
+    traces = {
+        subjects[i].subject_id: make_trace(spec["n_windows"], spec["seed"] + 1)
+        for i, spec in enumerate(scenario["subjects"])
+        if spec["traced"]
+    }
+    systems = {
+        subjects[i].subject_id: _hardware(spec["hardware"])
+        for i, spec in enumerate(scenario["subjects"])
+        if spec["hardware"] is not None
+    }
+    return arrival, traces, systems
+
+
+def make_runtime(scenario) -> CHRISRuntime:
+    """A pristine runtime configured for the scenario's difficulty source."""
+    experiment = _experiment()
+    runtime = CHRISRuntime(
+        zoo=copy.deepcopy(experiment.zoo),
+        engine=experiment.engine,
+        system=experiment.system,
+        activity_classifier=_classifier() if scenario["use_rf"] else None,
+    )
+    if scenario["stateful"]:
+        # Force one model through the per-(model, subject) segment path.
+        runtime.zoo.entry("TimePPG-Big").predictor.FLEET_BATCHABLE = False
+    return runtime
+
+
+@settings(max_examples=15, **SCENARIO_SETTINGS)
+@given(scenario=fleet_scenarios())
+def test_scheduler_matches_sequential_replay(scenario):
+    """Dynamic sessions == sequential run_many over the completed sessions.
+
+    Covers every scenario axis at once: arrival order defines the
+    reference order, retired sessions drop out without touching any
+    predictor stream, and the scheduler's final stream state must equal
+    the state sequential replay leaves behind.
+    """
+    arrival, traces, systems = build_fleet(scenario)
+
+    scheduler = FleetScheduler(
+        make_runtime(scenario),
+        CONSTRAINT,
+        max_workers=scenario["workers"],
+        max_batch_size=scenario["max_batch"],
+        use_oracle_difficulty=not scenario["use_rf"],
+    )
+    with scheduler:
+        sessions = [
+            scheduler.submit(
+                subject.subject_id,
+                subject,
+                system=systems.get(subject.subject_id),
+                connected_trace=traces.get(subject.subject_id),
+            )
+            for subject in arrival
+        ]
+        if scenario["retire"] >= 0:
+            scheduler.retire(sessions[scenario["retire"]])
+        scheduler.join()
+
+    completed = [s for s in sessions if s.state is SessionState.DONE]
+    retired = [s for s in sessions if s.state is SessionState.RETIRED]
+    assert len(completed) + len(retired) == len(sessions), [
+        (s.subject_id, s.state, s.error) for s in sessions
+    ]
+
+    reference = make_runtime(scenario)
+    reference_fleet = reference.run_many(
+        [s.recording for s in completed],
+        CONSTRAINT,
+        use_oracle_difficulty=not scenario["use_rf"],
+        mega_batched=False,
+        connected_traces={
+            sid: t for sid, t in traces.items() if sid in {s.subject_id for s in completed}
+        },
+        systems={
+            sid: sys for sid, sys in systems.items() if sid in {s.subject_id for s in completed}
+        },
+    )
+    for session in completed:
+        assert_results_identical(reference_fleet.results[session.subject_id], session.result)
+
+    # The scheduler's stream runtime must land on exactly the cross-run
+    # predictor state sequential replay reaches — the invariant that makes
+    # the *next* submission equivalent too.
+    for entry, ref_entry in zip(scheduler._runtime.zoo, reference.zoo):
+        assert entry.predictor.fleet_state_signature() == ref_entry.predictor.fleet_state_signature()
+
+
+@settings(max_examples=6, **SCENARIO_SETTINGS)
+@given(scenario=fleet_scenarios())
+def test_pool_executor_matches_sequential_replay(scenario):
+    """Process-pool sharding with mixed hardware == sequential replay."""
+    arrival, traces, systems = build_fleet(scenario)
+    sequential = make_runtime(scenario).run_many(
+        arrival,
+        CONSTRAINT,
+        use_oracle_difficulty=not scenario["use_rf"],
+        mega_batched=False,
+        connected_traces=traces,
+        systems=systems,
+    )
+    executor = FleetExecutor(
+        make_runtime(scenario),
+        max_workers=min(scenario["workers"], 2),
+        shards_per_worker=2,
+    )
+    pooled = executor.run_fleet(
+        arrival,
+        CONSTRAINT,
+        use_oracle_difficulty=not scenario["use_rf"],
+        connected_traces=traces,
+        systems=systems,
+    )
+    assert pooled.subject_ids == sequential.subject_ids
+    for sid in sequential.subject_ids:
+        assert_results_identical(sequential.results[sid], pooled.results[sid])
+
+
+@settings(max_examples=10, **SCENARIO_SETTINGS)
+@given(scenario=fleet_scenarios())
+def test_shared_subject_store_round_trips_exactly(scenario):
+    """Shared-memory blocks reproduce every array bit-exactly."""
+    arrival, _, _ = build_fleet(scenario)
+    store = SharedSubjectStore(arrival)
+    try:
+        handles, rebuilt = SharedSubjectStore.attach(store.manifest)
+        try:
+            assert [s.subject_id for s in rebuilt] == [s.subject_id for s in arrival]
+            for original, view in zip(arrival, rebuilt):
+                np.testing.assert_array_equal(original.ppg_windows, view.ppg_windows)
+                np.testing.assert_array_equal(original.accel_windows, view.accel_windows)
+                np.testing.assert_array_equal(original.activity, view.activity)
+                np.testing.assert_array_equal(original.hr, view.hr)
+                np.testing.assert_array_equal(original.difficulty, view.difficulty)
+                assert view.spec == original.spec
+        finally:
+            del rebuilt
+            for handle in handles:
+                handle.close()
+    finally:
+        store.close()
+        store.unlink()

@@ -1,0 +1,429 @@
+"""Unit tests for the dynamic-session fleet scheduler.
+
+Bit-equivalence with sequential replay across randomized scenarios is
+pinned by :mod:`tests.core.test_fleet_properties`; these tests cover the
+scheduler's online lifecycle: streaming completion, dynamic arrival and
+departure, retirement, pause/resume, failure reporting, validation, and
+the :meth:`~repro.eval.experiment.CalibratedExperiment.run_fleet`
+wiring.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.decision_engine import Constraint
+from repro.core.runtime import CHRISRuntime
+from repro.core.scheduler import FleetScheduler, SessionState
+from repro.data.dataset import WindowedSubject
+from repro.hw.platform import CostTableRegistry, WearableSystem
+from repro.signal.windowing import DEFAULT_WINDOW_SPEC
+
+from tests.core.test_runtime_batched import assert_results_identical
+
+CONSTRAINT = Constraint.max_mae(6.0)
+
+
+def make_runtime(experiment) -> CHRISRuntime:
+    return CHRISRuntime(
+        zoo=copy.deepcopy(experiment.zoo),
+        engine=experiment.engine,
+        system=experiment.system,
+    )
+
+
+def make_scheduler(experiment, **kwargs) -> FleetScheduler:
+    kwargs.setdefault("use_oracle_difficulty", True)
+    return FleetScheduler(make_runtime(experiment), CONSTRAINT, **kwargs)
+
+
+def make_subject(subject_id: str, n_windows: int = 40, seed: int = 0) -> WindowedSubject:
+    rng = np.random.default_rng(seed)
+    return WindowedSubject(
+        subject_id=subject_id,
+        ppg_windows=rng.standard_normal((n_windows, 16)),
+        accel_windows=rng.standard_normal((n_windows, 16, 3)),
+        activity=rng.integers(0, 9, size=n_windows),
+        hr=70.0 + 30.0 * rng.random(n_windows),
+        spec=DEFAULT_WINDOW_SPEC,
+    )
+
+
+class TestLifecycle:
+    def test_sessions_stream_as_completed(self, calibrated_experiment):
+        subjects = [make_subject(f"s{i}", seed=i) for i in range(5)]
+        with make_scheduler(calibrated_experiment, max_workers=2) as scheduler:
+            sessions = [scheduler.submit(s.subject_id, s) for s in subjects]
+            seen = []
+            for session in scheduler.as_completed():
+                assert session.state is SessionState.DONE
+                assert session.result.n_windows == session.recording.n_windows
+                seen.append(session.subject_id)
+        assert sorted(seen) == sorted(s.subject_id for s in subjects)
+        assert all(s.done for s in sessions)
+
+    def test_arrivals_during_consumption_extend_the_stream(self, calibrated_experiment):
+        """Sessions submitted while iterating still stream — no fixed list."""
+        with make_scheduler(calibrated_experiment) as scheduler:
+            scheduler.submit("first", make_subject("first", seed=1))
+            seen = []
+            submitted_late = False
+            for session in scheduler.as_completed():
+                seen.append(session.subject_id)
+                if not submitted_late:
+                    submitted_late = True
+                    scheduler.submit("second", make_subject("second", seed=2))
+        assert seen == ["first", "second"]
+
+    def test_subject_id_can_be_resubmitted_after_completion(self, calibrated_experiment):
+        subject = make_subject("repeat", seed=3)
+        with make_scheduler(calibrated_experiment) as scheduler:
+            first = scheduler.submit("repeat", subject)
+            scheduler.join()
+            second = scheduler.submit("repeat", subject)
+            scheduler.join()
+        assert first.state is second.state is SessionState.DONE
+        # The predictor streams advanced between the runs (online
+        # semantics), so the second replay is a later stream position.
+        assert first.result.n_windows == second.result.n_windows
+
+    def test_live_duplicate_subject_id_rejected(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        scheduler.pause()
+        try:
+            scheduler.submit("dup", make_subject("dup"))
+            with pytest.raises(ValueError, match="already live"):
+                scheduler.submit("dup", make_subject("dup"))
+        finally:
+            scheduler.close()
+
+    def test_submit_after_close_rejected(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit("late", make_subject("late"))
+
+    def test_close_is_idempotent_and_joins(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        session = scheduler.submit("only", make_subject("only"))
+        scheduler.close()
+        scheduler.close()
+        assert session.state is SessionState.DONE
+
+
+class TestRetireAndPause:
+    def test_retire_queued_session_never_runs(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        scheduler.pause()  # deterministic: nothing dispatches while paused
+        try:
+            keep = scheduler.submit("keep", make_subject("keep", seed=4))
+            drop = scheduler.submit("drop", make_subject("drop", seed=5))
+            assert scheduler.retire(drop) is True
+            assert drop.state is SessionState.RETIRED
+            scheduler.resume()
+            scheduler.join()
+        finally:
+            scheduler.close()
+        assert keep.state is SessionState.DONE
+        assert drop.result is None
+        # A retired session consumes no predictor stream: replaying only
+        # the kept subject sequentially reproduces the kept result.
+        reference = make_runtime(calibrated_experiment).run_many(
+            [keep.recording], CONSTRAINT, use_oracle_difficulty=True, mega_batched=False
+        )
+        assert_results_identical(reference.results["keep"], keep.result)
+
+    def test_retire_completed_session_returns_false(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment) as scheduler:
+            session = scheduler.submit("done", make_subject("done"))
+            scheduler.join()
+            assert scheduler.retire(session) is False
+            assert session.state is SessionState.DONE
+
+    def test_retired_id_is_immediately_reusable(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        scheduler.pause()
+        try:
+            first = scheduler.submit("reuse", make_subject("reuse", seed=6))
+            assert scheduler.retire(first)
+            second = scheduler.submit("reuse", make_subject("reuse", seed=7))
+            scheduler.resume()
+            scheduler.join()
+            assert second.state is SessionState.DONE
+        finally:
+            scheduler.close()
+
+    def test_pause_holds_dispatch_until_resume(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        try:
+            scheduler.pause()
+            session = scheduler.submit("held", make_subject("held"))
+            assert scheduler.next_done(timeout=0.2) is None
+            assert session.state is SessionState.QUEUED
+            scheduler.resume()
+            scheduler.join()
+            assert session.state is SessionState.DONE
+        finally:
+            scheduler.close()
+
+
+class TestValidationAndFailure:
+    def test_constructor_validation(self, calibrated_experiment):
+        runtime = make_runtime(calibrated_experiment)
+        with pytest.raises(ValueError):
+            FleetScheduler(runtime, CONSTRAINT, max_workers=0)
+        with pytest.raises(ValueError):
+            FleetScheduler(runtime, CONSTRAINT, max_batch_size=0)
+
+    def test_trace_shape_validated_at_submit(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment) as scheduler:
+            with pytest.raises(ValueError, match="one entry per window"):
+                scheduler.submit(
+                    "traced",
+                    make_subject("traced", n_windows=20),
+                    connected_trace=np.ones(7, dtype=bool),
+                )
+
+    def test_empty_recording_rejected_at_submit(self, calibrated_experiment):
+        """Per-session input problems surface at submit, where they cannot
+        poison a batch of unrelated queued sessions."""
+        empty = WindowedSubject(
+            subject_id="empty",
+            ppg_windows=np.empty((0, 16)),
+            accel_windows=np.empty((0, 16, 3)),
+            activity=np.empty(0, dtype=int),
+            hr=np.empty(0),
+            spec=DEFAULT_WINDOW_SPEC,
+        )
+        with make_scheduler(calibrated_experiment) as scheduler:
+            with pytest.raises(ValueError, match="no windows"):
+                scheduler.submit("empty", empty)
+
+    @staticmethod
+    def _break_predictor(scheduler) -> None:
+        def boom(*args, **kwargs):
+            raise RuntimeError("model service down")
+
+        for entry in scheduler._runtime.zoo:
+            entry.predictor.predict = boom
+
+    def test_failed_session_reports_the_error(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        self._break_predictor(scheduler)
+        with scheduler:
+            session = scheduler.submit("broken", make_subject("broken"))
+            scheduler.join()
+        assert session.state is SessionState.FAILED
+        assert isinstance(session.error, RuntimeError)
+        assert session.result is None
+
+    def test_execution_failure_poisons_the_scheduler(self, calibrated_experiment):
+        """After a batch fails mid-execution the stream position is
+        unaccounted for; accepting more sessions would silently break the
+        sequential-equivalence contract, so submission must raise."""
+        scheduler = make_scheduler(calibrated_experiment)
+        self._break_predictor(scheduler)
+        with scheduler:
+            failed = scheduler.submit("again", make_subject("again"))
+            scheduler.join()
+            with pytest.raises(RuntimeError, match="corrupted"):
+                scheduler.submit("again", make_subject("again"))
+        assert failed.state is SessionState.FAILED
+
+    def test_batch_after_mid_stream_failure_is_never_delivered_done(
+        self, calibrated_experiment
+    ):
+        """A batch whose stream position assumed a failed batch executed
+        must surface as FAILED even if its own execution succeeds — its
+        results would diverge from sequential replay."""
+        scheduler = make_scheduler(calibrated_experiment, max_batch_size=1)
+        calls = {"n": 0}
+        for entry in scheduler._runtime.zoo:
+            original = entry.predictor.predict
+
+            def flaky(*args, _original=original, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("transient model failure")
+                return _original(*args, **kwargs)
+
+            entry.predictor.predict = flaky
+        scheduler.pause()
+        try:
+            first = scheduler.submit("first", make_subject("first", seed=40))
+            second = scheduler.submit("second", make_subject("second", seed=41))
+            scheduler.resume()
+            scheduler.join()
+        finally:
+            scheduler.close()
+        assert first.state is SessionState.FAILED
+        # Whether 'second' was discarded post-execution or failed fast
+        # pre-dispatch depends on thread interleaving; it must never be
+        # DONE with an unaccounted stream position.
+        assert second.state is SessionState.FAILED
+        assert second.result is None
+        scheduler = make_scheduler(calibrated_experiment, max_batch_size=1)
+        self._break_predictor(scheduler)
+        scheduler.pause()
+        try:
+            first = scheduler.submit("one", make_subject("one", seed=30))
+            second = scheduler.submit("two", make_subject("two", seed=31))
+            scheduler.resume()
+            scheduler.join()
+        finally:
+            scheduler.close()
+        assert first.state is SessionState.FAILED
+        assert second.state is SessionState.FAILED
+        assert "corrupted" in str(second.error) or isinstance(second.error, RuntimeError)
+
+    def test_session_id_relabel_backs_one_recording_under_many_ids(
+        self, calibrated_experiment
+    ):
+        """The session id is authoritative: submitting a recording under a
+        different id relabels it instead of deadlocking the worker (the
+        result used to be keyed by the recording's own id)."""
+        recording = make_subject("original", seed=8)
+        with make_scheduler(calibrated_experiment) as scheduler:
+            alias = scheduler.submit("alias-id", recording)
+            original = scheduler.submit("original", recording)
+            scheduler.join()
+        assert alias.state is SessionState.DONE
+        assert original.state is SessionState.DONE
+        assert alias.result.n_windows == recording.n_windows
+        assert alias.recording.subject_id == "alias-id"
+        assert recording.subject_id == "original"  # caller's object untouched
+
+
+class TestHeterogeneousSessions:
+    def test_mixed_revisions_share_one_registry(self, calibrated_experiment):
+        registry = CostTableRegistry()
+        stock = WearableSystem(cost_registry=registry)
+        compressed = WearableSystem(
+            cost_registry=registry, offload_payload_bytes=64 * 4 * 2
+        )
+        subjects = [make_subject(f"h{i}", seed=10 + i) for i in range(4)]
+        systems = {"h0": stock, "h1": compressed, "h2": compressed}
+        with make_scheduler(calibrated_experiment, max_workers=2) as scheduler:
+            sessions = [
+                scheduler.submit(s.subject_id, s, system=systems.get(s.subject_id))
+                for s in subjects
+            ]
+            scheduler.join()
+        assert all(s.state is SessionState.DONE for s in sessions)
+        assert registry.n_revisions == 2
+        reference = make_runtime(calibrated_experiment).run_many(
+            subjects,
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            mega_batched=False,
+            systems=systems,
+        )
+        for session in sessions:
+            assert_results_identical(reference.results[session.subject_id], session.result)
+
+    def test_compressed_offload_changes_radio_energy_only_for_its_device(
+        self, calibrated_experiment
+    ):
+        """Heterogeneity is real: the rev-B session's offloaded windows cost
+        less radio energy than the stock session's, in one scheduler run."""
+        subject = make_subject("stock-dev", n_windows=80, seed=21)
+        twin = make_subject("rev-b-dev", n_windows=80, seed=21)
+        compressed = WearableSystem(
+            cost_registry=CostTableRegistry(), offload_payload_bytes=64
+        )
+        with make_scheduler(calibrated_experiment) as scheduler:
+            stock_session = scheduler.submit("stock-dev", subject)
+            rev_b_session = scheduler.submit("rev-b-dev", twin, system=compressed)
+            scheduler.join()
+        stock_radio = stock_session.result.watch_radio_j[stock_session.result.offloaded]
+        rev_b_radio = rev_b_session.result.watch_radio_j[rev_b_session.result.offloaded]
+        assert stock_radio.size and rev_b_radio.size
+        assert rev_b_radio.max() < stock_radio.min()
+
+
+class TestExperimentWiring:
+    def test_run_fleet_via_scheduler_matches_executor_path(
+        self, calibrated_experiment, small_dataset
+    ):
+        executor_fleet = copy.deepcopy(calibrated_experiment).run_fleet(
+            small_dataset, CONSTRAINT
+        )
+        with copy.deepcopy(calibrated_experiment).fleet_scheduler(
+            CONSTRAINT, max_workers=2
+        ) as scheduler:
+            scheduled_fleet = calibrated_experiment.run_fleet(
+                small_dataset, CONSTRAINT, scheduler=scheduler
+            )
+        assert scheduled_fleet.subject_ids == executor_fleet.subject_ids
+        for sid in executor_fleet.subject_ids:
+            assert_results_identical(
+                executor_fleet.results[sid], scheduled_fleet.results[sid]
+            )
+
+    def test_run_fleet_rejects_mismatched_constraint(
+        self, calibrated_experiment, small_dataset
+    ):
+        with calibrated_experiment.fleet_scheduler(CONSTRAINT) as scheduler:
+            with pytest.raises(ValueError, match="constraint"):
+                calibrated_experiment.run_fleet(
+                    small_dataset, Constraint.max_mae(4.0), scheduler=scheduler
+                )
+
+    def test_run_fleet_rejects_decision_affecting_overrides(
+        self, calibrated_experiment, small_dataset, trained_activity_classifier
+    ):
+        """Arguments that would change decisions must not be silently
+        ignored on the scheduler path."""
+        with calibrated_experiment.fleet_scheduler(CONSTRAINT) as scheduler:
+            with pytest.raises(ValueError, match="use_oracle_difficulty"):
+                calibrated_experiment.run_fleet(
+                    small_dataset,
+                    CONSTRAINT,
+                    use_oracle_difficulty=False,
+                    scheduler=scheduler,
+                )
+            with pytest.raises(ValueError, match="activity_classifier"):
+                calibrated_experiment.run_fleet(
+                    small_dataset,
+                    CONSTRAINT,
+                    activity_classifier=trained_activity_classifier,
+                    scheduler=scheduler,
+                )
+
+
+class TestDispatchFailurePoisoning:
+    def _fail_pool_submit_once(self, scheduler) -> None:
+        original = scheduler._pool.submit
+
+        def boom(*args, **kwargs):
+            scheduler._pool.submit = original
+            raise MemoryError("transient enqueue failure")
+
+        scheduler._pool.submit = boom
+
+    def test_submit_failure_poisons_snapshot_path(self, calibrated_experiment):
+        """With workers > 1 the stream was fast-forwarded before
+        pool.submit; a dispatch failure leaves it unaccounted for."""
+        scheduler = make_scheduler(calibrated_experiment, max_workers=2)
+        self._fail_pool_submit_once(scheduler)
+        with scheduler:
+            session = scheduler.submit("lost", make_subject("lost", seed=50))
+            scheduler.join()
+            assert session.state is SessionState.FAILED
+            with pytest.raises(RuntimeError, match="corrupted"):
+                scheduler.submit("next", make_subject("next", seed=51))
+
+    def test_submit_failure_does_not_poison_serial_path(self, calibrated_experiment):
+        """With one worker nothing was advanced before pool.submit, so the
+        scheduler keeps serving after the transient failure."""
+        scheduler = make_scheduler(calibrated_experiment, max_workers=1)
+        self._fail_pool_submit_once(scheduler)
+        with scheduler:
+            lost = scheduler.submit("lost", make_subject("lost", seed=52))
+            scheduler.join()
+            recovered = scheduler.submit("next", make_subject("next", seed=53))
+            scheduler.join()
+        assert lost.state is SessionState.FAILED
+        assert isinstance(lost.error, MemoryError)
+        assert recovered.state is SessionState.DONE

@@ -5,6 +5,7 @@ import pytest
 from repro.hw.ble import BLELink
 from repro.hw.platform import (
     PREDICTION_PERIOD_S,
+    CostTableError,
     CostTableRegistry,
     WearableSystem,
 )
@@ -241,3 +242,119 @@ class TestCostTableRegistry:
 
         assert WearableSystem().cost_registry is SHARED_COST_REGISTRY
         assert WearableSystem().cost_registry is WearableSystem().cost_registry
+
+
+class TestCostTableErrorPaths:
+    """Corrupt payloads and strict lookups must fail loudly, never
+    silently re-profile (a worker handed a broken table would otherwise
+    mask the deployment bug by recomputing everything)."""
+
+    def _profiled_registry(self) -> tuple[CostTableRegistry, WearableSystem]:
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        registry.profile_system(system, list(PAPER_DEPLOYMENTS.values()))
+        return registry, system
+
+    def test_corrupt_json_raises(self):
+        with pytest.raises(CostTableError, match="corrupt cost-table JSON"):
+            CostTableRegistry.from_json("{not json at all")
+
+    def test_wrong_top_level_type_raises(self):
+        with pytest.raises(CostTableError, match="expected a list"):
+            CostTableRegistry.from_json('{"revision": []}')
+
+    def test_missing_block_keys_raise(self):
+        with pytest.raises(CostTableError, match="revision block 0"):
+            CostTableRegistry.from_json('[{"entries": []}]')
+
+    def test_malformed_entry_raises(self):
+        registry, _ = self._profiled_registry()
+        import json
+
+        payload = json.loads(registry.to_json())
+        del payload[0]["entries"][0]["deployment"]["name"]
+        with pytest.raises(CostTableError, match="corrupt cost-table entry"):
+            CostTableRegistry.from_json(json.dumps(payload))
+
+    def test_unknown_execution_target_raises(self):
+        registry, _ = self._profiled_registry()
+        import json
+
+        payload = json.loads(registry.to_json())
+        payload[0]["entries"][0]["target"] = "toaster"
+        with pytest.raises(CostTableError, match="corrupt cost-table entry"):
+            CostTableRegistry.from_json(json.dumps(payload))
+
+    def test_corrupt_file_raises_with_path(self, tmp_path):
+        path = tmp_path / "costs.json"
+        path.write_text("]] definitely broken [[")
+        with pytest.raises(CostTableError, match="corrupt cost-table JSON"):
+            CostTableRegistry.from_json_file(path)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(CostTableError, match="cannot read cost-table file"):
+            CostTableRegistry.from_json_file(tmp_path / "missing.json")
+
+    def test_file_roundtrip(self, tmp_path):
+        registry, system = self._profiled_registry()
+        path = tmp_path / "costs.json"
+        registry.to_json_file(path)
+        loaded = CostTableRegistry.from_json_file(path)
+        assert loaded.n_entries == registry.n_entries
+        deployment = PAPER_DEPLOYMENTS["TimePPG-Small"]
+        assert loaded.cost_for(system, deployment, ExecutionTarget.WATCH) == (
+            registry.cost_for(system, deployment, ExecutionTarget.WATCH)
+        )
+
+    def test_strict_lookup_unknown_revision_raises(self):
+        registry, _ = self._profiled_registry()
+        stranger = WearableSystem(
+            cost_registry=CostTableRegistry(), prediction_period_s=3.0
+        )
+        with pytest.raises(CostTableError, match="no cost table for hardware revision"):
+            registry.cost_for(
+                stranger, PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH
+            )
+
+    def test_strict_lookup_partial_table_raises(self):
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        deployment = PAPER_DEPLOYMENTS["AT"]
+        registry.lookup(system, deployment, ExecutionTarget.WATCH)
+        with pytest.raises(CostTableError, match="partial"):
+            registry.cost_for(system, deployment, ExecutionTarget.PHONE)
+        # ... and the failed strict lookup did not silently profile.
+        assert registry.n_entries == 1
+
+    def test_strict_lookup_hits_do_not_grow_the_table(self):
+        registry, system = self._profiled_registry()
+        before = registry.n_entries
+        for deployment in PAPER_DEPLOYMENTS.values():
+            for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
+                assert registry.cost_for(system, deployment, target) is (
+                    registry.lookup(system, deployment, target)
+                )
+        assert registry.n_entries == before
+
+    def test_non_list_entries_raise(self):
+        with pytest.raises(CostTableError, match="'entries' must be a list"):
+            CostTableRegistry.from_json('[{"revision": [], "entries": 42}]')
+
+    def test_strict_mode_routes_lookup_through_cost_for(self):
+        """Fleet workers flip strict on the loaded registry: a miss then
+        raises through the normal cached_prediction_cost path instead of
+        silently re-profiling."""
+        registry = CostTableRegistry()
+        registry.strict = True
+        system = WearableSystem(cost_registry=registry)
+        with pytest.raises(CostTableError, match="no cost table"):
+            system.cached_prediction_cost(
+                PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH
+            )
+        assert registry.n_entries == 0
+        registry.strict = False
+        registry.profile_system(system, [PAPER_DEPLOYMENTS["AT"]])
+        registry.strict = True
+        assert system.cached_prediction_cost(
+            PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH
+        ) == registry.cost_for(system, PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH)

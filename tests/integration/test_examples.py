@@ -46,10 +46,12 @@ class TestExamples:
         assert "Fig. 5" in result.stdout
         assert "connection loss" in result.stdout
 
-    def test_fleet_simulation_streams_a_heterogeneous_fleet(self):
+    def test_fleet_simulation_schedules_a_dynamic_heterogeneous_fleet(self):
         result = run_example("fleet_simulation.py")
         assert result.returncode == 0, result.stderr
-        assert "streaming per-subject results" in result.stdout
+        assert "streaming sessions as they complete" in result.stdout
+        assert "arrived dynamically" in result.stdout
+        assert "retired before dispatch: True" in result.stdout
         assert "2 hardware revisions" in result.stdout
         assert "fleet speedup" in result.stdout
 

@@ -1,0 +1,91 @@
+"""Fast-forward semantics of ``advance_fleet_state`` for every model.
+
+Fleet shards and the online scheduler rely on one invariant: advancing a
+predictor by ``n`` windows must land on exactly the cross-run state that
+``n`` executed predictions (followed by the start-of-run ``reset()``)
+would have reached.  This is pinned for every model in the registry and
+for the calibrated zoo — both behaviorally (subsequent predictions are
+bit-identical) and through
+:meth:`~repro.models.base.HeartRatePredictor.fleet_state_signature`.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.models.base import HeartRatePredictor
+from repro.models.error_model import calibrated_model_zoo
+from repro.models.registry import MODEL_REGISTRY, create_model
+
+
+def probe_windows(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray, dict]:
+    """Deterministic PPG/accel windows plus calibrated-model context."""
+    rng = np.random.default_rng(seed)
+    ppg = rng.standard_normal((n, 256))
+    accel = rng.standard_normal((n, 256, 3))
+    context = {
+        "true_hr": 70.0 + 20.0 * rng.random(n),
+        "activity": rng.integers(0, 9, size=n),
+    }
+    return ppg, accel, context
+
+
+def run_windows(predictor: HeartRatePredictor, n: int, seed: int) -> np.ndarray:
+    """Execute ``n`` predictions the way a run would (reset first)."""
+    predictor.reset()
+    if n == 0:
+        return np.empty(0)
+    ppg, accel, context = probe_windows(n, seed=seed)
+    return np.asarray(predictor.predict(ppg, accel, **context), dtype=float)
+
+
+def assert_fast_forward_equivalent(predictor: HeartRatePredictor, n: int) -> None:
+    """advance_fleet_state(n) == n executed predictions, then identical futures."""
+    advanced = copy.deepcopy(predictor)
+    executed = copy.deepcopy(predictor)
+
+    advanced.advance_fleet_state(n)
+    run_windows(executed, n, seed=1)
+    executed.reset()  # the start-of-run reset the next subject would get
+
+    assert advanced.fleet_state_signature() == executed.fleet_state_signature()
+    future_a = run_windows(advanced, 12, seed=2)
+    future_b = run_windows(executed, 12, seed=2)
+    np.testing.assert_array_equal(future_a, future_b)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+@pytest.mark.parametrize("n", [0, 1, 17])
+def test_registry_models_fast_forward(name, n):
+    assert_fast_forward_equivalent(create_model(name), n)
+
+
+@pytest.mark.parametrize("name", sorted(calibrated_model_zoo()))
+@pytest.mark.parametrize("n", [0, 1, 17, 256])
+def test_calibrated_models_fast_forward(name, n):
+    assert_fast_forward_equivalent(calibrated_model_zoo(seed=3)[name], n)
+
+
+def test_calibrated_fast_forward_matches_stream_position_exactly():
+    """The Laplace stream is advanced variate-for-variate, not approximately."""
+    model = calibrated_model_zoo(seed=7)["TimePPG-Big"]
+    twin = copy.deepcopy(model)
+    run_windows(model, 33, seed=4)
+    twin.advance_fleet_state(33)
+    assert model.fleet_state_signature() == twin.fleet_state_signature()
+
+
+def test_advance_rejects_negative_counts():
+    for name in sorted(MODEL_REGISTRY):
+        with pytest.raises(ValueError):
+            create_model(name).advance_fleet_state(-1)
+
+
+def test_base_predictors_have_no_cross_run_state():
+    """Real models' signature is None: everything they track is per-run."""
+    for name in sorted(MODEL_REGISTRY):
+        model = create_model(name)
+        assert model.fleet_state_signature() is None
+        run_windows(model, 5, seed=5)
+        assert model.fleet_state_signature() is None
