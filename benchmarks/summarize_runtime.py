@@ -4,9 +4,11 @@
 Runs the fixed synthetic workloads of :mod:`repro.eval.benchmarking` —
 the 10k-window single-subject workload through both execution paths of
 the CHRIS runtime, and the 50-subject x 2k-window fleet through the
-sequential / mega-batched / process-pool fleet paths (``"fleet"`` block)
-and through the online dynamic-session scheduler (``"scheduler"``
-block) — and writes the measured throughputs, MAE and offload statistics
+sequential / mega-batched / process-pool fleet paths (``"fleet"`` block),
+through the online dynamic-session scheduler (``"scheduler"`` block), and
+through the stacked-state dispatch on a stateful-heavy zoo
+(``"stateful_fleet"`` block: fused ``predict_fleet`` vs the per-subject
+fallback) — and writes the measured throughputs, MAE and offload statistics
 to ``BENCH_runtime.json`` at the repository root, so successive PRs can
 track the perf trajectory of every hot path.
 
@@ -28,6 +30,7 @@ from repro.eval.benchmarking import (  # noqa: E402
     benchmark_fleet,
     benchmark_runtime,
     benchmark_scheduler,
+    benchmark_stateful_fleet,
 )
 from repro.eval.experiment import CalibratedExperiment  # noqa: E402
 
@@ -41,6 +44,9 @@ def main(output_path: Path | None = None) -> dict:
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
     outcome["scheduler"] = benchmark_scheduler(
+        experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
+    )
+    outcome["stateful_fleet"] = benchmark_stateful_fleet(
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")

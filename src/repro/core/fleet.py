@@ -10,6 +10,11 @@ order (:meth:`FleetExecutor.run_fleet`).
 
 Decision-for-decision equivalence with sequential replay
 --------------------------------------------------------
+Each shard replays through the runtime's mega-batched path, including
+the stacked-state fused dispatch for stateful predictors
+(:meth:`~repro.models.base.HeartRatePredictor.predict_fleet` with one
+state slot per shard subject) — shard boundaries, like subject
+boundaries, are state-slot boundaries, not serialization points.
 Sequential ``run_many`` resets per-run predictor state before every
 subject, but *cross-run* state — the calibrated models' Laplace streams —
 advances monotonically across the whole fleet, so a shard that starts at

@@ -44,15 +44,30 @@ By default :meth:`CHRISRuntime.run_many` *mega-batches* the fleet: every
 subject is planned individually (so per-subject difficulty streams,
 connection traces and configuration segments are preserved), but
 execution stacks all subjects' windows into per-model groups across the
-whole population and dispatches **one** ``predict`` call per model for
-the entire fleet.  Predictors declare whether that fusion is legal via
-:attr:`~repro.models.base.HeartRatePredictor.FLEET_BATCHABLE`; stateful
-trackers fall back to one batch per ``(model, subject)`` segment with the
-reset boundaries sequential replay would have had, so the mega path is
-decision-for-decision identical to sequential :meth:`run_many` either
-way.  Multi-process sharding on top of this lives in
+whole population and dispatches **one** fused call per model for the
+entire fleet.  How that call looks depends on the predictor:
+
+* ``FLEET_BATCHABLE = True`` — predictions read no per-run temporal
+  state, so the fused call is a plain batch
+  :meth:`~repro.models.base.HeartRatePredictor.predict` over the stack.
+* ``FLEET_BATCHABLE = False`` (stateful trackers, anything consuming
+  ``_last_estimate``-style state) — the fused call is **stacked-state**
+  :meth:`~repro.models.base.HeartRatePredictor.predict_fleet`: a
+  :class:`~repro.models.base.FleetState` carries one state slot per
+  subject, a ``subject_index`` vector names each window's slot, and the
+  per-subject ``reset()`` boundaries of sequential replay become fresh
+  state slots instead of serialization points.  Vectorized
+  implementations advance all subjects' streams in lock-step.
+  Constructing the runtime with ``stacked_state=False`` restores the
+  legacy dispatch of one batch per ``(model, subject)`` segment.
+
+Both dispatches are decision-for-decision identical to sequential
+:meth:`run_many`.  Multi-process sharding on top of this lives in
 :mod:`repro.core.fleet`; dynamically arriving/leaving sessions in
-:mod:`repro.core.scheduler`.
+:mod:`repro.core.scheduler` (each mega-batch allocates state slots for
+the sessions it fuses — arrivals get fresh slots, retired sessions are
+never planned and never occupy one).  Zero-window subjects are legal in
+every multi-subject path and contribute an empty per-subject result.
 
 Heterogeneous hardware
 ----------------------
@@ -129,6 +144,22 @@ _COST_FIELDS = (
 def _cost_values(cost: PredictionCost) -> tuple[float, ...]:
     """The cost components in :data:`_COST_FIELDS` order."""
     return tuple(getattr(cost, name) for name in _COST_FIELDS)
+
+
+def _fleet_signal_template(subjects: "Sequence[WindowedSubject]") -> np.ndarray | None:
+    """One representative signal row for signal-free fused dispatch.
+
+    Signal-free predictors only read the batch length, so the fused call
+    broadcasts a single window across the group.  The row must come from
+    a subject that actually *has* windows — a fleet whose first subject
+    produced none yet would otherwise broadcast an empty ``(0, ...)``
+    template.  Returns ``None`` only for an all-empty fleet, in which
+    case no group has windows to dispatch.
+    """
+    for subject in subjects:
+        if subject.n_windows:
+            return subject.ppg_windows[:1]
+    return None
 
 
 def _check_unique_subject_ids(subject_ids: Iterable[str]) -> None:
@@ -365,8 +396,13 @@ class FleetResult:
         total_windows = self.n_windows
         if total_windows == 0:
             return float("nan")
+        # Zero-window subjects carry a NaN metric with zero weight; they
+        # must drop out instead of poisoning the aggregate (NaN * 0 is
+        # NaN, not 0).
         weighted = sum(
-            v * r.n_windows for v, r in zip(values, self.results.values())
+            v * r.n_windows
+            for v, r in zip(values, self.results.values())
+            if r.n_windows
         )
         return float(weighted / total_windows)
 
@@ -436,6 +472,12 @@ class CHRISRuntime:
         all subjects' windows into per-model groups across the whole fleet
         (fast, identical decisions), ``False`` replays subjects one at a
         time.  Only effective when ``batched`` resolves to ``True``.
+    stacked_state:
+        How the mega path dispatches stateful (``FLEET_BATCHABLE =
+        False``) predictors: ``True`` (default) fuses one
+        ``predict_fleet`` call per model with stacked per-subject state
+        vectors; ``False`` restores the legacy one-batch-per-``(model,
+        subject)`` dispatch.  Identical decisions either way.
     """
 
     def __init__(
@@ -446,6 +488,7 @@ class CHRISRuntime:
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
         mega_batched: bool = True,
+        stacked_state: bool = True,
     ) -> None:
         self.zoo = zoo
         self.engine = engine
@@ -453,6 +496,7 @@ class CHRISRuntime:
         self.activity_classifier = activity_classifier
         self.batched = batched
         self.mega_batched = mega_batched
+        self.stacked_state = stacked_state
 
     # ------------------------------------------------------------ difficulty
     def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
@@ -819,11 +863,14 @@ class CHRISRuntime:
         mega_batched:
             Override of the constructor's fleet execution path: ``True``
             stacks all subjects' windows into per-model groups across the
-            whole fleet and dispatches one ``predict`` call per
-            fleet-batchable model for the entire population;  ``False``
-            replays subjects one at a time.  Both paths are
-            decision-for-decision identical; mega-batching requires the
-            batched per-subject path.
+            whole fleet and dispatches one fused call per model for the
+            entire population (batch ``predict`` for stateless models,
+            stacked-state ``predict_fleet`` for stateful ones — see the
+            module docstring);  ``False`` replays subjects one at a
+            time.  Both paths are decision-for-decision identical;
+            mega-batching requires the batched per-subject path.
+            Zero-window subjects are legal on every path and contribute
+            an empty result.
         connected_traces:
             Optional per-subject BLE traces keyed by subject id; traced
             subjects are replayed via the connection-trace path (segment
@@ -855,6 +902,14 @@ class CHRISRuntime:
         fleet = FleetResult()
         for subject in subjects:
             system = systems.get(subject.subject_id)
+            if subject.n_windows == 0:
+                fleet.add(
+                    subject.subject_id,
+                    self._empty_run_result(
+                        constraint, traces.get(subject.subject_id), system
+                    ),
+                )
+                continue
             if subject.subject_id in traces:
                 result = self.run_with_connection_trace(
                     subject,
@@ -874,6 +929,35 @@ class CHRISRuntime:
                 )
             fleet.add(subject.subject_id, result)
         return fleet
+
+    def _empty_run_result(
+        self,
+        constraint: Constraint,
+        trace: np.ndarray | None,
+        system: WearableSystem | None,
+    ) -> RunResult:
+        """The result of a zero-window subject: no decisions, no state touched.
+
+        Single-subject :meth:`run` keeps rejecting empty recordings (a
+        user error there), but a *fleet* legitimately contains devices
+        that produced no windows yet — they contribute an empty result
+        with the configuration the engine would select right now.
+        """
+        system = system if system is not None else self.system
+        if trace is not None:
+            trace = np.asarray(trace, dtype=bool)
+            if trace.shape != (0,):
+                raise ValueError(
+                    f"connected must have one entry per window (0), "
+                    f"got shape {trace.shape}"
+                )
+        configuration = self.engine.select_or_closest(
+            constraint, connected=system.connected
+        )
+        return RunResult(
+            configuration=configuration,
+            configuration_segments=[(0, configuration)],
+        )
 
     # --------------------------------------------------------- fleet planning
     def _plan_fleet(
@@ -897,9 +981,38 @@ class CHRISRuntime:
         systems = systems or {}
         route = self._fleet_router()
         configuration_by_status: dict[bool, ProfiledConfiguration] = {}
+
+        def configuration_for(status: bool) -> ProfiledConfiguration:
+            if status not in configuration_by_status:
+                configuration_by_status[status] = self.engine.select_or_closest(
+                    constraint, connected=status
+                )
+            return configuration_by_status[status]
+
         plans = []
         for subject in subjects:
             trace = traces.get(subject.subject_id)
+            if subject.n_windows == 0:
+                # Zero-window subjects plan to nothing; mirror the
+                # sequential path's empty result (current-status
+                # configuration, one empty segment).
+                if trace is not None and np.asarray(trace).shape != (0,):
+                    raise ValueError(
+                        f"connected must have one entry per window (0), "
+                        f"got shape {np.asarray(trace).shape}"
+                    )
+                status = bool(systems.get(subject.subject_id, self.system).connected)
+                configuration = configuration_for(status)
+                plans.append(
+                    _ExecutionPlan(
+                        configuration=configuration,
+                        difficulties=np.empty(0, dtype=int),
+                        model_codes=np.empty(0, dtype=np.intp),
+                        offloaded=np.empty(0, dtype=bool),
+                        segments=[(0, configuration)],
+                    )
+                )
+                continue
             if trace is not None:
                 plans.append(
                     self._plan_traced(
@@ -910,14 +1023,10 @@ class CHRISRuntime:
                 status = bool(
                     systems.get(subject.subject_id, self.system).connected
                 )
-                if status not in configuration_by_status:
-                    configuration_by_status[status] = self.engine.select_or_closest(
-                        constraint, connected=status
-                    )
                 plans.append(
                     self._plan_plain(
                         subject,
-                        configuration_by_status[status],
+                        configuration_for(status),
                         use_oracle_difficulty,
                         route=route,
                         connected=status,
@@ -1036,11 +1145,14 @@ class CHRISRuntime:
 
         Window order within each group is subject-major with recording
         order inside every subject — exactly the order in which sequential
-        replay feeds each predictor, which is what makes the fused
-        ``predict`` calls bit-identical.  Predictors that cannot legally
-        fuse across the per-subject ``reset()`` boundary
-        (``FLEET_BATCHABLE = False``) are dispatched one batch per
-        ``(model, subject)`` segment with those boundaries re-enacted.
+        replay feeds each predictor, which is what makes the fused calls
+        bit-identical.  Stateless predictors (``FLEET_BATCHABLE = True``)
+        fuse into one batch ``predict`` per model; stateful predictors
+        fuse into one ``predict_fleet`` per model with a subject-index
+        vector and a fresh :class:`~repro.models.base.FleetState` whose
+        slots re-enact the per-subject ``reset()`` boundaries (or, with
+        ``stacked_state=False``, fall back to one batch per ``(model,
+        subject)`` segment).
 
         With heterogeneous ``systems`` the cost fill additionally groups
         windows by hardware revision, so each ``(deployment, target)``
@@ -1049,6 +1161,7 @@ class CHRISRuntime:
         counts = [s.n_windows for s in subjects]
         bounds = np.concatenate([[0], np.cumsum(counts)])
         n_total = int(bounds[-1])
+        window_slots = np.repeat(np.arange(len(subjects), dtype=np.intp), counts)
         model_codes = np.concatenate([p.model_codes for p in plans])
         offloaded = np.concatenate([p.offloaded for p in plans])
         hr = np.concatenate([np.asarray(s.hr, dtype=float) for s in subjects])
@@ -1057,7 +1170,12 @@ class CHRISRuntime:
 
         for code, name in enumerate(self.zoo.names):
             predictor = self.zoo.entry(name).predictor
-            if predictor.FLEET_BATCHABLE:
+            if predictor.FLEET_BATCHABLE or self.stacked_state:
+                if not predictor.FLEET_BATCHABLE:
+                    # Stateful fused dispatch: per-run instance state is
+                    # reset once; the per-subject boundaries sequential
+                    # replay re-enacts live in the fresh state slots below.
+                    predictor.reset()
                 idx = np.flatnonzero(model_codes == code)
                 if idx.size == 0:
                     continue
@@ -1075,14 +1193,29 @@ class CHRISRuntime:
                         ]
                     )
                 else:
-                    template = subjects[0].ppg_windows
+                    # Signal-free predictors only need the batch length;
+                    # the template row comes from any non-empty subject
+                    # (a fleet whose first subject has zero windows must
+                    # not broadcast an empty template).
+                    template = _fleet_signal_template(subjects)
                     ppg = np.broadcast_to(
-                        template[:1], (idx.size,) + template.shape[1:]
+                        template, (idx.size,) + template.shape[1:]
                     )
                     accel = None
-                predictions = predictor.predict(
-                    ppg, accel, true_hr=hr[idx], activity=activity[idx]
-                )
+                if predictor.FLEET_BATCHABLE:
+                    predictions = predictor.predict(
+                        ppg, accel, true_hr=hr[idx], activity=activity[idx]
+                    )
+                else:
+                    state = predictor.make_fleet_state(len(subjects))
+                    predictions = predictor.predict_fleet(
+                        ppg,
+                        accel,
+                        subject_index=window_slots[idx],
+                        state=state,
+                        true_hr=hr[idx],
+                        activity=activity[idx],
+                    )
                 predicted_hr[idx] = np.asarray(predictions, dtype=float)
             else:
                 for offset, subject, plan in zip(bounds[:-1], subjects, plans):
@@ -1130,6 +1263,26 @@ class CHRISRuntime:
         else:
             group_masks = [None]
 
+        if len(group_systems) == 1:
+            # Homogeneous fleet: fill costs through a small per-(model,
+            # target) value table and one gather per cost field instead
+            # of a boolean mask pass per combination.  Only combinations
+            # the plan actually routes are looked up (and memoized).
+            system = group_systems[0]
+            packed = model_codes * 2 + offloaded
+            lut = np.zeros((2 * len(self.zoo.names), len(_COST_FIELDS)))
+            for key in np.flatnonzero(
+                np.bincount(packed, minlength=lut.shape[0])
+            ):
+                code, is_offloaded = divmod(int(key), 2)
+                target = ExecutionTarget.PHONE if is_offloaded else ExecutionTarget.WATCH
+                cost = system.cached_prediction_cost(
+                    self.zoo.entry(self.zoo.names[code]).deployment, target
+                )
+                lut[key] = _cost_values(cost)
+            cost_arrays = tuple(lut[packed, j] for j in range(len(_COST_FIELDS)))
+            return predicted_hr, cost_arrays
+
         cost_arrays = tuple(np.empty(n_total, dtype=float) for _ in _COST_FIELDS)
         for code, name in enumerate(self.zoo.names):
             deployment = self.zoo.entry(name).deployment
@@ -1139,8 +1292,8 @@ class CHRISRuntime:
                     continue
                 target = ExecutionTarget.PHONE if is_offloaded else ExecutionTarget.WATCH
                 for system, group_mask in zip(group_systems, group_masks):
-                    mask = base_mask if group_mask is None else base_mask & group_mask
-                    if group_mask is not None and not np.any(mask):
+                    mask = base_mask & group_mask
+                    if not np.any(mask):
                         continue
                     cost = system.cached_prediction_cost(deployment, target)
                     for array, value in zip(cost_arrays, _cost_values(cost)):

@@ -18,7 +18,12 @@ A dispatcher thread drains the arrival queue into *batches*: every
 session waiting when the dispatcher wakes (bounded by
 ``max_batch_size``) is planned and executed as one cross-subject
 mega-batch (:meth:`~repro.core.runtime.CHRISRuntime._run_many_planned`),
-dispatched onto a bounded worker pool of ``max_workers`` threads.  Under
+dispatched onto a bounded worker pool of ``max_workers`` threads.
+Stateful predictors ride the same fused path: each mega-batch allocates
+a stacked :class:`~repro.models.base.FleetState` with one state slot
+per session it fuses — an arriving session gets a fresh slot in the
+batch that executes it, and a session retired while still queued is
+never planned and never occupies one.  Under
 load, arrivals therefore coalesce into large fused ``predict`` calls —
 the same amortization that makes mega-batched ``run_many`` several times
 faster than per-subject replay — while a lightly loaded scheduler

@@ -24,8 +24,12 @@ import numpy as np
 
 from repro.core.decision_engine import Constraint
 from repro.core.fleet import FleetExecutor
+from repro.core.runtime import CHRISRuntime
 from repro.core.scheduler import FleetScheduler, SessionState
+from repro.core.zoo import ModelsZoo, ZooEntry
 from repro.data.dataset import WindowedSubject
+from repro.models.error_model import SmoothedCalibratedHRModel
+from repro.models.spectral_tracker import SpectralHRPredictor
 from repro.signal.windowing import DEFAULT_WINDOW_SPEC
 
 
@@ -241,6 +245,119 @@ def benchmark_fleet(
         "mae_bpm": mega.mae_bpm,
         "offload_fraction": mega.offload_fraction,
         "decisions_identical": bool(identical(mega) and identical(pool)),
+    }
+
+
+def stateful_zoo(
+    zoo: ModelsZoo, smoothing: float = 0.5, spectral: str | None = "AT"
+) -> ModelsZoo:
+    """A stateful-heavy twin of a calibrated zoo.
+
+    Every predictor becomes a stateful tracker (``FLEET_BATCHABLE =
+    False``): the ``spectral`` deployment gets a real
+    :class:`~repro.models.spectral_tracker.SpectralHRPredictor` (a
+    signal-reading tracker whose per-window path cannot be batched by
+    the legacy dispatch — its tracking recurrence forces one
+    ``predict_window`` per window), the others become
+    :class:`~repro.models.error_model.SmoothedCalibratedHRModel` twins
+    continuing the original's exact random stream.  Deployments are
+    untouched, so engine configurations stay valid.  This is the zoo the
+    stacked-state fleet benchmark and equivalence tests replay.
+    """
+    twin = ModelsZoo()
+    for entry in zoo:
+        if entry.name == spectral:
+            predictor: object = SpectralHRPredictor()
+        else:
+            predictor = SmoothedCalibratedHRModel.from_calibrated(
+                entry.predictor, smoothing=smoothing
+            )
+        twin.add(ZooEntry(predictor=predictor, deployment=entry.deployment))
+    return twin
+
+
+def benchmark_stateful_fleet(
+    experiment,
+    n_subjects: int = 50,
+    n_windows_per_subject: int = 2_000,
+    constraint: Constraint | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+    smoothing: float = 0.5,
+) -> dict:
+    """Measure stacked-state fused dispatch against the per-subject fallback.
+
+    The whole zoo is made stateful (:func:`stateful_zoo`: a spectral
+    tracker plus smoothed calibrated trackers, all ``FLEET_BATCHABLE =
+    False``), so *every* window rides the stateful dispatch.  Two paths
+    replay the same fleet from identical predictor state:
+
+    * **fallback** — mega-batched with ``stacked_state=False``: one
+      batch per ``(model, subject)`` segment, each replaying its stream
+      sequentially (the pre-stacked-state behaviour; for the spectral
+      tracker that means one Python ``predict_window`` — and its FFTs —
+      per window);
+    * **stacked** — mega-batched with ``stacked_state=True``: one fused
+      ``predict_fleet`` call per model — state-free work (spectra, error
+      draws) vectorized over the whole stack, the tracking recurrences
+      advancing all subjects in lock-step.
+
+    The fallback is timed once (it is a multi-second measurement, where
+    run-to-run noise is negligible); the stacked path reports the best
+    of ``repeats``.  A ``decisions_identical`` flag confirms the two
+    dispatches replayed every window bit-identically.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    constraint = constraint or Constraint.max_mae(5.60)
+    subjects = synthetic_fleet(
+        n_subjects=n_subjects, n_windows_per_subject=n_windows_per_subject, seed=seed
+    )
+    n_windows_total = sum(s.n_windows for s in subjects)
+    configuration = experiment.engine.select_or_closest(constraint, connected=True)
+    zoo = stateful_zoo(experiment.zoo, smoothing=smoothing)
+
+    def timed(stacked_state: bool, n_repeats: int):
+        best = float("inf")
+        result = None
+        for _ in range(n_repeats):
+            runtime = CHRISRuntime(
+                zoo=copy.deepcopy(zoo),
+                engine=experiment.engine,
+                system=experiment.system,
+                stacked_state=stacked_state,
+            )
+            start = time.perf_counter()
+            result = runtime.run_many(
+                subjects, constraint, use_oracle_difficulty=True, mega_batched=True
+            )
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    fallback, fallback_s = timed(stacked_state=False, n_repeats=1)
+    stacked, stacked_s = timed(stacked_state=True, n_repeats=repeats)
+
+    decisions_identical = fallback.subject_ids == stacked.subject_ids and all(
+        fallback.results[sid] == stacked.results[sid]
+        for sid in fallback.subject_ids
+    )
+    return {
+        "n_subjects": int(n_subjects),
+        "n_windows_per_subject": int(n_windows_per_subject),
+        "n_windows_total": int(n_windows_total),
+        "configuration": configuration.label(),
+        "n_stateful_models": sum(
+            1 for entry in zoo if not entry.predictor.FLEET_BATCHABLE
+        ),
+        "smoothing": float(smoothing),
+        "fallback_seconds": fallback_s,
+        "stacked_seconds": stacked_s,
+        "fallback_windows_per_s": n_windows_total / fallback_s,
+        "stacked_windows_per_s": n_windows_total / stacked_s,
+        "stacked_speedup": fallback_s / stacked_s,
+        "mae_bpm": stacked.mae_bpm,
+        "offload_fraction": stacked.offload_fraction,
+        "decisions_identical": bool(decisions_identical),
     }
 
 

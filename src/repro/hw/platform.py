@@ -23,6 +23,7 @@ can be configured to study what happens when that assumption is dropped
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -93,7 +94,15 @@ class CostTableRegistry:
     instead of recomputing them.
 
     A module-level instance (:data:`SHARED_COST_REGISTRY`) backs every
-    :class:`WearableSystem` that is not given a private registry.
+    :class:`WearableSystem` that is not given a private registry — which
+    makes the registry genuinely shared mutable state: the fleet
+    scheduler's dispatcher thread profiles tables while worker threads
+    read them (and, on a cold registry, several threads may fill
+    concurrently).  Every table fill, read and serialization therefore
+    takes an internal re-entrant lock; the lock is excluded from
+    pickling/deep-copying (each copy gets a fresh one), so registries
+    still travel to pool workers and through ``copy.deepcopy`` exactly
+    as before.
     """
 
     def __init__(self) -> None:
@@ -104,21 +113,43 @@ class CostTableRegistry:
         #: shipped the wrong or a partial table, which silent
         #: re-profiling would mask.
         self.strict = False
+        #: Guards ``_tables`` against concurrent fills/reads; re-entrant
+        #: because :meth:`profile_system` holds it across its
+        #: :meth:`lookup` calls so a profiling pass is atomic.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        # Snapshot under the lock; the lock itself cannot (and must not)
+        # travel across pickling or deepcopy.
+        with self._lock:
+            state = dict(self.__dict__)
+            state.pop("_lock")
+            state["_tables"] = {
+                revision: dict(table) for revision, table in self._tables.items()
+            }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- inspection
     @property
     def n_revisions(self) -> int:
         """Number of distinct hardware revisions profiled so far."""
-        return len(self._tables)
+        with self._lock:
+            return len(self._tables)
 
     @property
     def n_entries(self) -> int:
         """Total number of memoized ``(deployment, target)`` costs."""
-        return sum(len(t) for t in self._tables.values())
+        with self._lock:
+            return sum(len(t) for t in self._tables.values())
 
     def revisions(self) -> list[tuple]:
         """The profiled hardware-revision keys."""
-        return list(self._tables)
+        with self._lock:
+            return list(self._tables)
 
     # ---------------------------------------------------------------- lookup
     def lookup(
@@ -139,15 +170,16 @@ class CostTableRegistry:
         """
         if self.strict:
             return self.cost_for(system, deployment, target)
-        table = self._tables.setdefault(system.hardware_revision(), {})
         key = (deployment, target)
-        cost = table.get(key)
-        if cost is None:
-            if target is ExecutionTarget.WATCH:
-                cost = system.local_prediction_cost(deployment)
-            else:
-                cost = system.offloaded_cost(deployment)
-            table[key] = cost
+        with self._lock:
+            table = self._tables.setdefault(system.hardware_revision(), {})
+            cost = table.get(key)
+            if cost is None:
+                if target is ExecutionTarget.WATCH:
+                    cost = system.local_prediction_cost(deployment)
+                else:
+                    cost = system.offloaded_cost(deployment)
+                table[key] = cost
         return cost
 
     def profile_system(
@@ -157,11 +189,15 @@ class CostTableRegistry:
 
         Returns the system's revision key; after this call every lookup a
         fleet run can make for these deployments is a pure dictionary hit,
-        so the table can be serialized and shipped to workers.
+        so the table can be serialized and shipped to workers.  The whole
+        pass holds the registry lock (re-entrantly across the lookups),
+        so a concurrent serialization never observes a half-profiled
+        system.
         """
-        for deployment in deployments:
-            for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
-                self.lookup(system, deployment, target)
+        with self._lock:
+            for deployment in deployments:
+                for target in (ExecutionTarget.WATCH, ExecutionTarget.PHONE):
+                    self.lookup(system, deployment, target)
         return system.hardware_revision()
 
     def cost_for(
@@ -180,13 +216,14 @@ class CostTableRegistry:
         fails loudly instead of being papered over by recomputation.
         """
         revision = system.hardware_revision()
-        table = self._tables.get(revision)
-        if table is None:
-            raise CostTableError(
-                f"no cost table for hardware revision {revision}; "
-                f"profiled revisions: {sorted(map(str, self._tables)) or 'none'}"
-            )
-        cost = table.get((deployment, target))
+        with self._lock:
+            table = self._tables.get(revision)
+            if table is None:
+                raise CostTableError(
+                    f"no cost table for hardware revision {revision}; "
+                    f"profiled revisions: {sorted(map(str, self._tables)) or 'none'}"
+                )
+            cost = table.get((deployment, target))
         if cost is None:
             raise CostTableError(
                 f"cost table for hardware revision {revision} is partial: "
@@ -197,11 +234,13 @@ class CostTableRegistry:
 
     def drop(self, revision: tuple) -> None:
         """Forget one revision's table (no-op when absent)."""
-        self._tables.pop(revision, None)
+        with self._lock:
+            self._tables.pop(revision, None)
 
     def clear(self) -> None:
         """Forget every profiled table."""
-        self._tables.clear()
+        with self._lock:
+            self._tables.clear()
 
     # ------------------------------------------------------------- serialization
     def to_json(self) -> str:
@@ -211,6 +250,10 @@ class CostTableRegistry:
         with ``repr`` precision), so a table loaded in a worker process
         produces bit-identical costs to the parent's.
         """
+        with self._lock:
+            snapshot = {
+                revision: dict(table) for revision, table in self._tables.items()
+            }
         payload = [
             {
                 "revision": list(revision),
@@ -223,7 +266,7 @@ class CostTableRegistry:
                     for (deployment, target), cost in table.items()
                 ],
             }
-            for revision, table in self._tables.items()
+            for revision, table in snapshot.items()
         ]
         return json.dumps(payload)
 
@@ -300,11 +343,21 @@ class CostTableRegistry:
         return cls.from_json(text)
 
     def merge(self, other: "CostTableRegistry") -> None:
-        """Adopt every entry of ``other`` (existing entries win)."""
-        for revision, table in other._tables.items():
-            mine = self._tables.setdefault(revision, {})
-            for key, cost in table.items():
-                mine.setdefault(key, cost)
+        """Adopt every entry of ``other`` (existing entries win).
+
+        The two locks are taken sequentially (snapshot ``other``, then
+        fill ``self``), never nested, so concurrent merges in opposite
+        directions cannot deadlock.
+        """
+        with other._lock:
+            snapshot = {
+                revision: dict(table) for revision, table in other._tables.items()
+            }
+        with self._lock:
+            for revision, table in snapshot.items():
+                mine = self._tables.setdefault(revision, {})
+                for key, cost in table.items():
+                    mine.setdefault(key, cost)
 
 
 #: Registry backing every :class:`WearableSystem` without a private one:

@@ -16,7 +16,7 @@ paper's per-model accuracy on a synthetic corpus, and a registry mapping
 model names to constructors and to the paper-reported reference numbers.
 """
 
-from repro.models.base import HeartRatePredictor, PredictorInfo
+from repro.models.base import FleetStack, FleetState, HeartRatePredictor, PredictorInfo
 from repro.models.adaptive_threshold import AdaptiveThresholdPredictor
 from repro.models.spectral_tracker import SpectralHRPredictor
 from repro.models.timeppg import (
@@ -29,11 +29,15 @@ from repro.models.timeppg import (
 from repro.models.error_model import (
     CalibratedHRModel,
     PAPER_ACTIVITY_MAE_PROFILES,
+    SmoothedCalibratedHRModel,
     calibrated_model_zoo,
+    smoothed_calibrated_zoo,
 )
 from repro.models.registry import MODEL_REGISTRY, PAPER_MODEL_STATS, create_model
 
 __all__ = [
+    "FleetStack",
+    "FleetState",
     "HeartRatePredictor",
     "PredictorInfo",
     "AdaptiveThresholdPredictor",
@@ -44,8 +48,10 @@ __all__ = [
     "TIMEPPG_SMALL_CONFIG",
     "build_timeppg_network",
     "CalibratedHRModel",
+    "SmoothedCalibratedHRModel",
     "PAPER_ACTIVITY_MAE_PROFILES",
     "calibrated_model_zoo",
+    "smoothed_calibrated_zoo",
     "MODEL_REGISTRY",
     "PAPER_MODEL_STATS",
     "create_model",

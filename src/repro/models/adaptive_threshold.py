@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.base import HeartRatePredictor, PredictorInfo
+from repro.models.base import FleetState, HeartRatePredictor, PredictorInfo
 from repro.signal.peaks import adaptive_threshold_peaks, peak_intervals_to_bpm
 
 #: Operation count per window used for energy modelling.  The algorithm
@@ -75,6 +75,48 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         ppg_window = np.asarray(ppg_window, dtype=float)
         if ppg_window.ndim != 1:
             raise ValueError(f"AT expects a 1-D PPG window, got shape {ppg_window.shape}")
+        return self._with_fallback(self._raw_window_estimate(ppg_window))
+
+    def _raw_window_estimate(self, ppg_window: np.ndarray) -> float:
+        """State-free peak-interval estimate (NaN when no valid interval).
+
+        Shared by the scalar path and the fused fleet path, so the two
+        can never diverge on the raw estimate.
+        """
         peaks = adaptive_threshold_peaks(ppg_window, window=self.window)
-        bpm = peak_intervals_to_bpm(peaks, fs=self.fs, min_bpm=self.min_bpm, max_bpm=self.max_bpm)
-        return self._with_fallback(bpm)
+        return peak_intervals_to_bpm(
+            peaks, fs=self.fs, min_bpm=self.min_bpm, max_bpm=self.max_bpm
+        )
+
+    # ---------------------------------------------------------------- fleet
+    def predict_fleet(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        subject_index: np.ndarray | None = None,
+        state: FleetState | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Stacked-state fused prediction over many subjects' streams.
+
+        The raw peak-interval estimate is state-free per window; AT's
+        only temporal state is the NaN fallback (no-peak windows reuse
+        the last valid estimate), which is applied vectorized per state
+        slot — bit-identical to per-subject replay.
+        """
+        if subject_index is None or state is None:
+            raise TypeError("predict_fleet requires subject_index and state")
+        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        if ppg_windows.ndim != 2:
+            raise ValueError(
+                f"AT expects (n, length) PPG windows, got shape {ppg_windows.shape}"
+            )
+        subject_index = self._check_fleet_stack(
+            ppg_windows.shape[0], subject_index, state
+        )
+        raw = np.empty(ppg_windows.shape[0])
+        for i in range(ppg_windows.shape[0]):
+            raw[i] = self._raw_window_estimate(ppg_windows[i])
+        out = self._with_fallback_fleet(raw, subject_index, state)
+        self.reset()
+        return out

@@ -27,12 +27,13 @@ Pareto fronts, constraint selections) reproduces the paper's shape.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.activities import Activity, difficulties_of, difficulty_of
-from repro.models.base import HeartRatePredictor, PredictorInfo
+from repro.models.base import FleetStack, FleetState, HeartRatePredictor, PredictorInfo
 
 #: Per-difficulty-level MAE profiles (index 0 = difficulty 1 … index 8 =
 #: difficulty 9), in BPM.  Each profile averages exactly to the overall
@@ -194,6 +195,27 @@ class CalibratedHRModel(HeartRatePredictor):
         errors = self._rng.laplace(0.0, mae)
         return np.clip(true_hr + errors, 30.0, 220.0)
 
+    def predict_fleet(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        subject_index: np.ndarray | None = None,
+        state: FleetState | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Fused multi-subject prediction: one Laplace batch for the stack.
+
+        Predictions read no per-subject temporal state, so the stacked
+        call is a single :meth:`predict`; the subject-major window order
+        guarantees the generator's bitstream is consumed exactly as
+        per-subject sequential replay would.
+        """
+        if subject_index is None or state is None:
+            raise TypeError("predict_fleet requires subject_index and state")
+        n = np.asarray(ppg_windows).shape[0]
+        self._check_fleet_stack(n, subject_index, state)
+        return self.predict(ppg_windows, accel_windows, **context)
+
     def advance_fleet_state(self, n_windows: int) -> None:
         """Consume exactly the random variates ``n_windows`` predictions would.
 
@@ -212,6 +234,152 @@ class CalibratedHRModel(HeartRatePredictor):
         return self._rng.bit_generator.state
 
 
+class SmoothedCalibratedHRModel(CalibratedHRModel):
+    """Calibrated error model with a temporal smoothing tracker (stateful).
+
+    On top of the parent's per-activity Laplace error, every estimate is
+    exponentially smoothed toward the previous one — the first-order
+    tracking filter classical HR pipelines run on-device.  Reading
+    ``_last_estimate`` makes predictions depend on per-run temporal
+    state, so the model is **not** fleet-batchable: sequential replay's
+    per-subject ``reset()`` boundaries matter.  It is the workhorse of
+    the stacked-state fleet benchmarks — a zoo of these exercises the
+    :meth:`predict_fleet` lock-step path end to end.
+
+    Parameters
+    ----------
+    profile, reference_info, fs, seed:
+        As in :class:`CalibratedHRModel`.
+    smoothing:
+        Weight of the previous estimate in ``[0, 1)``; 0 disables the
+        tracker (but keeps the stateful dispatch).
+    """
+
+    FLEET_BATCHABLE = False
+
+    def __init__(
+        self,
+        profile: ErrorProfile,
+        reference_info: PredictorInfo | None = None,
+        fs: float = 32.0,
+        seed: int = 0,
+        smoothing: float = 0.5,
+    ) -> None:
+        super().__init__(profile=profile, reference_info=reference_info, fs=fs, seed=seed)
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError(f"smoothing must lie in [0, 1), got {smoothing}")
+        self.smoothing = smoothing
+
+    @classmethod
+    def from_calibrated(
+        cls, model: CalibratedHRModel, smoothing: float = 0.5
+    ) -> "SmoothedCalibratedHRModel":
+        """A smoothed twin of ``model`` continuing its exact random stream."""
+        smoothed = cls(
+            profile=model.profile,
+            reference_info=model.info,
+            fs=model.fs,
+            smoothing=smoothing,
+        )
+        smoothed._rng = copy.deepcopy(model._rng)
+        return smoothed
+
+    def predict_window(
+        self,
+        ppg_window: np.ndarray,
+        accel_window: np.ndarray | None = None,
+        **context,
+    ) -> float:
+        raw = CalibratedHRModel.predict_window(self, ppg_window, accel_window, **context)
+        if self._last_estimate is not None:
+            raw = self.smoothing * self._last_estimate + (1.0 - self.smoothing) * raw
+        return self._with_fallback(raw)
+
+    def predict(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Per-subject batch: vectorized error draws, sequential smoothing scan.
+
+        The Laplace errors are drawn in one vectorized call (same
+        bitstream as per-window draws); the smoothing recurrence is
+        inherently sequential along one subject's stream, so it scans in
+        Python — the per-subject cost the stacked fleet path amortizes.
+        """
+        raw = CalibratedHRModel.predict(self, ppg_windows, accel_windows, **context)
+        out = np.empty(raw.shape[0])
+        last = self._last_estimate
+        s = self.smoothing
+        c = 1.0 - s
+        for i in range(raw.shape[0]):
+            r = float(raw[i])
+            if last is not None:
+                r = s * last + c * r
+            last = r
+            out[i] = r
+        if out.shape[0]:
+            self._last_estimate = last
+        return out
+
+    def predict_fleet(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        subject_index: np.ndarray | None = None,
+        state: FleetState | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Stacked-state fused prediction: lock-step smoothing across slots.
+
+        One vectorized error draw for the whole stack (subject-major
+        order keeps the bitstream identical to per-subject replay), then
+        the smoothing recurrence advances **all** subjects one stream
+        position per step — ``max_len`` vector operations instead of one
+        Python iteration per window.
+        """
+        if subject_index is None or state is None:
+            raise TypeError("predict_fleet requires subject_index and state")
+        raw = CalibratedHRModel.predict(self, ppg_windows, accel_windows, **context)
+        subject_index = self._check_fleet_stack(raw.shape[0], subject_index, state)
+        if raw.size == 0:
+            return raw
+        stack = FleetStack(subject_index, state.n_slots)
+        dense = stack.stack_steps(raw)
+        out = np.empty_like(dense)
+        est = stack.gather_slots(state.last_estimate)
+        s = self.smoothing
+        # The innovation term is state-free: pre-scale every window in
+        # one vectorized pass, leaving two in-place ufuncs per step.
+        # ``(1.0 - s) * raw`` matches the scalar path's ``c * r`` exactly.
+        scaled = (1.0 - s) * dense
+        # Step 0 is the only step where a slot can lack a previous
+        # estimate (each participating slot's first window sits at
+        # stream position 0); later steps always smooth.
+        with np.errstate(invalid="ignore"):
+            out[0] = np.where(np.isnan(est), dense[0], s * est + scaled[0])
+        if stack.uniform:
+            # Full-width streams: each row smooths the previous one
+            # in place — no per-step width bookkeeping.
+            for t in range(1, dense.shape[0]):
+                row = out[t]
+                np.multiply(out[t - 1], s, out=row)
+                np.add(row, scaled[t], out=row)
+            est = out[-1].copy() if dense.shape[0] else est
+        else:
+            est[: stack.widths[0]] = out[0, : stack.widths[0]]
+            for t in range(1, dense.shape[0]):
+                k = int(stack.widths[t])
+                e = est[:k]
+                np.multiply(e, s, out=e)
+                np.add(e, scaled[t, :k], out=e)
+                out[t, :k] = e
+        stack.scatter_slots(est, state.last_estimate)
+        self.reset()
+        return stack.unstack_steps(out)
+
+
 def calibrated_model_zoo(seed: int = 0) -> dict[str, CalibratedHRModel]:
     """The three paper models as calibrated error models, keyed by name."""
     from repro.models.adaptive_threshold import AT_OPERATIONS_PER_WINDOW
@@ -228,3 +396,18 @@ def calibrated_model_zoo(seed: int = 0) -> dict[str, CalibratedHRModel]:
             profile=profile, reference_info=infos[name], seed=seed + offset
         )
     return zoo
+
+
+def smoothed_calibrated_zoo(
+    seed: int = 0, smoothing: float = 0.5
+) -> dict[str, SmoothedCalibratedHRModel]:
+    """The three paper models as *stateful* smoothed error models.
+
+    A stateful-heavy twin of :func:`calibrated_model_zoo` (same profiles,
+    same random streams, ``FLEET_BATCHABLE = False``), used to exercise
+    and benchmark the stacked-state fleet dispatch.
+    """
+    return {
+        name: SmoothedCalibratedHRModel.from_calibrated(model, smoothing=smoothing)
+        for name, model in calibrated_model_zoo(seed=seed).items()
+    }

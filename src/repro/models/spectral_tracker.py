@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.base import HeartRatePredictor, PredictorInfo
-from repro.signal.spectral import HR_BAND_HZ, power_spectrum
+from repro.models.base import FleetStack, FleetState, HeartRatePredictor, PredictorInfo
+from repro.signal.spectral import HR_BAND_HZ, power_spectrum, power_spectrum_batch
 
 #: Approximate operation count: one 1024-point FFT (~5 N log2 N real
 #: operations) per channel plus the band search.
@@ -108,3 +108,93 @@ class SpectralHRPredictor(HeartRatePredictor):
                 + (1.0 - self.tracking_weight) * bpm
             )
         return self._with_fallback(bpm)
+
+    # ---------------------------------------------------------------- fleet
+    def _raw_band_peaks(
+        self, ppg_windows: np.ndarray, accel_windows: np.ndarray | None
+    ) -> np.ndarray:
+        """State-free dominant-band estimates (BPM) for a batch of windows.
+
+        Vectorized version of the state-independent half of
+        :meth:`predict_window`: batched spectra, batched accelerometer
+        suppression, per-row band argmax.  NaN where no positive band
+        peak exists.  Each row is bit-identical to the scalar path.
+        """
+        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        if ppg_windows.ndim != 2:
+            raise ValueError(
+                f"expected (n, length) PPG windows, got shape {ppg_windows.shape}"
+            )
+        freqs, power = power_spectrum_batch(ppg_windows, self.fs)
+
+        if accel_windows is not None and self.accel_suppression > 0:
+            accel_windows = np.asarray(accel_windows, dtype=float)
+            if accel_windows.ndim == 2:
+                accel_windows = accel_windows[:, :, None]
+            accel_power = np.zeros_like(power)
+            nfft = 2 * (freqs.size - 1)
+            for axis in range(accel_windows.shape[2]):
+                _, p = power_spectrum_batch(
+                    accel_windows[:, :, axis], self.fs, nfft=nfft
+                )
+                accel_power += p[:, : power.shape[1]]
+            peak = accel_power.max(axis=1)
+            rows = peak > 0
+            if np.any(rows):
+                power[rows] = power[rows] / (
+                    1.0 + self.accel_suppression * accel_power[rows] / peak[rows, None]
+                )
+
+        mask = (freqs >= self.band[0]) & (freqs <= self.band[1])
+        band_freqs = freqs[mask]
+        band_power = power[:, mask]
+        bpm = np.full(ppg_windows.shape[0], np.nan)
+        if band_freqs.size:
+            best = np.argmax(band_power, axis=1)
+            has_peak = band_power[np.arange(best.size), best] > 0
+            bpm[has_peak] = 60.0 * band_freqs[best[has_peak]]
+        return bpm
+
+    def predict_fleet(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        subject_index: np.ndarray | None = None,
+        state: FleetState | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Stacked-state fused prediction over many subjects' streams.
+
+        The dominant-band estimate is state-free and computed for all
+        windows at once; the tracking smoother and the NaN fallback are
+        the only recurrences, so they run in lock-step — one vector step
+        per stream position over the per-subject state slots — which is
+        bit-identical to replaying each subject alone.
+        """
+        if subject_index is None or state is None:
+            raise TypeError("predict_fleet requires subject_index and state")
+        raw = self._raw_band_peaks(ppg_windows, accel_windows)
+        subject_index = self._check_fleet_stack(raw.shape[0], subject_index, state)
+        if raw.size == 0:
+            return raw
+        stack = FleetStack(subject_index, state.n_slots)
+        dense = stack.stack_steps(raw)
+        out = np.empty_like(dense)
+        est = stack.gather_slots(state.last_estimate)
+        w = self.tracking_weight
+        with np.errstate(invalid="ignore"):
+            for t in range(dense.shape[0]):
+                k = int(stack.widths[t])
+                bpm = dense[t, :k]
+                e = est[:k]
+                invalid = np.isnan(bpm)
+                has_last = ~np.isnan(e)
+                jump = has_last & ~invalid & (np.abs(bpm - e) > 25.0)
+                bpm = np.where(jump, w * e + (1.0 - w) * bpm, bpm)
+                out[t, :k] = np.where(
+                    invalid, np.where(has_last, e, self.FALLBACK_BPM), bpm
+                )
+                est[:k] = np.where(invalid, e, bpm)
+        stack.scatter_slots(est, state.last_estimate)
+        self.reset()
+        return stack.unstack_steps(out)

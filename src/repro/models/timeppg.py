@@ -241,3 +241,32 @@ class TimePPGPredictor(HeartRatePredictor):
     ) -> float:
         accel = None if accel_window is None else np.asarray(accel_window)[None, ...]
         return float(self.predict(np.asarray(ppg_window)[None, :], accel)[0])
+
+    # ---------------------------------------------------------------- fleet
+    def predict_fleet(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        subject_index: np.ndarray | None = None,
+        state: "np.ndarray | None" = None,
+        **context,
+    ) -> np.ndarray:
+        """Fused fleet prediction with per-subject forward batches.
+
+        The TCN forward reads no temporal state, but its dense/conv
+        layers go through BLAS, whose accumulation blocking depends on
+        the batch shape — the same row is not bit-identical across
+        different batch sizes (gemv vs gemm kernels).  Fusing subjects
+        would therefore shift the 64-window chunk boundaries relative
+        to sequential replay and change low-order bits.  The reference
+        per-subject dispatch keeps every chunk boundary exactly where
+        sequential replay puts it, so ``FLEET_BATCHABLE`` stays
+        ``False`` and the fused call delegates per subject.
+        """
+        return super().predict_fleet(
+            ppg_windows,
+            accel_windows,
+            subject_index=subject_index,
+            state=state,
+            **context,
+        )

@@ -43,6 +43,31 @@ def power_spectrum(x: np.ndarray, fs: float, nfft: int | None = None) -> tuple[n
     return freqs, power
 
 
+def power_spectrum_batch(
+    x: np.ndarray, fs: float, nfft: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided power spectra of a batch of equally long 1-D signals.
+
+    Returns ``(freqs, power)`` with ``power`` of shape ``(n, freqs.size)``.
+    Row ``i`` is bit-identical to ``power_spectrum(x[i], fs, nfft)`` —
+    NumPy's mean reduction and FFT process each row of a batch exactly
+    like the standalone 1-D call, which the batched predictors rely on
+    for exact equivalence with the per-window reference path.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"power_spectrum_batch expects (n, length), got shape {x.shape}")
+    if x.shape[1] == 0:
+        raise ValueError("power_spectrum_batch received empty signals")
+    if nfft is None:
+        nfft = max(256, 4 * x.shape[1])
+    window = np.hanning(x.shape[1])
+    spectrum = np.fft.rfft((x - x.mean(axis=-1, keepdims=True)) * window, n=nfft, axis=-1)
+    power = np.abs(spectrum) ** 2
+    freqs = np.fft.rfftfreq(nfft, d=1.0 / fs)
+    return freqs, power
+
+
 def welch_spectrum(
     x: np.ndarray,
     fs: float,

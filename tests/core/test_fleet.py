@@ -39,9 +39,10 @@ def assert_fleets_identical(a: FleetResult, b: FleetResult) -> None:
     assert a.subject_ids == b.subject_ids
     for sid in a.subject_ids:
         assert_results_identical(a.results[sid], b.results[sid])
-    assert a.mae_bpm == b.mae_bpm
-    assert a.mean_watch_energy_j == b.mean_watch_energy_j
-    assert a.offload_fraction == b.offload_fraction
+    # NaN-tolerant: an all-empty fleet has undefined (NaN) aggregates.
+    np.testing.assert_array_equal(a.mae_bpm, b.mae_bpm)
+    np.testing.assert_array_equal(a.mean_watch_energy_j, b.mean_watch_energy_j)
+    np.testing.assert_array_equal(a.offload_fraction, b.offload_fraction)
 
 
 def half_disconnected_trace(n: int) -> np.ndarray:
@@ -494,3 +495,103 @@ class TestExperimentWiring:
                 .mae_bpm
             )
             assert fold.mae_per_model["CHRIS"] == expected
+
+
+class TestZeroWindowSubjects:
+    """Fleets legitimately contain devices that produced no windows yet.
+
+    Regression for the fused template broadcast: a fleet whose *first*
+    subject had zero windows broadcast an empty ``(0, ...)`` template
+    for signal-free predictors and failed.  Zero-window subjects must
+    ride every multi-subject path and contribute an empty result.
+    """
+
+    @staticmethod
+    def empty_subject(template, subject_id="empty"):
+        from repro.data.dataset import WindowedSubject
+
+        return WindowedSubject(
+            subject_id=subject_id,
+            ppg_windows=np.zeros((0,) + template.ppg_windows.shape[1:]),
+            accel_windows=np.zeros((0,) + template.accel_windows.shape[1:]),
+            activity=np.zeros(0, dtype=int),
+            hr=np.zeros(0, dtype=float),
+            spec=template.spec,
+        )
+
+    def fleet(self, small_dataset):
+        subjects = small_dataset.subjects
+        return [
+            self.empty_subject(subjects[0], "empty-first"),
+            subjects[0],
+            self.empty_subject(subjects[0], "empty-mid"),
+            subjects[1],
+        ]
+
+    @pytest.mark.parametrize("stacked_state", [True, False])
+    def test_mega_matches_sequential_with_empty_subjects(
+        self, calibrated_experiment, small_dataset, stacked_state
+    ):
+        fleet = self.fleet(small_dataset)
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            fleet, CONSTRAINT, use_oracle_difficulty=True
+        )
+        runtime = make_runtime(calibrated_experiment, mega_batched=True)
+        runtime.stacked_state = stacked_state
+        mega = runtime.run_many(fleet, CONSTRAINT, use_oracle_difficulty=True)
+        assert_fleets_identical(sequential, mega)
+        for sid in ("empty-first", "empty-mid"):
+            assert mega.results[sid].n_windows == 0
+            assert mega.results[sid].configuration.label()
+
+    def test_pool_executor_handles_empty_subjects(
+        self, calibrated_experiment, small_dataset
+    ):
+        fleet = self.fleet(small_dataset)
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            fleet, CONSTRAINT, use_oracle_difficulty=True
+        )
+        executor = FleetExecutor(
+            make_runtime(calibrated_experiment, mega_batched=True),
+            max_workers=2,
+            shards_per_worker=2,
+        )
+        pooled = executor.run_fleet(fleet, CONSTRAINT, use_oracle_difficulty=True)
+        assert_fleets_identical(sequential, pooled)
+
+    def test_empty_subject_with_empty_trace_is_accepted(
+        self, calibrated_experiment, small_dataset
+    ):
+        fleet = self.fleet(small_dataset)
+        traces = {"empty-first": np.zeros(0, dtype=bool)}
+        sequential = make_runtime(calibrated_experiment, mega_batched=False).run_many(
+            fleet, CONSTRAINT, use_oracle_difficulty=True, connected_traces=traces
+        )
+        mega = make_runtime(calibrated_experiment, mega_batched=True).run_many(
+            fleet, CONSTRAINT, use_oracle_difficulty=True, connected_traces=traces
+        )
+        assert_fleets_identical(sequential, mega)
+
+    def test_empty_subject_with_nonempty_trace_raises(
+        self, calibrated_experiment, small_dataset
+    ):
+        fleet = self.fleet(small_dataset)
+        traces = {"empty-first": np.ones(3, dtype=bool)}
+        for mega_batched in (False, True):
+            with pytest.raises(ValueError, match="one entry per window"):
+                make_runtime(calibrated_experiment, mega_batched=mega_batched).run_many(
+                    fleet,
+                    CONSTRAINT,
+                    use_oracle_difficulty=True,
+                    connected_traces=traces,
+                )
+
+    def test_all_empty_fleet_produces_empty_results(self, calibrated_experiment, small_dataset):
+        template = small_dataset.subjects[0]
+        fleet = [self.empty_subject(template, f"empty-{i}") for i in range(3)]
+        for mega_batched in (False, True):
+            result = make_runtime(calibrated_experiment, mega_batched=mega_batched).run_many(
+                fleet, CONSTRAINT, use_oracle_difficulty=True
+            )
+            assert result.n_windows == 0
+            assert result.n_subjects == 3

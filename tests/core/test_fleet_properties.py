@@ -5,9 +5,11 @@ decision-for-decision identical to sequential ``run_many`` replay — is
 pinned here across seeded randomized scenarios instead of a handful of
 hand-picked fixtures.  Hypothesis draws fleet compositions (subject
 counts and lengths, BLE traces or not, heterogeneous hardware revisions,
-RF vs oracle difficulty, stateful vs ``FLEET_BATCHABLE`` predictors,
-worker counts 1/2/4, arrival orderings, batch-size limits, mid-queue
-retirements) and every example asserts bit-identical results:
+RF vs oracle difficulty, stateful vs ``FLEET_BATCHABLE`` predictors —
+including a fully stateful zoo with a signal-reading spectral tracker —
+stacked-state fused dispatch vs the legacy per-``(model, subject)``
+fallback, worker counts 1/2/4, arrival orderings, batch-size limits,
+mid-queue retirements) and every example asserts bit-identical results:
 
 * :class:`~repro.core.scheduler.FleetScheduler` — dynamic sessions
   submitted one by one must replay exactly like sequential ``run_many``
@@ -41,6 +43,7 @@ from repro.core.fleet import FleetExecutor, SharedSubjectStore
 from repro.core.runtime import CHRISRuntime
 from repro.core.scheduler import FleetScheduler, SessionState
 from repro.data.dataset import WindowedSubject
+from repro.eval.benchmarking import stateful_zoo
 from repro.eval.experiment import CalibratedExperiment
 from repro.hw.platform import CostTableRegistry, WearableSystem
 from repro.ml.activity_classifier import ActivityClassifier
@@ -135,7 +138,13 @@ def fleet_scenarios(draw):
         "workers": draw(st.sampled_from([1, 2, 4])),
         "max_batch": draw(st.sampled_from([None, 1, 2])),
         "use_rf": draw(st.booleans()),
-        "stateful": draw(st.booleans()),
+        # "none": all FLEET_BATCHABLE; "flag": one calibrated model forced
+        # through the stateful dispatch; "zoo": the fully stateful zoo
+        # (spectral tracker + smoothed calibrated trackers).
+        "stateful": draw(st.sampled_from(["none", "flag", "zoo"])),
+        # Stacked-state fused dispatch vs legacy per-(model, subject)
+        # fallback for the stateful predictors.
+        "stacked": draw(st.booleans()),
         "retire": draw(st.integers(min_value=-1, max_value=n_subjects - 1)),
     }
 
@@ -163,14 +172,21 @@ def build_fleet(scenario):
 def make_runtime(scenario) -> CHRISRuntime:
     """A pristine runtime configured for the scenario's difficulty source."""
     experiment = _experiment()
+    if scenario["stateful"] == "zoo":
+        # Fully stateful: a real spectral tracker plus smoothed calibrated
+        # trackers (fresh predictors continuing the cached zoo's streams).
+        zoo = stateful_zoo(experiment.zoo)
+    else:
+        zoo = copy.deepcopy(experiment.zoo)
     runtime = CHRISRuntime(
-        zoo=copy.deepcopy(experiment.zoo),
+        zoo=zoo,
         engine=experiment.engine,
         system=experiment.system,
         activity_classifier=_classifier() if scenario["use_rf"] else None,
+        stacked_state=scenario["stacked"],
     )
-    if scenario["stateful"]:
-        # Force one model through the per-(model, subject) segment path.
+    if scenario["stateful"] == "flag":
+        # Force one model through the stateful dispatch path.
         runtime.zoo.entry("TimePPG-Big").predictor.FLEET_BATCHABLE = False
     return runtime
 

@@ -427,3 +427,94 @@ class TestDispatchFailurePoisoning:
         assert lost.state is SessionState.FAILED
         assert isinstance(lost.error, MemoryError)
         assert recovered.state is SessionState.DONE
+
+
+class GatedPredictor:
+    """Predictor whose ``predict`` blocks until released.
+
+    The gates are *class* attributes, so they survive the scheduler's
+    deep copy of the runtime (instances are copied, the class is shared)
+    — the test can hold a dispatched batch mid-execution from outside.
+    """
+
+    # Installed fresh by each test.
+    STARTED = None
+    RELEASE = None
+
+    REQUIRES_SIGNALS = False
+    FLEET_BATCHABLE = True
+
+    def __init__(self) -> None:
+        self.fs = 32.0
+        self._last_estimate = None
+
+    def reset(self) -> None:
+        self._last_estimate = None
+
+    def advance_fleet_state(self, n_windows: int) -> None:
+        self.reset()
+
+    def fleet_state_signature(self):
+        return None
+
+    def predict(self, ppg_windows, accel_windows=None, **context):
+        type(self).STARTED.set()
+        assert type(self).RELEASE.wait(timeout=30), "test gate never released"
+        return np.full(np.asarray(ppg_windows).shape[0], 72.0)
+
+    def predict_window(self, ppg_window, accel_window=None, **context):
+        return 72.0
+
+
+class TestRetireRacingDispatchedBatch:
+    """retire() on a session already inside an in-flight mega-batch.
+
+    The race: the dispatcher popped the session (state RUNNING), the
+    worker thread is executing its batch, and the consumer calls
+    ``retire``.  The retire must refuse (``False``), must not deliver a
+    RETIRED resolution (the session resolves exactly once, as DONE when
+    the batch lands), and must not poison the epoch — later submissions
+    still run and deliver.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_retire_neither_delivers_nor_poisons(self, calibrated_experiment, workers):
+        import threading
+
+        GatedPredictor.STARTED = threading.Event()
+        GatedPredictor.RELEASE = threading.Event()
+        runtime = make_runtime(calibrated_experiment)
+        for entry in runtime.zoo:
+            entry.predictor = GatedPredictor()
+
+        scheduler = FleetScheduler(
+            runtime, CONSTRAINT, max_workers=workers, use_oracle_difficulty=True
+        )
+        try:
+            session = scheduler.submit("inflight", make_subject("inflight", seed=1))
+            assert GatedPredictor.STARTED.wait(timeout=30)
+
+            assert scheduler.retire(session) is False
+            assert session.state is SessionState.RUNNING
+
+            GatedPredictor.RELEASE.set()
+            scheduler.join()
+            assert session.state is SessionState.DONE
+            assert session.result is not None
+            assert session.result.n_windows == session.recording.n_windows
+
+            # Exactly one delivery, as DONE — the refused retire did not
+            # enqueue a second (RETIRED) resolution.
+            delivered = scheduler.next_done(timeout=5.0)
+            assert delivered is session
+            assert delivered.state is SessionState.DONE
+            assert scheduler.next_done(timeout=0.05) is None
+
+            # The epoch is not poisoned: the stream keeps serving.
+            late = scheduler.submit("late", make_subject("late", seed=2))
+            scheduler.join()
+            assert late.state is SessionState.DONE
+            assert scheduler.next_done(timeout=5.0) is late
+        finally:
+            GatedPredictor.RELEASE.set()
+            scheduler.close()

@@ -358,3 +358,82 @@ class TestCostTableErrorPaths:
         assert system.cached_prediction_cost(
             PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH
         ) == registry.cost_for(system, PAPER_DEPLOYMENTS["AT"], ExecutionTarget.WATCH)
+
+
+class TestConcurrentRegistryAccess:
+    """The registry is shared mutable state across scheduler/worker threads.
+
+    Regression for the unguarded-table era: concurrent fills while another
+    thread serialized raised ``RuntimeError: dictionary changed size during
+    iteration`` (or shipped half-filled tables).  Every fill/read now goes
+    through the registry's internal lock.
+    """
+
+    def test_concurrent_fills_and_serialization(self):
+        import threading
+
+        registry = CostTableRegistry()
+        # Distinct hardware revisions so fills keep inserting fresh keys.
+        systems = [
+            WearableSystem(
+                cost_registry=registry, prediction_period_s=2.0 + 0.001 * i
+            )
+            for i in range(6)
+        ]
+        deployments = list(PAPER_DEPLOYMENTS.values())
+        barrier = threading.Barrier(len(systems) + 2)
+        errors: list[BaseException] = []
+
+        def fill(system: WearableSystem) -> None:
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    registry.profile_system(system, deployments)
+                    # Drop the revision so the next round re-inserts keys
+                    # (real churn, not idempotent cache hits).
+                    system.invalidate_cost_cache()
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        def serialize() -> None:
+            try:
+                barrier.wait()
+                for _ in range(120):
+                    CostTableRegistry.from_json(registry.to_json())
+                    registry.n_entries
+                    registry.revisions()
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fill, args=(s,)) for s in systems]
+        threads += [threading.Thread(target=serialize) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        # After the dust settles a full profile leaves a complete table.
+        for system in systems:
+            registry.profile_system(system, deployments)
+        assert registry.n_revisions == len(systems)
+        assert registry.n_entries == len(systems) * len(deployments) * 2
+
+    def test_registry_survives_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        registry = CostTableRegistry()
+        system = WearableSystem(cost_registry=registry)
+        registry.profile_system(system, list(PAPER_DEPLOYMENTS.values()))
+
+        clone = copy.deepcopy(registry)
+        assert clone.n_entries == registry.n_entries
+        assert clone._lock is not registry._lock
+
+        loaded = pickle.loads(pickle.dumps(registry))
+        assert loaded.n_entries == registry.n_entries
+        # The copies stay independently usable (fresh locks).
+        loaded.clear()
+        assert loaded.n_entries == 0
+        assert registry.n_entries > 0

@@ -46,6 +46,34 @@ class TestBasePredictor:
         predictor.predict(np.zeros((3, 10)), mode="test")
         assert all(c["mode"] == "test" for c in predictor.seen_context)
 
+    def test_single_window_batch_slices_1d_context(self):
+        predictor = ConstantPredictor()
+        predictor.predict(np.zeros((1, 10)), true_hr=np.array([77.0]))
+        assert predictor.seen_context[0]["true_hr"] == 77.0
+
+    def test_single_window_batch_passes_2d_payload_intact(self):
+        """Regression: a whole ``(1, k)`` payload must not be silently
+        reduced to its first row just because the batch has one window."""
+        predictor = ConstantPredictor()
+        payload = np.arange(6.0).reshape(1, 6)
+        predictor.predict(np.zeros((1, 10)), payload=payload)
+        seen = predictor.seen_context[0]["payload"]
+        assert seen.shape == (1, 6)
+        np.testing.assert_array_equal(seen, payload)
+
+    def test_multi_window_2d_context_is_sliced_per_window(self):
+        predictor = ConstantPredictor()
+        features = np.arange(12.0).reshape(4, 3)
+        predictor.predict(np.zeros((4, 10)), features=features)
+        for i, c in enumerate(predictor.seen_context):
+            np.testing.assert_array_equal(c["features"], features[i])
+
+    def test_mismatched_length_array_passes_intact(self):
+        predictor = ConstantPredictor()
+        whole = np.zeros(7)
+        predictor.predict(np.zeros((3, 10)), whole=whole)
+        assert all(c["whole"] is whole for c in predictor.seen_context)
+
     def test_fallback_mechanism(self):
         predictor = ConstantPredictor()
         assert predictor._with_fallback(float("nan")) == predictor.FALLBACK_BPM

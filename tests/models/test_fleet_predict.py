@@ -1,0 +1,314 @@
+"""Stacked-state ``predict_fleet`` equivalence for every zoo member.
+
+The fleet engine's stateful fused dispatch rests on one contract: a
+``predict_fleet`` call over a subject-major stack with one
+:class:`~repro.models.base.FleetState` slot per subject is bit-identical
+to replaying each subject alone (reset, then ``predict``).  This is
+pinned here for every registry model, the calibrated zoo and the
+smoothed stateful zoo — including zero-window subjects, NaN-fallback
+streams, state continuation across calls (streaming), and the
+:class:`~repro.models.base.FleetStack` lock-step helper itself.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.models.base import FleetStack, FleetState, HeartRatePredictor
+from repro.models.error_model import calibrated_model_zoo, smoothed_calibrated_zoo
+from repro.models.registry import MODEL_REGISTRY, create_model
+
+
+def make_fleet(lengths, seed=0, window_length=256):
+    """Per-subject window arrays plus calibrated-model context."""
+    rng = np.random.default_rng(seed)
+    subjects = []
+    for n in lengths:
+        subjects.append(
+            {
+                "ppg": rng.standard_normal((n, window_length)),
+                "accel": rng.standard_normal((n, window_length, 3)),
+                "true_hr": 70.0 + 20.0 * rng.random(n),
+                "activity": rng.integers(0, 9, size=n),
+            }
+        )
+    return subjects
+
+
+def stack_fleet(subjects):
+    """Concatenate a fleet subject-major, with the slot vector."""
+    subject_index = np.concatenate(
+        [np.full(s["ppg"].shape[0], i, dtype=np.intp) for i, s in enumerate(subjects)]
+    )
+    return (
+        np.concatenate([s["ppg"] for s in subjects]),
+        np.concatenate([s["accel"] for s in subjects]),
+        subject_index,
+        {
+            "true_hr": np.concatenate([s["true_hr"] for s in subjects]),
+            "activity": np.concatenate([s["activity"] for s in subjects]),
+        },
+    )
+
+
+def sequential_reference(predictor: HeartRatePredictor, subjects) -> np.ndarray:
+    """Per-subject replay: reset, then one batch predict per subject."""
+    outputs = []
+    for s in subjects:
+        predictor.reset()
+        if s["ppg"].shape[0] == 0:
+            outputs.append(np.empty(0))
+            continue
+        outputs.append(
+            np.asarray(
+                predictor.predict(
+                    s["ppg"], s["accel"], true_hr=s["true_hr"], activity=s["activity"]
+                ),
+                dtype=float,
+            )
+        )
+    return np.concatenate(outputs)
+
+
+def fused(predictor: HeartRatePredictor, subjects) -> np.ndarray:
+    ppg, accel, subject_index, context = stack_fleet(subjects)
+    state = predictor.make_fleet_state(len(subjects))
+    return np.asarray(
+        predictor.predict_fleet(
+            ppg, accel, subject_index=subject_index, state=state, **context
+        ),
+        dtype=float,
+    )
+
+
+LENGTHS = [13, 0, 7, 20]
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_registry_models_fused_equals_sequential(name):
+    predictor = create_model(name)
+    subjects = make_fleet(LENGTHS, seed=3)
+    expected = sequential_reference(copy.deepcopy(predictor), subjects)
+    got = fused(copy.deepcopy(predictor), subjects)
+    np.testing.assert_array_equal(expected, got)
+
+
+@pytest.mark.parametrize("zoo_builder", [calibrated_model_zoo, smoothed_calibrated_zoo])
+def test_calibrated_zoos_fused_equals_sequential(zoo_builder):
+    for predictor in zoo_builder(seed=5).values():
+        subjects = make_fleet(LENGTHS, seed=4, window_length=16)
+        expected = sequential_reference(copy.deepcopy(predictor), subjects)
+        got = fused(copy.deepcopy(predictor), subjects)
+        np.testing.assert_array_equal(expected, got)
+
+
+@pytest.mark.parametrize("name", ["AT", "SpectralTracker"])
+def test_nan_fallback_streams_fused_equals_sequential(name):
+    """Flat windows produce NaN raw estimates; the per-slot fallback must
+    replay exactly like each subject's private ``_with_fallback`` chain."""
+    predictor = create_model(name)
+    rng = np.random.default_rng(7)
+    subjects = make_fleet([9, 5, 12], seed=8)
+    for s in subjects:
+        flat = rng.random(s["ppg"].shape[0]) < 0.4
+        s["ppg"][flat] = 0.0
+    expected = sequential_reference(copy.deepcopy(predictor), subjects)
+    got = fused(copy.deepcopy(predictor), subjects)
+    np.testing.assert_array_equal(expected, got)
+
+
+@pytest.mark.parametrize("name", ["AT", "SpectralTracker"])
+def test_streaming_continuation_matches_one_shot(name):
+    """Two fused calls sharing one FleetState == one fused call: slots carry
+    each subject's temporal state across calls.
+
+    This holds for trackers whose only state is the per-slot estimate;
+    the calibrated models are excluded because their *cross-run* random
+    stream is positional — splitting a stack over two calls reassigns
+    draws to windows, which is exactly why the fleet engine fuses each
+    model's whole stack into one subject-major call.
+    """
+    predictor = create_model(name)
+    subjects = make_fleet([8, 11, 5], seed=9, window_length=32)
+    expected = fused(copy.deepcopy(predictor), subjects)
+
+    twin = copy.deepcopy(predictor)
+    state = twin.make_fleet_state(len(subjects))
+    halves = []
+    for part in (0, 1):
+        chunk = []
+        for s in subjects:
+            n = s["ppg"].shape[0]
+            mid = n // 2
+            sl = slice(0, mid) if part == 0 else slice(mid, n)
+            chunk.append({k: v[sl] for k, v in s.items()})
+        ppg, accel, subject_index, context = stack_fleet(chunk)
+        halves.append(
+            twin.predict_fleet(
+                ppg, accel, subject_index=subject_index, state=state, **context
+            )
+        )
+    merged = np.empty(expected.shape[0])
+    offset = 0
+    part_offsets = [0, 0]
+    for i, s in enumerate(subjects):
+        n = s["ppg"].shape[0]
+        mid = n // 2
+        merged[offset : offset + mid] = halves[0][part_offsets[0] : part_offsets[0] + mid]
+        merged[offset + mid : offset + n] = halves[1][
+            part_offsets[1] : part_offsets[1] + (n - mid)
+        ]
+        part_offsets[0] += mid
+        part_offsets[1] += n - mid
+        offset += n
+    np.testing.assert_array_equal(expected, merged)
+
+
+class TestFleetState:
+    def test_for_slots_starts_reset(self):
+        state = FleetState.for_slots(4)
+        assert state.n_slots == 4
+        assert np.isnan(state.last_estimate).all()
+
+    def test_free_reinitializes_slots(self):
+        state = FleetState(last_estimate=np.array([80.0, 90.0, 100.0]))
+        state.free([1])
+        np.testing.assert_array_equal(np.isnan(state.last_estimate), [False, True, False])
+
+    def test_rejects_non_vector_state(self):
+        with pytest.raises(ValueError, match="1-D"):
+            FleetState(last_estimate=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match=">= 0"):
+            FleetState.for_slots(-1)
+
+    def test_freed_slot_replays_like_a_fresh_run(self):
+        """free() is the per-subject reset boundary: after freeing, a slot's
+        stream restarts exactly like a reset predictor."""
+        predictor = create_model("SpectralTracker")
+        subjects = make_fleet([6], seed=11)
+        expected = fused(copy.deepcopy(predictor), subjects)
+
+        twin = copy.deepcopy(predictor)
+        state = twin.make_fleet_state(1)
+        ppg, accel, subject_index, context = stack_fleet(subjects)
+        twin.predict_fleet(ppg, accel, subject_index=subject_index, state=state)
+        state.free([0])
+        replay = twin.predict_fleet(ppg, accel, subject_index=subject_index, state=state)
+        np.testing.assert_array_equal(expected, replay)
+
+
+class TestFleetCallValidation:
+    def predictor(self):
+        return create_model("AT")
+
+    def test_requires_subject_index_and_state(self):
+        with pytest.raises(TypeError, match="subject_index and state"):
+            self.predictor().predict_fleet(np.zeros((3, 16)))
+
+    def test_rejects_unsorted_subject_index(self):
+        state = FleetState.for_slots(2)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            self.predictor().predict_fleet(
+                np.zeros((3, 16)),
+                subject_index=np.array([1, 0, 1]),
+                state=state,
+            )
+
+    def test_rejects_out_of_range_slots(self):
+        state = FleetState.for_slots(2)
+        with pytest.raises(ValueError, match="lie in"):
+            self.predictor().predict_fleet(
+                np.zeros((2, 16)), subject_index=np.array([1, 2]), state=state
+            )
+
+    def test_rejects_wrong_length_subject_index(self):
+        state = FleetState.for_slots(2)
+        with pytest.raises(ValueError, match="one entry per window"):
+            self.predictor().predict_fleet(
+                np.zeros((3, 16)), subject_index=np.array([0, 1]), state=state
+            )
+
+    def test_rejects_non_integer_subject_index(self):
+        state = FleetState.for_slots(2)
+        with pytest.raises(ValueError, match="integer"):
+            self.predictor().predict_fleet(
+                np.zeros((2, 16)),
+                subject_index=np.array([0.0, 1.0]),
+                state=state,
+            )
+
+    def test_instance_state_left_reset(self):
+        """The fused call's temporal state lives in the FleetState, not in
+        the predictor instance."""
+        predictor = create_model("SpectralTracker")
+        subjects = make_fleet([5, 4], seed=13)
+        fused(predictor, subjects)
+        assert predictor._last_estimate is None
+
+
+class TestFleetStack:
+    def test_stack_unstack_roundtrip(self):
+        subject_index = np.array([0, 0, 0, 2, 2, 3], dtype=np.intp)
+        stack = FleetStack(subject_index, n_slots=4)
+        values = np.arange(6, dtype=float)
+        np.testing.assert_array_equal(stack.unstack(stack.stack(values)), values)
+        np.testing.assert_array_equal(
+            stack.unstack_steps(stack.stack_steps(values)), values
+        )
+
+    def test_widths_are_active_prefix_sizes(self):
+        subject_index = np.array([0, 0, 0, 2, 2, 3], dtype=np.intp)
+        stack = FleetStack(subject_index, n_slots=4)
+        # streams: slot0=3, slot2=2, slot3=1, slot1=0 windows
+        np.testing.assert_array_equal(stack.widths, [3, 2, 1])
+        assert not stack.uniform
+        assert not stack.contiguous_uniform
+
+    def test_uniform_contiguous_layout_uses_reshape(self):
+        subject_index = np.repeat(np.arange(3, dtype=np.intp), 4)
+        stack = FleetStack(subject_index, n_slots=3)
+        assert stack.uniform and stack.contiguous_uniform
+        values = np.arange(12, dtype=float)
+        dense = stack.stack_steps(values)
+        assert dense.shape == (4, 3)
+        np.testing.assert_array_equal(dense[:, 0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(stack.unstack_steps(dense), values)
+
+    def test_rows_order_slots_by_descending_stream_length(self):
+        subject_index = np.array([0, 1, 1, 1, 2, 2], dtype=np.intp)
+        stack = FleetStack(subject_index, n_slots=3)
+        np.testing.assert_array_equal(stack.order, [1, 2, 0])
+
+
+class TestVectorizedFallback:
+    def test_matches_scalar_fallback_chain(self):
+        """_with_fallback_fleet == the scalar helper applied per slot."""
+        rng = np.random.default_rng(17)
+        predictor = create_model("AT")
+        lengths = [6, 0, 9, 1]
+        bpm = rng.uniform(40, 180, size=sum(lengths))
+        bpm[rng.random(bpm.size) < 0.5] = np.nan
+        subject_index = np.concatenate(
+            [np.full(n, i, dtype=np.intp) for i, n in enumerate(lengths)]
+        )
+        seeds = np.array([np.nan, 77.0, np.nan, 55.0])
+
+        scalar_out = np.empty(bpm.size)
+        scalar_state = seeds.copy()
+        offset = 0
+        for slot, n in enumerate(lengths):
+            predictor.reset()
+            if not np.isnan(seeds[slot]):
+                predictor._last_estimate = float(seeds[slot])
+            for i in range(n):
+                scalar_out[offset + i] = predictor._with_fallback(bpm[offset + i])
+            scalar_state[slot] = (
+                np.nan if predictor._last_estimate is None else predictor._last_estimate
+            )
+            offset += n
+
+        state = FleetState(last_estimate=seeds.copy())
+        fleet_out = predictor._with_fallback_fleet(bpm, subject_index, state)
+        np.testing.assert_array_equal(scalar_out, fleet_out)
+        np.testing.assert_array_equal(scalar_state, state.last_estimate)

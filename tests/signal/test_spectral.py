@@ -7,6 +7,7 @@ from repro.signal.spectral import (
     dominant_frequency,
     hr_from_spectrum,
     power_spectrum,
+    power_spectrum_batch,
     spectral_entropy,
     welch_spectrum,
 )
@@ -105,3 +106,29 @@ class TestSpectralEntropy:
         for _ in range(5):
             x = rng.normal(size=128)
             assert 0.0 <= spectral_entropy(x, 32.0) <= 1.0
+
+
+class TestPowerSpectrumBatch:
+    def test_rows_bit_identical_to_scalar_calls(self):
+        """The fused fleet predictors rely on exact per-row equivalence."""
+        rng = np.random.default_rng(0)
+        batch = rng.standard_normal((17, 64))
+        freqs_b, power_b = power_spectrum_batch(batch, fs=32.0)
+        for i, row in enumerate(batch):
+            freqs, power = power_spectrum(row, fs=32.0)
+            np.testing.assert_array_equal(freqs, freqs_b)
+            np.testing.assert_array_equal(power, power_b[i])
+
+    def test_explicit_nfft_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        batch = rng.standard_normal((4, 48))
+        _, power_b = power_spectrum_batch(batch, fs=32.0, nfft=512)
+        for i, row in enumerate(batch):
+            _, power = power_spectrum(row, fs=32.0, nfft=512)
+            np.testing.assert_array_equal(power, power_b[i])
+
+    def test_rejects_non_2d_and_empty(self):
+        with pytest.raises(ValueError, match="expects"):
+            power_spectrum_batch(np.zeros(16), fs=32.0)
+        with pytest.raises(ValueError, match="empty"):
+            power_spectrum_batch(np.zeros((3, 0)), fs=32.0)
