@@ -5,12 +5,16 @@ Runs the fixed synthetic workloads of :mod:`repro.eval.benchmarking` —
 the 10k-window single-subject workload through both execution paths of
 the CHRIS runtime, and the 50-subject x 2k-window fleet through the
 sequential / mega-batched / process-pool fleet paths (``"fleet"`` block),
-through the online dynamic-session scheduler (``"scheduler"`` block), and
+through the online dynamic-session scheduler (``"scheduler"`` block),
 through the stacked-state dispatch on a stateful-heavy zoo
 (``"stateful_fleet"`` block: fused ``predict_fleet`` vs the per-subject
-fallback) — and writes the measured throughputs, MAE and offload statistics
-to ``BENCH_runtime.json`` at the repository root, so successive PRs can
-track the perf trajectory of every hot path.
+fallback), and through the fused inference engine (``"inference"`` block:
+batched AT peak detection vs the scalar detector, TimePPG's frozen
+inference network vs the training-mode forward, and the
+``equivalence="tolerance"`` cross-subject TimePPG fusion vs the bitwise
+per-subject dispatch) — and writes the measured throughputs, MAE and
+offload statistics to ``BENCH_runtime.json`` at the repository root, so
+successive PRs can track the perf trajectory of every hot path.
 
 Run with:  PYTHONPATH=src python benchmarks/summarize_runtime.py
 """
@@ -28,6 +32,7 @@ if str(_SRC) not in sys.path:
 
 from repro.eval.benchmarking import (  # noqa: E402
     benchmark_fleet,
+    benchmark_inference,
     benchmark_runtime,
     benchmark_scheduler,
     benchmark_stateful_fleet,
@@ -49,6 +54,7 @@ def main(output_path: Path | None = None) -> dict:
     outcome["stateful_fleet"] = benchmark_stateful_fleet(
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
+    outcome["inference"] = benchmark_inference(experiment, seed=0)
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")
     print(json.dumps(outcome, indent=2))
     print(f"\nwritten to {output_path}")

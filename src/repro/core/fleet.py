@@ -26,6 +26,11 @@ every shard task fast-forwards its private predictor copies with
 :meth:`~repro.models.base.HeartRatePredictor.advance_fleet_state` before
 replaying its subjects.  The result is bit-identical to the sequential
 path no matter how many workers execute or how shards are interleaved.
+(With a runtime built under ``equivalence="tolerance"`` the contract
+relaxes exactly as documented in :mod:`repro.core.runtime`:
+tolerance-fused models' predictions may move within the documented
+atol/rtol because shard boundaries change their fused batch shapes;
+every other field stays bit-identical.)
 
 Cost tables are not re-profiled per worker: the parent eagerly profiles
 its :class:`~repro.hw.platform.CostTableRegistry` for the zoo's

@@ -69,6 +69,34 @@ the sessions it fuses — arrivals get fresh slots, retired sessions are
 never planned and never occupy one).  Zero-window subjects are legal in
 every multi-subject path and contribute an empty per-subject result.
 
+Equivalence policy
+------------------
+How strictly the fast paths must reproduce sequential replay is an
+explicit runtime policy (``CHRISRuntime(equivalence=...)``):
+
+* ``"bitwise"`` (default) — every fast path is **bit-identical** to
+  sequential replay.  Predictors whose batch lowering is not
+  row-bit-stable across batch shapes (``TOLERANCE_FUSABLE``, i.e. the
+  TimePPG TCNs, whose BLAS accumulation blocking depends on the batch
+  size) keep per-subject forward batches so every chunk boundary falls
+  exactly where sequential replay puts it.
+* ``"tolerance"`` — those predictors join the cross-subject fused
+  mega-batch like every other model: one plain batch ``predict`` per
+  model for the whole fleet.  Model routing, offload decisions, energy
+  costs and configuration choices are **still bit-identical** (they
+  never depend on a predicted HR value); only the predicted BPM of
+  tolerance-fused models may move, and by no more than the documented
+  :data:`EQUIVALENCE_ATOL` / :data:`EQUIVALENCE_RTOL` — the
+  floating-point reassociation of fusing the same windows through
+  different batch shapes, pinned by the property suite
+  (``tests/core/test_fleet_properties.py``) across worker counts,
+  arrivals and retirements.
+
+The policy rides every derived engine automatically:
+:class:`~repro.core.fleet.FleetExecutor` shards and
+:class:`~repro.core.scheduler.FleetScheduler` mega-batches replicate
+the runtime they were built from, policy included.
+
 Heterogeneous hardware
 ----------------------
 A fleet does not have to run on one hardware build: every multi-subject
@@ -96,6 +124,23 @@ from repro.data.dataset import WindowedSubject
 from repro.hw.platform import PredictionCost, WearableSystem
 from repro.hw.profiles import ExecutionTarget
 from repro.ml.activity_classifier import ActivityClassifier
+
+
+#: Absolute tolerance (BPM) of the ``"tolerance"`` equivalence policy:
+#: how far a tolerance-fused model's prediction may drift from sequential
+#: replay.  Predictions are clipped to [30, 220] BPM and the only legal
+#: difference is floating-point reassociation from different BLAS batch
+#: shapes, so the observed drift is ~1e-12 BPM; the bound leaves six
+#: orders of magnitude of headroom while still catching any real
+#: divergence (a different routing or a state leak shifts predictions by
+#: whole BPM).
+EQUIVALENCE_ATOL = 1e-6
+
+#: Relative tolerance companion of :data:`EQUIVALENCE_ATOL`.
+EQUIVALENCE_RTOL = 1e-9
+
+#: Valid values of the runtime's ``equivalence`` policy.
+EQUIVALENCE_POLICIES = ("bitwise", "tolerance")
 
 
 @dataclass(frozen=True)
@@ -478,6 +523,13 @@ class CHRISRuntime:
         ``predict_fleet`` call per model with stacked per-subject state
         vectors; ``False`` restores the legacy one-batch-per-``(model,
         subject)`` dispatch.  Identical decisions either way.
+    equivalence:
+        Fast-path reproduction contract (see the module docstring):
+        ``"bitwise"`` (default) keeps every fast path bit-identical to
+        sequential replay; ``"tolerance"`` additionally fuses
+        ``TOLERANCE_FUSABLE`` predictors (the TimePPG TCNs) across
+        subjects, letting their predictions — and nothing else — move
+        within :data:`EQUIVALENCE_ATOL` / :data:`EQUIVALENCE_RTOL`.
     """
 
     def __init__(
@@ -489,7 +541,13 @@ class CHRISRuntime:
         batched: bool = True,
         mega_batched: bool = True,
         stacked_state: bool = True,
+        equivalence: str = "bitwise",
     ) -> None:
+        if equivalence not in EQUIVALENCE_POLICIES:
+            raise ValueError(
+                f"equivalence must be one of {EQUIVALENCE_POLICIES}, "
+                f"got {equivalence!r}"
+            )
         self.zoo = zoo
         self.engine = engine
         self.system = system or WearableSystem()
@@ -497,6 +555,7 @@ class CHRISRuntime:
         self.batched = batched
         self.mega_batched = mega_batched
         self.stacked_state = stacked_state
+        self.equivalence = equivalence
 
     # ------------------------------------------------------------ difficulty
     def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
@@ -1152,7 +1211,12 @@ class CHRISRuntime:
         vector and a fresh :class:`~repro.models.base.FleetState` whose
         slots re-enact the per-subject ``reset()`` boundaries (or, with
         ``stacked_state=False``, fall back to one batch per ``(model,
-        subject)`` segment).
+        subject)`` segment).  Under the ``"tolerance"`` equivalence
+        policy, stateless-but-not-bit-stable predictors
+        (``TOLERANCE_FUSABLE``, the TimePPG TCNs) also fuse into one
+        plain batch ``predict`` — their predictions may then differ from
+        sequential replay within :data:`EQUIVALENCE_ATOL` /
+        :data:`EQUIVALENCE_RTOL`, everything else stays bit-identical.
 
         With heterogeneous ``systems`` the cost fill additionally groups
         windows by hardware revision, so each ``(deployment, target)``
@@ -1170,11 +1234,19 @@ class CHRISRuntime:
 
         for code, name in enumerate(self.zoo.names):
             predictor = self.zoo.entry(name).predictor
-            if predictor.FLEET_BATCHABLE or self.stacked_state:
+            # Stateless predictors fuse into one plain batch; under the
+            # tolerance policy, stateless-but-not-bit-stable predictors
+            # (TimePPG) do too — trading bitwise reproduction of their
+            # predictions for one fused cross-subject forward.
+            plain_fused = predictor.FLEET_BATCHABLE or (
+                self.equivalence == "tolerance" and predictor.TOLERANCE_FUSABLE
+            )
+            if plain_fused or self.stacked_state:
                 if not predictor.FLEET_BATCHABLE:
-                    # Stateful fused dispatch: per-run instance state is
-                    # reset once; the per-subject boundaries sequential
-                    # replay re-enacts live in the fresh state slots below.
+                    # Fused dispatch of a predictor sequential replay
+                    # would reset per subject: per-run instance state is
+                    # reset once; for the stacked-state path the
+                    # per-subject boundaries live in fresh state slots.
                     predictor.reset()
                 idx = np.flatnonzero(model_codes == code)
                 if idx.size == 0:
@@ -1202,7 +1274,7 @@ class CHRISRuntime:
                         template, (idx.size,) + template.shape[1:]
                     )
                     accel = None
-                if predictor.FLEET_BATCHABLE:
+                if plain_fused:
                     predictions = predictor.predict(
                         ppg, accel, true_hr=hr[idx], activity=activity[idx]
                     )

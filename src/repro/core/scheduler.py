@@ -35,7 +35,12 @@ The scheduler is **decision-for-decision identical to sequential
 replay**: collecting every completed session's result reproduces exactly
 ``runtime.run_many(subjects, constraint)`` over the completed sessions
 in submission order, no matter how arrivals were batched or how many
-workers executed.  Two mechanisms guarantee this:
+workers executed.  (Under the runtime's ``equivalence="tolerance"``
+policy the contract relaxes exactly as documented in
+:mod:`repro.core.runtime`: tolerance-fused models' *predictions* may
+move within the documented atol/rtol because batch composition depends
+on arrival coalescing; routing, costs and every other field stay
+bit-identical.)  Two mechanisms guarantee this:
 
 * batches are *planned* in submission order on the scheduler's private
   stream runtime, whose predictors are then fast-forwarded with
@@ -346,6 +351,8 @@ class FleetScheduler:
             activity_classifier=self._runtime.activity_classifier,
             batched=self._runtime.batched,
             mega_batched=self._runtime.mega_batched,
+            stacked_state=self._runtime.stacked_state,
+            equivalence=self._runtime.equivalence,
         )
         totals: dict[str, int] = {}
         for counts in self._runtime.model_window_counts(plans):

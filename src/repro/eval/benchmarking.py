@@ -24,12 +24,22 @@ import numpy as np
 
 from repro.core.decision_engine import Constraint
 from repro.core.fleet import FleetExecutor
-from repro.core.runtime import CHRISRuntime
+from repro.core.runtime import (
+    CHRISRuntime,
+    EQUIVALENCE_ATOL,
+    EQUIVALENCE_RTOL,
+)
 from repro.core.scheduler import FleetScheduler, SessionState
 from repro.core.zoo import ModelsZoo, ZooEntry
 from repro.data.dataset import WindowedSubject
+from repro.models.adaptive_threshold import AdaptiveThresholdPredictor
 from repro.models.error_model import SmoothedCalibratedHRModel
 from repro.models.spectral_tracker import SpectralHRPredictor
+from repro.models.timeppg import (
+    TIMEPPG_SMALL_CONFIG,
+    TimePPGConfig,
+    TimePPGPredictor,
+)
 from repro.signal.windowing import DEFAULT_WINDOW_SPEC
 
 
@@ -358,6 +368,230 @@ def benchmark_stateful_fleet(
         "mae_bpm": stacked.mae_bpm,
         "offload_fraction": stacked.offload_fraction,
         "decisions_identical": bool(decisions_identical),
+    }
+
+
+def timeppg_zoo(
+    zoo: ModelsZoo, window_length: int = 16, seed: int = 0
+) -> ModelsZoo:
+    """A twin zoo whose TimePPG-Big entry is a real (tiny, frozen) TCN.
+
+    The calibrated stand-ins never read the signal arrays; swapping a
+    genuine signal-reading TimePPG network behind the TimePPG-Big
+    deployment (the model the selected configurations route windows to)
+    makes the fleet workload exercise real BLAS forwards, which is what
+    the tolerance-fusion benchmark measures.  The network is sized for
+    the fleet workload's short windows and frozen (batch norm folded)
+    so the inference lowering is the path under test.
+    """
+    config = TimePPGConfig(
+        name="TimePPG-Big",
+        input_length=window_length,
+        block_channels=(4, 6, 8),
+        kernel_size=3,
+        head_pool=2,
+        head_hidden=0,
+    )
+    twin = ModelsZoo()
+    for entry in zoo:
+        if entry.name == "TimePPG-Big":
+            predictor: object = TimePPGPredictor(config, seed=seed).freeze()
+        else:
+            predictor = copy.deepcopy(entry.predictor)
+        twin.add(ZooEntry(predictor=predictor, deployment=entry.deployment))
+    return twin
+
+
+def benchmark_inference(
+    experiment,
+    n_windows: int = 10_000,
+    window_length: int = 256,
+    n_subjects: int = 120,
+    n_windows_per_subject: int = 80,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Measure the fused inference engine's three hot paths.
+
+    * **AT batched** — the vectorized adaptive-threshold detector
+      (batched threshold recurrence + region extraction) against the
+      scalar per-window reference on ``n_windows`` real
+      ``window_length``-sample windows, with a ``bit_identical`` flag
+      (the batched detector is pinned bit-exact per row).
+    * **TimePPG inference mode** — the frozen network (batch norm folded
+      into the convolutions, GEMM im2col lowering, no backward caches)
+      against the training-mode forward of the same weights on the same
+      prepared batches.  The ``outputs_equal`` flag compares the frozen
+      outputs with the reference *evaluation* forward (captured before
+      any training-mode pass mutates the batch-norm running statistics):
+      training mode normalizes with batch statistics by design, so the
+      deployed semantics — what folding must preserve — are the
+      evaluation forward's.
+    * **Tolerance-fused fleet** — a fleet whose TimePPG-Big is a real
+      TCN, replayed mega-batched under ``equivalence="bitwise"``
+      (per-subject forward batches) and ``equivalence="tolerance"`` (one
+      fused cross-subject batch per call), with a
+      ``within_documented_tolerance`` flag checked against sequential
+      replay.
+
+    Every timed path reports the best of ``repeats``; the scalar AT
+    reference is timed once (a multi-second measurement).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------- AT batched
+    at_windows = rng.standard_normal((n_windows, window_length))
+    at = AdaptiveThresholdPredictor()
+    at.reset()
+    start = time.perf_counter()
+    at_scalar = np.array([at.predict_window(w) for w in at_windows])
+    at_scalar_s = time.perf_counter() - start
+    at_batched_s = float("inf")
+    at_batched = None
+    for _ in range(repeats):
+        at.reset()
+        start = time.perf_counter()
+        at_batched = at.predict(at_windows)
+        at_batched_s = min(at_batched_s, time.perf_counter() - start)
+    at_bit_identical = bool(np.array_equal(at_scalar, at_batched))
+
+    # ------------------------------------------------- TimePPG inference mode
+    n_nn_windows = 2_048
+    predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=seed)
+    batch = predictor.prepare_input(
+        rng.standard_normal((n_nn_windows, predictor.config.input_length)),
+        rng.standard_normal((n_nn_windows, predictor.config.input_length, 3)),
+    )
+    chunks = [batch[i : i + 64] for i in range(0, n_nn_windows, 64)]
+    # The deployed semantics folding must preserve: the evaluation
+    # forward, captured before training-mode passes touch the batch-norm
+    # running statistics.
+    eval_out = np.concatenate(
+        [predictor.network.forward(c, training=False) for c in chunks]
+    )
+    frozen = predictor.freeze()._frozen
+
+    def run_training() -> np.ndarray:
+        return np.concatenate(
+            [predictor.network.forward(c, training=True) for c in chunks]
+        )
+
+    def run_inference() -> np.ndarray:
+        return np.concatenate([frozen.forward(c, training=False) for c in chunks])
+
+    def timed(run):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    _, nn_training_s = timed(run_training)
+    infer_out, nn_inference_s = timed(run_inference)
+    outputs_equal = bool(
+        np.allclose(infer_out, eval_out, atol=EQUIVALENCE_ATOL, rtol=EQUIVALENCE_RTOL)
+    )
+
+    # --------------------------------------------------- tolerance-fused fleet
+    constraint = Constraint.max_mae(5.60)
+    subjects = synthetic_fleet(
+        n_subjects=n_subjects, n_windows_per_subject=n_windows_per_subject, seed=seed
+    )
+    fleet_windows = sum(s.n_windows for s in subjects)
+    zoo = timeppg_zoo(experiment.zoo, seed=seed)
+
+    def timed_fleet(equivalence: str, mega_batched: bool = True, n_repeats=repeats):
+        best = float("inf")
+        result = None
+        for _ in range(n_repeats):
+            runtime = CHRISRuntime(
+                zoo=copy.deepcopy(zoo),
+                engine=experiment.engine,
+                system=experiment.system,
+                equivalence=equivalence,
+            )
+            start = time.perf_counter()
+            result = runtime.run_many(
+                subjects,
+                constraint,
+                use_oracle_difficulty=True,
+                mega_batched=mega_batched,
+            )
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    # The sequential reference is untimed — run it once, like the scalar
+    # AT reference above.
+    sequential, _ = timed_fleet("bitwise", mega_batched=False, n_repeats=1)
+    bitwise, bitwise_s = timed_fleet("bitwise")
+    tolerance, tolerance_s = timed_fleet("tolerance")
+
+    def equivalent(fleet) -> bool:
+        """Predictions within the documented bound, all else bit-identical."""
+        if fleet.subject_ids != sequential.subject_ids:
+            return False
+        for sid in fleet.subject_ids:
+            ref, got = sequential.results[sid], fleet.results[sid]
+            if not np.allclose(
+                got.predicted_hr,
+                ref.predicted_hr,
+                atol=EQUIVALENCE_ATOL,
+                rtol=EQUIVALENCE_RTOL,
+            ):
+                return False
+            # Every other field — routing, difficulty, offload, every
+            # cost component, configuration segments — must be bit-exact;
+            # reuse RunResult equality with the predictions substituted.
+            exact = copy.copy(got)
+            exact.predicted_hr = ref.predicted_hr
+            if exact != ref:
+                return False
+        return True
+
+    bitwise_identical = bool(
+        all(
+            sequential.results[sid] == bitwise.results[sid]
+            for sid in sequential.subject_ids
+        )
+    )
+
+    return {
+        "at": {
+            "n_windows": int(n_windows),
+            "window_length": int(window_length),
+            "scalar_seconds": at_scalar_s,
+            "batched_seconds": at_batched_s,
+            "scalar_windows_per_s": n_windows / at_scalar_s,
+            "batched_windows_per_s": n_windows / at_batched_s,
+            "speedup": at_scalar_s / at_batched_s,
+            "bit_identical": at_bit_identical,
+        },
+        "timeppg": {
+            "variant": predictor.config.name,
+            "n_windows": int(n_nn_windows),
+            "training_seconds": nn_training_s,
+            "inference_seconds": nn_inference_s,
+            "training_windows_per_s": n_nn_windows / nn_training_s,
+            "inference_windows_per_s": n_nn_windows / nn_inference_s,
+            "speedup": nn_training_s / nn_inference_s,
+            "outputs_equal": outputs_equal,
+        },
+        "tolerance_fleet": {
+            "n_subjects": int(n_subjects),
+            "n_windows_per_subject": int(n_windows_per_subject),
+            "n_windows_total": int(fleet_windows),
+            "bitwise_seconds": bitwise_s,
+            "tolerance_seconds": tolerance_s,
+            "bitwise_windows_per_s": fleet_windows / bitwise_s,
+            "tolerance_windows_per_s": fleet_windows / tolerance_s,
+            "speedup": bitwise_s / tolerance_s,
+            "bitwise_decisions_identical": bitwise_identical,
+            "within_documented_tolerance": bool(equivalent(tolerance)),
+        },
     }
 
 

@@ -210,8 +210,15 @@ class CalibratedExperiment:
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
         mega_batched: bool = True,
+        equivalence: str = "bitwise",
     ) -> CHRISRuntime:
-        """A CHRIS runtime wired to this experiment's zoo/engine/system."""
+        """A CHRIS runtime wired to this experiment's zoo/engine/system.
+
+        ``equivalence`` selects the fast-path reproduction contract of
+        :class:`~repro.core.runtime.CHRISRuntime` (bitwise by default;
+        ``"tolerance"`` lets TimePPG-style predictors fuse across
+        subjects within the documented atol/rtol).
+        """
         return CHRISRuntime(
             zoo=self.zoo,
             engine=self.engine,
@@ -219,6 +226,7 @@ class CalibratedExperiment:
             activity_classifier=activity_classifier,
             batched=batched,
             mega_batched=mega_batched,
+            equivalence=equivalence,
         )
 
     def fleet_executor(

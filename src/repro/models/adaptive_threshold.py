@@ -18,7 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.base import FleetState, HeartRatePredictor, PredictorInfo
-from repro.signal.peaks import adaptive_threshold_peaks, peak_intervals_to_bpm
+from repro.signal.peaks import (
+    adaptive_threshold_peaks,
+    adaptive_threshold_peaks_batch,
+    peak_intervals_to_bpm,
+    peak_intervals_to_bpm_batch,
+)
 
 #: Operation count per window used for energy modelling.  The algorithm
 #: performs one rolling-mean update, one comparison, and one running-max
@@ -80,13 +85,68 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
     def _raw_window_estimate(self, ppg_window: np.ndarray) -> float:
         """State-free peak-interval estimate (NaN when no valid interval).
 
-        Shared by the scalar path and the fused fleet path, so the two
+        The scalar reference; :meth:`_raw_window_estimate_batch` is the
+        vectorized twin and is pinned bit-identical per row, so the two
         can never diverge on the raw estimate.
         """
         peaks = adaptive_threshold_peaks(ppg_window, window=self.window)
         return peak_intervals_to_bpm(
             peaks, fs=self.fs, min_bpm=self.min_bpm, max_bpm=self.max_bpm
         )
+
+    def _raw_window_estimate_batch(self, ppg_windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_raw_window_estimate` over a window batch.
+
+        One batched threshold recurrence + region extraction for the
+        whole ``(n_windows, window_len)`` stack instead of a Python loop
+        per window; every row is bit-identical to the scalar estimate of
+        that window (see :mod:`repro.signal.peaks`), and rows are
+        independent, so any batch composition yields the same per-row
+        values.
+        """
+        rows, positions = adaptive_threshold_peaks_batch(
+            ppg_windows, window=self.window
+        )
+        return peak_intervals_to_bpm_batch(
+            rows,
+            positions,
+            ppg_windows.shape[0],
+            fs=self.fs,
+            min_bpm=self.min_bpm,
+            max_bpm=self.max_bpm,
+        )
+
+    # ---------------------------------------------------------------- batch
+    def predict(
+        self,
+        ppg_windows: np.ndarray,
+        accel_windows: np.ndarray | None = None,
+        **context,
+    ) -> np.ndarray:
+        """Vectorized single-stream prediction over a window batch.
+
+        Raw estimates come from the batched detector; the NaN fallback
+        (reuse the last valid estimate, default when none exists yet) is
+        a vectorized forward fill seeded from the instance state —
+        value-for-value what looping :meth:`predict_window` produces.
+        """
+        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        if ppg_windows.ndim != 2:
+            raise ValueError(
+                f"AT expects (n, length) PPG windows, got shape {ppg_windows.shape}"
+            )
+        if ppg_windows.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        raw = self._raw_window_estimate_batch(ppg_windows)
+        seed = np.nan if self._last_estimate is None else self._last_estimate
+        stream = np.concatenate([[seed], raw])
+        valid = ~np.isnan(stream)
+        idx = np.where(valid, np.arange(stream.size), 0)
+        np.maximum.accumulate(idx, out=idx)
+        filled = stream[idx]
+        self._last_estimate = None if np.isnan(filled[-1]) else float(filled[-1])
+        out = filled[1:]
+        return np.where(np.isnan(out), self.FALLBACK_BPM, out)
 
     # ---------------------------------------------------------------- fleet
     def predict_fleet(
@@ -114,9 +174,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         subject_index = self._check_fleet_stack(
             ppg_windows.shape[0], subject_index, state
         )
-        raw = np.empty(ppg_windows.shape[0])
-        for i in range(ppg_windows.shape[0]):
-            raw[i] = self._raw_window_estimate(ppg_windows[i])
+        raw = self._raw_window_estimate_batch(ppg_windows)
         out = self._with_fallback_fleet(raw, subject_index, state)
         self.reset()
         return out

@@ -236,6 +236,17 @@ class HeartRatePredictor:
     #: fleet engine then dispatches them per subject segment instead.
     FLEET_BATCHABLE: bool = False
 
+    #: Whether the predictor is *stateless* but its batch lowering is not
+    #: row-bit-stable across batch shapes (BLAS-backed forwards whose
+    #: accumulation blocking depends on the batch size).  Such predictors
+    #: cannot keep the bitwise fleet contract when fused across subjects,
+    #: yet fusing them is numerically exact to floating-point rounding —
+    #: the runtime's ``equivalence="tolerance"`` policy
+    #: (:mod:`repro.core.runtime`) fuses them into the cross-subject
+    #: mega-batch and documents the atol/rtol their predictions may move
+    #: by.  Ignored under the default bitwise policy.
+    TOLERANCE_FUSABLE: bool = False
+
     def __init__(self, fs: float = 32.0) -> None:
         if fs <= 0:
             raise ValueError(f"fs must be positive, got {fs}")

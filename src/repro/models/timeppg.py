@@ -20,6 +20,29 @@ recorded in EXPERIMENTS.md).
 
 Inputs are 4-channel windows (PPG plus the three acceleration axes),
 standardized per window, at 32 Hz / 256 samples, as in the TimePPG papers.
+
+Inference mode and the equivalence policy
+-----------------------------------------
+:meth:`TimePPGPredictor.freeze` builds a frozen inference network —
+batch norm folded into the convolution weights
+(:func:`repro.nn.network.fold_batchnorm`) on top of the numpy stack's
+GEMM inference lowering — which :meth:`TimePPGPredictor._forward` then
+uses instead of the training-oriented layer stack.  Folding changes
+predictions only by floating-point rounding (weights absorb the
+normalization exactly, up to one rounding per weight).
+
+TimePPG's forward is stateless, but its conv/dense layers go through
+BLAS, whose accumulation blocking depends on the batch shape — the same
+window is not bit-identical across different batch sizes.  Under the
+fleet engine's default **bitwise** equivalence policy the predictor
+therefore keeps per-subject forward batches (``FLEET_BATCHABLE =
+False``: every 64-window chunk boundary falls exactly where sequential
+replay puts it).  Under ``equivalence="tolerance"``
+(:mod:`repro.core.runtime`) the runtime fuses TimePPG's windows across
+all subjects into one mega-batch per fleet call (``TOLERANCE_FUSABLE =
+True``): routing, offload decisions and costs stay bit-identical, and
+only the predicted BPM may move within the documented
+``EQUIVALENCE_ATOL`` / ``EQUIVALENCE_RTOL``.
 """
 
 from __future__ import annotations
@@ -30,7 +53,7 @@ import numpy as np
 
 from repro.models.base import HeartRatePredictor, PredictorInfo
 from repro.nn.layers import AvgPool1d, BatchNorm1d, Conv1d, Dense, Flatten, ReLU
-from repro.nn.network import Sequential
+from repro.nn.network import Sequential, fold_batchnorm
 from repro.nn.ops_count import count_macs, count_parameters
 from repro.nn.quantization import QuantizedSequential
 from repro.signal.filters import standardize
@@ -163,6 +186,11 @@ class TimePPGPredictor(HeartRatePredictor):
         Initialization seed used when ``network`` is omitted.
     """
 
+    #: Stateless forward, but not row-bit-stable across batch shapes —
+    #: may fuse across subjects under the tolerance equivalence policy
+    #: (see the module docstring).
+    TOLERANCE_FUSABLE = True
+
     def __init__(
         self,
         config: TimePPGConfig = TIMEPPG_SMALL_CONFIG,
@@ -174,6 +202,7 @@ class TimePPGPredictor(HeartRatePredictor):
         self.config = config
         self.network = network if network is not None else build_timeppg_network(config, seed=seed)
         self.quantized: QuantizedSequential | None = None
+        self._frozen: Sequential | None = None
 
     # ----------------------------------------------------------------- info
     @property
@@ -212,10 +241,31 @@ class TimePPGPredictor(HeartRatePredictor):
                     channels.append(standardize(accel_windows[:, :, axis], axis=-1))
         return np.stack(channels, axis=1)
 
+    # ----------------------------------------------------------- inference
+    def freeze(self) -> "TimePPGPredictor":
+        """Build the frozen inference network (batch norm folded into convs).
+
+        Call after the weights are final (post-training, pre-deployment):
+        :meth:`_forward` then runs the folded network through the GEMM
+        inference lowering instead of the training-oriented layer stack.
+        The fold snapshots the current weights — training afterwards
+        requires calling :meth:`freeze` again (or :meth:`unfreeze`).  A
+        quantized network (:attr:`quantized`) still takes precedence.
+        """
+        self._frozen = fold_batchnorm(self.network)
+        return self
+
+    def unfreeze(self) -> "TimePPGPredictor":
+        """Drop the frozen inference network (back to the live weights)."""
+        self._frozen = None
+        return self
+
     # -------------------------------------------------------------- predict
     def _forward(self, batch: np.ndarray) -> np.ndarray:
         if self.quantized is not None:
             return self.quantized.forward(batch)
+        if self._frozen is not None:
+            return self._frozen.forward(batch, training=False)
         return self.network.forward(batch, training=False)
 
     def predict(
@@ -225,8 +275,14 @@ class TimePPGPredictor(HeartRatePredictor):
         batch_size: int = 64,
         **context,
     ) -> np.ndarray:
-        """Batched HR prediction (BPM) for a set of windows."""
+        """Batched HR prediction (BPM) for a set of windows.
+
+        A zero-row batch is legal (zero-window subjects are legal
+        fleet-wide) and yields a ``(0,)`` estimate array.
+        """
         batch = self.prepare_input(ppg_windows, accel_windows)
+        if batch.shape[0] == 0:
+            return np.empty(0, dtype=float)
         outputs = []
         for start in range(0, batch.shape[0], batch_size):
             outputs.append(self._forward(batch[start:start + batch_size]))
@@ -261,7 +317,12 @@ class TimePPGPredictor(HeartRatePredictor):
         to sequential replay and change low-order bits.  The reference
         per-subject dispatch keeps every chunk boundary exactly where
         sequential replay puts it, so ``FLEET_BATCHABLE`` stays
-        ``False`` and the fused call delegates per subject.
+        ``False`` and the fused call delegates per subject — that is the
+        runtime's default *bitwise* equivalence policy.  Under
+        ``equivalence="tolerance"`` the runtime bypasses this method and
+        fuses TimePPG's windows across subjects into one plain
+        :meth:`predict` mega-batch (``TOLERANCE_FUSABLE``), trading the
+        bitwise contract for the documented atol/rtol.
         """
         return super().predict_fleet(
             ppg_windows,

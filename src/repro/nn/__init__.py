@@ -35,7 +35,7 @@ from repro.nn.layers import (
     Layer,
     ReLU,
 )
-from repro.nn.network import Sequential
+from repro.nn.network import Sequential, fold_batchnorm
 from repro.nn.losses import HuberLoss, L1Loss, Loss, MSELoss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.training import TrainingHistory, Trainer, TrainerConfig
@@ -53,6 +53,7 @@ __all__ = [
     "Layer",
     "ReLU",
     "Sequential",
+    "fold_batchnorm",
     "HuberLoss",
     "L1Loss",
     "Loss",

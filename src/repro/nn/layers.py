@@ -11,6 +11,19 @@ Every layer follows the same protocol:
 
 The data layout is ``(batch, channels, length)`` for convolutional layers
 and ``(batch, features)`` for dense layers.
+
+Inference mode
+--------------
+``forward(x, training=False)`` is a true inference mode, not merely a
+flag: layers skip (and drop) their backward caches, :class:`Dropout`
+allocates no mask, and :class:`Conv1d` lowers the (dilated, strided)
+convolution to a single GEMM — a zero-copy
+:func:`numpy.lib.stride_tricks.sliding_window_view` im2col gathered into
+a preallocated column buffer that is reused across calls, then one
+``matmul`` against the flattened kernel.  Outputs are fresh arrays;
+only the internal column buffer is reused.  For frozen networks,
+:func:`repro.nn.network.fold_batchnorm` additionally folds every
+``Conv → BatchNorm`` pair into the convolution weights.
 """
 
 from __future__ import annotations
@@ -110,6 +123,15 @@ class Conv1d(Layer):
             self.params["bias"] = np.zeros(out_channels)
         self.zero_grad()
         self._cache: dict = {}
+        #: Reusable im2col column buffer of the inference GEMM lowering
+        #: (allocated lazily, re-used while the input shape is stable).
+        self._gemm_cols: np.ndarray | None = None
+
+    #: Whether a following BatchNorm1d was folded into this convolution's
+    #: weights (set by :func:`repro.nn.network.fold_batchnorm`); the ops
+    #: counter then also charges the folded normalization's elementwise
+    #: operations, keeping energy modelling honest.
+    bn_folded: bool = False
 
     # ----------------------------------------------------------- geometry
     @property
@@ -163,6 +185,10 @@ class Conv1d(Layer):
         else:
             x_padded = x
 
+        if not training:
+            self._cache = {}
+            return self._forward_gemm(x_padded, l_out)
+
         # Gather the im2col tensor: (batch, in_ch, kernel, l_out).
         tap_offsets = np.arange(self.kernel_size) * self.dilation
         out_positions = np.arange(l_out) * self.stride
@@ -174,14 +200,41 @@ class Conv1d(Layer):
         if self.use_bias:
             out += self.params["bias"][None, :, None]
 
-        if training:
-            self._cache = {
-                "cols": cols,
-                "index": index,
-                "pad_left": pad_left,
-                "input_shape": x.shape,
-                "padded_length": x_padded.shape[-1],
-            }
+        self._cache = {
+            "cols": cols,
+            "index": index,
+            "pad_left": pad_left,
+            "input_shape": x.shape,
+            "padded_length": x_padded.shape[-1],
+        }
+        return out
+
+    def _forward_gemm(self, x_padded: np.ndarray, l_out: int) -> np.ndarray:
+        """Inference lowering: stride-tricks im2col + one batched GEMM.
+
+        A zero-copy sliding-window view exposes every (dilated) kernel
+        tap of every (strided) output position; the taps are gathered
+        into a preallocated ``(batch, in_ch * kernel, l_out)`` column
+        buffer — reused across calls while the input shape is stable —
+        and the convolution collapses into one ``matmul`` with the
+        kernel flattened to ``(out_ch, in_ch * kernel)``.  The returned
+        array is freshly allocated; only the column buffer is reused.
+        """
+        batch = x_padded.shape[0]
+        view = np.lib.stride_tricks.sliding_window_view(
+            x_padded, self.effective_kernel, axis=2
+        )
+        # (batch, in_ch, l_out, kernel): strided output positions, dilated taps.
+        view = view[:, :, : (l_out - 1) * self.stride + 1 : self.stride, :: self.dilation]
+        shape = (batch, self.in_channels, self.kernel_size, l_out)
+        if self._gemm_cols is None or self._gemm_cols.shape != shape:
+            self._gemm_cols = np.empty(shape)
+        np.copyto(self._gemm_cols, view.transpose(0, 1, 3, 2))
+        cols = self._gemm_cols.reshape(batch, self.in_channels * self.kernel_size, l_out)
+        weight = self.params["weight"].reshape(self.out_channels, -1)
+        out = np.matmul(weight, cols)
+        if self.use_bias:
+            out += self.params["bias"][None, :, None]
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -253,8 +306,7 @@ class Dense(Layer):
             raise ValueError(
                 f"Dense expects input of shape (batch, {self.in_features}), got {x.shape}"
             )
-        if training:
-            self._cache = x
+        self._cache = x if training else None
         out = x @ self.params["weight"].T
         if self.use_bias:
             out += self.params["bias"]
@@ -282,8 +334,7 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        if training:
-            self._mask = x > 0
+        self._mask = (x > 0) if training else None
         return np.maximum(x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -444,7 +495,12 @@ class Flatten(Layer):
         x = np.asarray(x, dtype=float)
         if training:
             self._cache = x.shape
-        return x.reshape(x.shape[0], -1)
+        # Explicit feature count: reshape(batch, -1) cannot infer the
+        # trailing dimension of a zero-row batch.
+        features = 1
+        for dim in x.shape[1:]:
+            features *= dim
+        return x.reshape(x.shape[0], features)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -465,8 +521,12 @@ class Dropout(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        if not training or self.rate == 0.0:
-            self._mask = np.ones_like(x)
+        if not training:
+            # Identity at inference: no mask is sampled or allocated.
+            self._mask = None
+            return x
+        if self.rate == 0.0:
+            self._mask = np.ones(1)
             return x
         keep = 1.0 - self.rate
         self._mask = (self.rng.random(x.shape) < keep) / keep

@@ -1,10 +1,12 @@
-"""Sequential network container."""
+"""Sequential network container and frozen-network batch-norm folding."""
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-from repro.nn.layers import Layer
+from repro.nn.layers import BatchNorm1d, Conv1d, Layer
 
 
 class Sequential:
@@ -93,3 +95,73 @@ class Sequential:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(repr(layer) for layer in self.layers)
         return f"Sequential([{inner}])"
+
+
+def _strip_runtime_buffers(layer: Layer) -> Layer:
+    """Drop backward caches / scratch buffers from a copied layer.
+
+    The folded network is inference-only: carrying a deep copy of the
+    source layers' training caches (im2col tensors, batch-norm and
+    dropout masks) or GEMM column buffers would pin a full training
+    batch's activations for the frozen network's lifetime.
+    """
+    if hasattr(layer, "_cache"):
+        layer._cache = {} if isinstance(layer._cache, dict) else None
+    if hasattr(layer, "_mask"):
+        layer._mask = None
+    if hasattr(layer, "_gemm_cols"):
+        layer._gemm_cols = None
+    return layer
+
+
+def _fold_conv_bn(conv: Conv1d, bn: BatchNorm1d) -> Conv1d:
+    """One convolution equivalent to ``conv`` followed by ``bn`` (eval mode).
+
+    Batch-norm in evaluation mode is a per-channel affine transform
+    ``y = gamma * (x - mean) / sqrt(var + eps) + beta``; scaling the
+    convolution kernel per output channel and adjusting the bias absorbs
+    it exactly (up to one floating-point rounding per weight).
+    """
+    fused = _strip_runtime_buffers(copy.deepcopy(conv))
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    scale = bn.params["gamma"] * inv_std
+    fused.params["weight"] = conv.params["weight"] * scale[:, None, None]
+    bias = conv.params["bias"] if conv.use_bias else 0.0
+    fused.use_bias = True
+    fused.params["bias"] = (bias - bn.running_mean) * scale + bn.params["beta"]
+    fused.zero_grad()
+    fused.bn_folded = True
+    return fused
+
+
+def fold_batchnorm(network: Sequential) -> Sequential:
+    """Inference copy of ``network`` with batch norm folded into convolutions.
+
+    Every ``Conv1d`` immediately followed by a ``BatchNorm1d`` is
+    replaced by a single fused convolution; other layers are deep-copied
+    unchanged (a batch norm *not* preceded by a convolution keeps running
+    in evaluation mode).  The result is an inference-only network for
+    **frozen** weights: it shares nothing with the original, so training
+    the original afterwards requires folding again.  Folded outputs match
+    the unfolded evaluation forward to floating-point rounding — see the
+    tolerance equivalence policy in :mod:`repro.core.runtime` for how the
+    runtime accounts for that.
+
+    The ops counter keeps charging the folded normalizations
+    (:mod:`repro.nn.ops_count` reads :attr:`Conv1d.bn_folded`), so energy
+    modelling reports the same MAC count for folded and reference
+    networks.
+    """
+    layers: list[Layer] = []
+    source = network.layers
+    i = 0
+    while i < len(source):
+        layer = source[i]
+        nxt = source[i + 1] if i + 1 < len(source) else None
+        if isinstance(layer, Conv1d) and isinstance(nxt, BatchNorm1d):
+            layers.append(_fold_conv_bn(layer, nxt))
+            i += 2
+        else:
+            layers.append(_strip_runtime_buffers(copy.deepcopy(layer)))
+            i += 1
+    return Sequential(layers)

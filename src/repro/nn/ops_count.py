@@ -49,7 +49,15 @@ def _layer_macs(layer: Layer, input_shape: tuple[int, ...], output_shape: tuple[
     """MAC / elementary-operation count of one layer."""
     if isinstance(layer, Conv1d):
         _, l_out = output_shape
-        return layer.out_channels * layer.in_channels * layer.kernel_size * l_out
+        macs = layer.out_channels * layer.in_channels * layer.kernel_size * l_out
+        if layer.bn_folded:
+            # A batch norm folded into this convolution
+            # (:func:`repro.nn.network.fold_batchnorm`) still represents
+            # the normalization's elementwise work on the deployed model;
+            # charge it so folded and reference networks report the same
+            # totals (energy modelling reads these counts).
+            macs += _shape_size(output_shape)
+        return macs
     if isinstance(layer, Dense):
         return layer.out_features * layer.in_features
     if isinstance(layer, (BatchNorm1d, ReLU)):

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.layers import BatchNorm1d, Conv1d, Dense, Layer
-from repro.nn.network import Sequential
+from repro.nn.network import Sequential, fold_batchnorm
 
 
 @dataclass(frozen=True)
@@ -137,6 +137,7 @@ def quantize_network(
     network: Sequential,
     calibration_batch: np.ndarray,
     n_bits: int = 8,
+    fold_bn: bool = False,
 ) -> QuantizedSequential:
     """Post-training quantization of a trained network.
 
@@ -150,6 +151,13 @@ def quantize_network(
         Representative inputs used to calibrate activation ranges.
     n_bits:
         Bit width (8 in the paper).
+    fold_bn:
+        Fold batch norm into the preceding convolutions
+        (:func:`repro.nn.network.fold_batchnorm`) before quantizing —
+        the order deployment toolchains use, so the quantization grid is
+        calibrated on the weights that actually ship.  The fold works on
+        a copy, so with ``fold_bn=True`` the passed float network is
+        *not* modified and the quantized model wraps the folded copy.
 
     Returns
     -------
@@ -158,6 +166,8 @@ def quantize_network(
     """
     if n_bits < 2 or n_bits > 16:
         raise ValueError(f"n_bits must be in [2, 16], got {n_bits}")
+    if fold_bn:
+        network = fold_batchnorm(network)
     calibration_batch = np.asarray(calibration_batch, dtype=float)
     if calibration_batch.shape[0] == 0:
         raise ValueError("calibration batch is empty")

@@ -24,14 +24,17 @@ from repro.signal.filters import (
     detrend,
     fir_lowpass,
     moving_average,
+    moving_average_batch,
     normalize,
     standardize,
 )
 from repro.signal.peaks import (
     adaptive_threshold_peaks,
+    adaptive_threshold_peaks_batch,
     count_sign_changes,
     find_peaks_simple,
     peak_intervals_to_bpm,
+    peak_intervals_to_bpm_batch,
 )
 from repro.signal.spectral import (
     dominant_frequency,
@@ -60,12 +63,15 @@ __all__ = [
     "detrend",
     "fir_lowpass",
     "moving_average",
+    "moving_average_batch",
     "normalize",
     "standardize",
     "adaptive_threshold_peaks",
+    "adaptive_threshold_peaks_batch",
     "count_sign_changes",
     "find_peaks_simple",
     "peak_intervals_to_bpm",
+    "peak_intervals_to_bpm_batch",
     "dominant_frequency",
     "hr_from_spectrum",
     "power_spectrum",

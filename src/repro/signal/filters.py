@@ -38,17 +38,44 @@ def moving_average(x: np.ndarray, window: int) -> np.ndarray:
     x = np.asarray(x, dtype=float)
     if x.ndim != 1:
         raise ValueError(f"moving_average expects a 1-D signal, got shape {x.shape}")
+    # Delegate to the batched twin with a single row: one implementation
+    # of the recurrence means the scalar and batched AT paths cannot
+    # drift apart (their bit-identity contract rests on this).
+    return moving_average_batch(x[None, :], window)[0]
+
+
+def moving_average_batch(x: np.ndarray, window: int) -> np.ndarray:
+    """Row-wise :func:`moving_average` over a ``(n_rows, length)`` batch.
+
+    Every row is processed exactly like the scalar function processes a
+    1-D signal — the cumulative sum, the expanding warm-up division and
+    the steady-state difference are the same elementwise operations, so
+    each output row is bit-identical to ``moving_average(x[i], window)``.
+
+    Parameters
+    ----------
+    x:
+        2-D batch of signals (one row per signal).
+    window:
+        Number of samples of the rolling window (must be >= 1).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"moving_average_batch expects a 2-D batch, got shape {x.shape}")
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
     if window == 1:
         return x.copy()
-    cumsum = np.cumsum(x)
+    length = x.shape[1]
+    cumsum = np.cumsum(x, axis=1)
     out = np.empty_like(x)
-    # Expanding mean for the warm-up region.
-    head = min(window - 1, x.size)
-    out[:head] = cumsum[:head] / np.arange(1, head + 1)
-    if x.size >= window:
-        out[window - 1:] = (cumsum[window - 1:] - np.concatenate(([0.0], cumsum[:-window]))) / window
+    head = min(window - 1, length)
+    out[:, :head] = cumsum[:, :head] / np.arange(1, head + 1)
+    if length >= window:
+        shifted = np.concatenate(
+            [np.zeros((x.shape[0], 1)), cumsum[:, :-window]], axis=1
+        )
+        out[:, window - 1:] = (cumsum[:, window - 1:] - shifted) / window
     return out
 
 

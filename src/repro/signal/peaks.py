@@ -12,13 +12,24 @@ Two detectors are provided:
 
 Both return sample indices; :func:`peak_intervals_to_bpm` converts the
 inter-peak intervals into an average heart rate.
+
+The AT detector also has a batched twin operating on a whole
+``(n_windows, window_len)`` stack at once —
+:func:`adaptive_threshold_peaks_batch` and
+:func:`peak_intervals_to_bpm_batch` — whose per-row results are
+**bit-identical** to running the scalar functions row by row.  Every
+step is either elementwise (threshold recurrence, comparisons, interval
+arithmetic) or confined to one row's samples (region maxima, interval
+means), and the final interval mean uses the same strictly sequential
+left-to-right summation as the scalar path, so no floating-point
+reassociation can creep in.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.signal.filters import moving_average
+from repro.signal.filters import moving_average, moving_average_batch
 
 
 def find_peaks_simple(x: np.ndarray, min_distance: int = 1, min_height: float | None = None) -> np.ndarray:
@@ -113,7 +124,127 @@ def peak_intervals_to_bpm(peaks: np.ndarray, fs: float, min_bpm: float = 30.0, m
     valid = bpm[(bpm >= min_bpm) & (bpm <= max_bpm)]
     if valid.size == 0:
         return float("nan")
-    return float(valid.mean())
+    # Strictly sequential left-to-right sum (``cumsum``) rather than
+    # ``mean``'s pairwise reduction: the batched twin reproduces this
+    # accumulation order exactly, which is what keeps
+    # ``peak_intervals_to_bpm_batch`` bit-identical per row.
+    return float(np.cumsum(valid)[-1]) / valid.size
+
+
+def adaptive_threshold_peaks_batch(
+    x: np.ndarray, window: int = 24
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise AT peak detection over a ``(n_windows, window_len)`` batch.
+
+    Vectorized twin of :func:`adaptive_threshold_peaks`: the rolling-mean
+    threshold, the region-of-interest extraction and the per-region
+    argmax all run as flat array operations over the whole batch, yet
+    every row's peaks are exactly the peaks the scalar detector finds on
+    that row alone (regions never span rows, region maxima are exact
+    comparisons, and ties resolve to the first maximum like
+    ``np.argmax``).
+
+    Returns
+    -------
+    (rows, positions):
+        Parallel int arrays naming each peak's window row and its sample
+        index inside that row, sorted by ``(row, position)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(
+            f"adaptive_threshold_peaks_batch expects a 2-D batch, got shape {x.shape}"
+        )
+    n_rows, length = x.shape
+    empty = (np.array([], dtype=int), np.array([], dtype=int))
+    if n_rows == 0 or length == 0:
+        return empty
+    threshold = moving_average_batch(x, window)
+    above = x > threshold
+    if not above.any():
+        return empty
+
+    # Region starts of every row at once: an above-threshold sample whose
+    # left neighbour (False at the row edge, so runs can never span
+    # adjacent rows) is below threshold.
+    prev = np.empty_like(above)
+    prev[:, 0] = False
+    prev[:, 1:] = above[:, :-1]
+    start_rows, start_cols = np.nonzero(above & ~prev)
+    flat_starts = start_rows * length + start_cols
+
+    # Region maxima: mask everything outside the regions of interest to
+    # -inf, then one reduceat over the flat batch (each segment runs to
+    # the next region start; the masked gap contributes -inf only).
+    flat = x.ravel()
+    masked = np.where(above.ravel(), flat, -np.inf)
+    region_max = np.maximum.reduceat(masked, flat_starts)
+
+    # First in-region position equal to the region max == np.argmax of
+    # the region (float equality against an exact maximum).
+    in_region = np.flatnonzero(above.ravel())
+    start_marker = np.zeros(flat.size, dtype=np.intp)
+    start_marker[flat_starts] = 1
+    region_of = np.cumsum(start_marker)[in_region] - 1
+    is_max = flat[in_region] == region_max[region_of]
+    max_regions = region_of[is_max]
+    # ``max_regions`` is sorted (flat order), so the first hit of each
+    # region is wherever the region id changes.
+    first = np.concatenate(
+        [[0], np.flatnonzero(max_regions[1:] != max_regions[:-1]) + 1]
+    )
+    peak_flat = in_region[is_max][first]
+    return (peak_flat // length).astype(int), (peak_flat % length).astype(int)
+
+
+def peak_intervals_to_bpm_batch(
+    peak_rows: np.ndarray,
+    peak_positions: np.ndarray,
+    n_rows: int,
+    fs: float,
+    min_bpm: float = 30.0,
+    max_bpm: float = 220.0,
+) -> np.ndarray:
+    """Per-row :func:`peak_intervals_to_bpm` over a batch's stacked peaks.
+
+    ``peak_rows`` / ``peak_positions`` are the
+    :func:`adaptive_threshold_peaks_batch` output (row-major order).
+    Returns a ``(n_rows,)`` float array with ``nan`` where a row has no
+    valid interval, each entry bit-identical to the scalar conversion of
+    that row's peaks: intervals, the plausibility band and the final
+    strictly sequential interval mean are the same operations in the
+    same order (zero padding in the dense accumulation is exact — valid
+    BPM values are strictly positive).
+    """
+    peak_rows = np.asarray(peak_rows, dtype=np.intp)
+    peak_positions = np.asarray(peak_positions, dtype=np.intp)
+    out = np.full(n_rows, np.nan)
+    if peak_rows.size < 2:
+        return out
+    same_row = peak_rows[1:] == peak_rows[:-1]
+    intervals = (np.diff(peak_positions) / float(fs))[same_row]
+    interval_rows = peak_rows[1:][same_row]
+    with np.errstate(divide="ignore"):
+        bpm = 60.0 / intervals
+    band = (bpm >= min_bpm) & (bpm <= max_bpm)
+    valid_bpm = bpm[band]
+    valid_rows = interval_rows[band]
+    if valid_bpm.size == 0:
+        return out
+    counts = np.bincount(valid_rows, minlength=n_rows)
+    # Pack each row's valid intervals left-aligned into a dense matrix
+    # (``valid_rows`` is sorted, so the within-row rank is the offset
+    # from the row's first entry), then accumulate along the columns:
+    # cumsum is strictly sequential and the right-padding zeros are
+    # exact, so the last column equals the scalar path's running sum.
+    row_starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
+    rank = np.arange(valid_bpm.size) - row_starts[valid_rows]
+    dense = np.zeros((n_rows, int(counts.max())))
+    dense[valid_rows, rank] = valid_bpm
+    totals = np.cumsum(dense, axis=1)[:, -1]
+    has_valid = counts > 0
+    out[has_valid] = totals[has_valid] / counts[has_valid]
+    return out
 
 
 def count_sign_changes(x: np.ndarray) -> int:

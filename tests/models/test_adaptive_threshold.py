@@ -75,3 +75,59 @@ class TestPrediction:
             AdaptiveThresholdPredictor(min_bpm=100, max_bpm=50)
         with pytest.raises(ValueError):
             AdaptiveThresholdPredictor(fs=0.0)
+
+
+class TestBatchedDetector:
+    """The vectorized AT path is pinned bit-identical to the scalar one."""
+
+    @pytest.mark.parametrize("length", [16, 256])
+    def test_raw_estimates_bit_identical_across_zoo_window_shapes(self, length):
+        """Both model-zoo geometries: 256-sample windows and the fleet's 16."""
+        at = AdaptiveThresholdPredictor()
+        rng = np.random.default_rng(length)
+        windows = rng.standard_normal((200, length))
+        batch = at._raw_window_estimate_batch(windows)
+        scalar = np.array([at._raw_window_estimate(w) for w in windows])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_raw_estimates_on_edge_windows(self):
+        """Flat, all-NaN and single-peak windows: NaN estimate, like scalar."""
+        at = AdaptiveThresholdPredictor()
+        windows = np.zeros((3, 256))
+        windows[1] = np.nan
+        windows[2, 100] = 1.0
+        batch = at._raw_window_estimate_batch(windows)
+        scalar = np.array([at._raw_window_estimate(w) for w in windows])
+        np.testing.assert_array_equal(batch, scalar)
+        assert np.all(np.isnan(batch))
+
+    def test_predict_bit_identical_to_window_loop_with_fallback_stream(self):
+        """One stream mixing clean, flat and noisy windows, bit-exact."""
+        rng = np.random.default_rng(3)
+        windows = rng.standard_normal((300, 256))
+        windows[::9] = 0.0  # NaN estimates exercising the fallback chain
+        windows[0] = 0.0  # the first window must hit FALLBACK_BPM
+        batched, scalar = AdaptiveThresholdPredictor(), AdaptiveThresholdPredictor()
+        out = batched.predict(windows)
+        ref = np.array([scalar.predict_window(w) for w in windows])
+        np.testing.assert_array_equal(out, ref)
+        assert batched._last_estimate == scalar._last_estimate
+
+    def test_predict_continues_the_stream_across_calls(self):
+        rng = np.random.default_rng(4)
+        windows = rng.standard_normal((40, 256))
+        windows[20:] = 0.0
+        whole = AdaptiveThresholdPredictor().predict(windows)
+        split = AdaptiveThresholdPredictor()
+        out = np.concatenate([split.predict(windows[:25]), split.predict(windows[25:])])
+        np.testing.assert_array_equal(out, whole)
+
+    def test_predict_zero_windows(self):
+        at = AdaptiveThresholdPredictor()
+        out = at.predict(np.empty((0, 256)))
+        assert out.shape == (0,)
+        assert at._last_estimate is None
+
+    def test_predict_rejects_1d(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPredictor().predict(np.zeros(256))

@@ -114,6 +114,79 @@ class TestPredictor:
         assert np.mean(np.abs(quant_predictions - float_predictions)) < 5.0
 
 
+class TestInferenceMode:
+    def test_freeze_matches_eval_forward_within_rounding(self, small_dataset):
+        subject = small_dataset.subjects[0]
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=3)
+        reference = predictor.predict(subject.ppg_windows[:16], subject.accel_windows[:16])
+        frozen = predictor.freeze().predict(
+            subject.ppg_windows[:16], subject.accel_windows[:16]
+        )
+        np.testing.assert_allclose(frozen, reference, rtol=1e-9, atol=1e-9)
+
+    def test_freeze_snapshots_and_unfreeze_returns_to_live_weights(self):
+        rng = np.random.default_rng(0)
+        windows = rng.normal(size=(4, 256))
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=4).freeze()
+        frozen = predictor.predict(windows)
+        # Mutate the live network: the frozen snapshot must not move.
+        for _, params in predictor.network.parameters():
+            for value in params.values():
+                value[...] = value * 1.5 + 0.1
+        np.testing.assert_array_equal(predictor.predict(windows), frozen)
+        assert not np.allclose(predictor.unfreeze().predict(windows), frozen)
+
+    def test_quantized_takes_precedence_over_frozen(self, small_dataset):
+        subject = small_dataset.subjects[0]
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=5)
+        calibration = predictor.prepare_input(
+            subject.ppg_windows[:16], subject.accel_windows[:16]
+        )
+        predictor.quantized = quantize_network(predictor.network, calibration)
+        quantized = predictor.predict(subject.ppg_windows[:8], subject.accel_windows[:8])
+        np.testing.assert_array_equal(
+            predictor.freeze().predict(subject.ppg_windows[:8], subject.accel_windows[:8]),
+            quantized,
+        )
+
+    def test_tolerance_fusable_flag(self):
+        assert TimePPGPredictor.TOLERANCE_FUSABLE
+        assert not TimePPGPredictor.FLEET_BATCHABLE
+
+
+class TestZeroRowBatches:
+    def test_predict_returns_empty_estimates(self):
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG)
+        out = predictor.predict(np.empty((0, 256)), np.empty((0, 256, 3)))
+        assert out.shape == (0,)
+        assert out.dtype == float
+
+    def test_predict_without_accel_and_frozen(self):
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG).freeze()
+        assert predictor.predict(np.empty((0, 256))).shape == (0,)
+
+    def test_predict_fleet_with_zero_window_slots(self):
+        from repro.models.base import FleetState
+
+        predictor = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=6)
+        rng = np.random.default_rng(1)
+        windows = rng.normal(size=(5, 256))
+        accel = rng.normal(size=(5, 256, 3))
+        # Slot 1 of 3 never appears: three slots, windows only for 0 and 2.
+        state = FleetState.for_slots(3)
+        out = predictor.predict_fleet(
+            windows,
+            accel,
+            subject_index=np.array([0, 0, 0, 2, 2]),
+            state=state,
+        )
+        assert out.shape == (5,)
+        reference = np.concatenate(
+            [predictor.predict(windows[:3], accel[:3]), predictor.predict(windows[3:], accel[3:])]
+        )
+        np.testing.assert_array_equal(out, reference)
+
+
 class TestCustomConfig:
     def test_custom_tiny_variant_builds(self):
         config = TimePPGConfig(

@@ -279,3 +279,85 @@ class TestFlattenDropout:
     def test_dropout_invalid_rate(self):
         with pytest.raises(ValueError):
             Dropout(1.0)
+
+
+class TestConvInferenceLowering:
+    """The eval-mode GEMM lowering must match the training-mode im2col."""
+
+    @pytest.mark.parametrize(
+        "stride,dilation,padding",
+        [(1, 1, "same"), (2, 1, "same"), (1, 4, "same"), (2, 2, 1), (3, 2, 0)],
+    )
+    def test_matches_training_forward(self, stride, dilation, padding):
+        rng = np.random.default_rng(stride * 10 + dilation)
+        conv = Conv1d(3, 5, 3, stride=stride, dilation=dilation, padding=padding, rng=rng)
+        x = rng.normal(size=(4, 3, 40))
+        np.testing.assert_allclose(
+            conv.forward(x, training=False),
+            conv.forward(x, training=True),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    def test_without_bias(self):
+        rng = np.random.default_rng(0)
+        conv = Conv1d(2, 3, 5, bias=False, rng=rng)
+        x = rng.normal(size=(2, 2, 32))
+        np.testing.assert_allclose(
+            conv.forward(x, training=False), conv.forward(x, training=True)
+        )
+
+    def test_inference_reuses_column_buffer(self):
+        rng = np.random.default_rng(1)
+        conv = Conv1d(2, 2, 3, rng=rng)
+        x = rng.normal(size=(3, 2, 16))
+        conv.forward(x, training=False)
+        buffer = conv._gemm_cols
+        assert buffer is not None
+        conv.forward(x, training=False)
+        assert conv._gemm_cols is buffer  # stable shape -> same buffer
+        conv.forward(rng.normal(size=(5, 2, 16)), training=False)
+        assert conv._gemm_cols is not buffer  # new batch shape -> new buffer
+
+    def test_inference_outputs_are_independent_arrays(self):
+        rng = np.random.default_rng(2)
+        conv = Conv1d(1, 1, 3, rng=rng)
+        x = rng.normal(size=(1, 1, 10))
+        first = conv.forward(x, training=False)
+        again = conv.forward(x + 1.0, training=False)
+        assert not np.shares_memory(first, again)
+
+    def test_inference_drops_training_cache(self):
+        rng = np.random.default_rng(3)
+        conv = Conv1d(1, 2, 3, rng=rng)
+        x = rng.normal(size=(2, 1, 12))
+        conv.forward(x, training=True)
+        assert conv._cache
+        conv.forward(x, training=False)
+        assert not conv._cache
+        with pytest.raises(RuntimeError):
+            conv.backward(np.ones((2, 2, 12)))
+
+
+class TestZeroRowBatches:
+    """Every layer must pass a (0, ...) batch through with correct shapes."""
+
+    def test_conv_eval_and_train(self):
+        conv = Conv1d(2, 3, 3, rng=np.random.default_rng(0))
+        for training in (False, True):
+            out = conv.forward(np.zeros((0, 2, 16)), training=training)
+            assert out.shape == (0, 3, 16)
+
+    def test_full_stack(self):
+        layers = [
+            Conv1d(2, 3, 3, rng=np.random.default_rng(0)),
+            BatchNorm1d(3),
+            ReLU(),
+            AvgPool1d(2),
+            Flatten(),
+            Dense(3 * 8, 1, rng=np.random.default_rng(1)),
+        ]
+        x = np.zeros((0, 2, 16))
+        for layer in layers:
+            x = layer.forward(x, training=False)
+        assert x.shape == (0, 1)

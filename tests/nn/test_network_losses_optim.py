@@ -177,3 +177,70 @@ class TestOptimizers:
             Adam(net, learning_rate=0.1, beta1=1.0)
         with pytest.raises(ValueError):
             Adam(net, learning_rate=0.1, weight_decay=-1.0)
+
+
+class TestFoldBatchnorm:
+    def bn_net(self, seed=0):
+        from repro.nn.layers import BatchNorm1d
+
+        rng = np.random.default_rng(seed)
+        net = Sequential([
+            Conv1d(2, 4, 3, stride=2, rng=rng),
+            BatchNorm1d(4),
+            ReLU(),
+            Conv1d(4, 4, 3, dilation=2, bias=False, rng=rng),
+            BatchNorm1d(4),
+            ReLU(),
+            Flatten(),
+            Dense(4 * 8, 1, rng=rng),
+        ])
+        # Non-trivial running statistics, as a trained network would have.
+        x = rng.normal(size=(16, 2, 16)) * 2.0 + 0.5
+        net.forward(x, training=True)
+        return net
+
+    def test_folded_matches_eval_forward(self):
+        from repro.nn.network import fold_batchnorm
+
+        net = self.bn_net()
+        folded = fold_batchnorm(net)
+        x = np.random.default_rng(1).normal(size=(8, 2, 16))
+        np.testing.assert_allclose(
+            folded.forward(x, training=False),
+            net.forward(x, training=False),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    def test_folded_structure(self):
+        from repro.nn.layers import BatchNorm1d
+        from repro.nn.network import fold_batchnorm
+
+        folded = fold_batchnorm(self.bn_net())
+        assert not any(isinstance(l, BatchNorm1d) for l in folded.layers)
+        convs = [l for l in folded.layers if isinstance(l, Conv1d)]
+        assert all(c.bn_folded and c.use_bias for c in convs)
+
+    def test_fold_shares_nothing_with_the_original(self):
+        from repro.nn.network import fold_batchnorm
+
+        net = self.bn_net()
+        folded = fold_batchnorm(net)
+        x = np.random.default_rng(2).normal(size=(4, 2, 16))
+        before = folded.forward(x, training=False)
+        for _, params in net.parameters():
+            for value in params.values():
+                value[...] = 0.0
+        np.testing.assert_array_equal(folded.forward(x, training=False), before)
+
+    def test_bn_without_preceding_conv_is_kept(self):
+        from repro.nn.layers import BatchNorm1d
+        from repro.nn.network import fold_batchnorm
+
+        net = Sequential([BatchNorm1d(2), Conv1d(2, 2, 3, rng=np.random.default_rng(0))])
+        folded = fold_batchnorm(net)
+        assert isinstance(folded.layers[0], BatchNorm1d)
+        x = np.random.default_rng(1).normal(size=(3, 2, 12))
+        np.testing.assert_allclose(
+            folded.forward(x, training=False), net.forward(x, training=False)
+        )

@@ -62,3 +62,41 @@ class TestCounting:
         rows = layer_summary(net, (2, 32))
         assert count_macs(net, (2, 32)) == sum(r.macs for r in rows)
         assert count_parameters(net) == sum(r.parameters for r in rows)
+
+
+class TestFoldedCounting:
+    """Conv+BN folding must not change the reported MAC totals."""
+
+    def test_folded_network_reports_reference_macs(self):
+        from repro.nn.network import fold_batchnorm
+
+        net = Sequential([
+            Conv1d(2, 4, 3, rng=np.random.default_rng(0)),
+            BatchNorm1d(4),
+            ReLU(),
+            Conv1d(4, 3, 3, dilation=2, rng=np.random.default_rng(1)),
+            BatchNorm1d(3),
+            Flatten(),
+            Dense(3 * 16, 1, rng=np.random.default_rng(2)),
+        ])
+        shape = (2, 16)
+        assert count_macs(fold_batchnorm(net), shape) == count_macs(net, shape)
+
+    def test_timeppg_variants_report_reference_macs_when_folded(self):
+        from repro.models.timeppg import (
+            TIMEPPG_BIG_CONFIG,
+            TIMEPPG_SMALL_CONFIG,
+            build_timeppg_network,
+        )
+        from repro.nn.network import fold_batchnorm
+
+        for config in (TIMEPPG_SMALL_CONFIG, TIMEPPG_BIG_CONFIG):
+            net = build_timeppg_network(config)
+            shape = (config.input_channels, config.input_length)
+            assert count_macs(fold_batchnorm(net), shape) == count_macs(net, shape)
+
+    def test_folded_conv_charges_the_absorbed_normalization(self):
+        conv = Conv1d(2, 4, 3, rng=np.random.default_rng(0))
+        plain = count_macs(Sequential([conv]), (2, 16))
+        conv.bn_folded = True
+        assert count_macs(Sequential([conv]), (2, 16)) == plain + 4 * 16

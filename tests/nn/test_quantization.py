@@ -128,3 +128,47 @@ class TestQuantizeNetwork:
         assert isinstance(quantized, QuantizedSequential)
         out = quantized(np.zeros((2, 1, 32)))
         assert out.shape == (2, 1)
+
+
+class TestFoldedQuantization:
+    """Deployment order: fold batch norm first, then quantize the result."""
+
+    def bn_net(self, seed=0):
+        from repro.nn.layers import BatchNorm1d
+
+        rng = np.random.default_rng(seed)
+        net = Sequential([
+            Conv1d(1, 4, 3, stride=2, rng=rng),
+            BatchNorm1d(4),
+            ReLU(),
+            Flatten(),
+            Dense(4 * 16, 1, rng=rng),
+        ])
+        net.forward(rng.normal(size=(8, 1, 32)), training=True)
+        return net
+
+    def test_fold_bn_preserves_the_float_network(self):
+        net = self.bn_net()
+        state = net.state_dict()
+        calibration = np.random.default_rng(1).normal(size=(8, 1, 32))
+        quantized = quantize_network(net, calibration, fold_bn=True)
+        for key, value in net.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+        assert quantized.network is not net
+
+    def test_folded_quantization_stays_close_to_float(self):
+        net = self.bn_net()
+        calibration = np.random.default_rng(2).normal(size=(16, 1, 32))
+        x = np.random.default_rng(3).normal(size=(8, 1, 32))
+        reference = net.forward(x, training=False)
+        quantized = quantize_network(net, calibration, fold_bn=True)
+        scale = np.abs(reference).max()
+        assert np.mean(np.abs(quantized.forward(x) - reference)) < 0.1 * scale + 0.1
+
+    def test_folded_quantized_network_has_no_batchnorm(self):
+        from repro.nn.layers import BatchNorm1d
+
+        net = self.bn_net()
+        calibration = np.random.default_rng(4).normal(size=(8, 1, 32))
+        quantized = quantize_network(net, calibration, fold_bn=True)
+        assert not any(isinstance(l, BatchNorm1d) for l in quantized.network.layers)

@@ -9,6 +9,7 @@ from repro.signal.filters import (
     detrend,
     fir_lowpass,
     moving_average,
+    moving_average_batch,
     normalize,
     standardize,
 )
@@ -53,6 +54,29 @@ class TestMovingAverage:
         x = np.array([1.0, 2.0, 3.0])
         out = moving_average(x, 10)
         assert np.allclose(out, [1.0, 1.5, 2.0])
+
+
+class TestMovingAverageBatch:
+    @pytest.mark.parametrize("length,window", [(16, 24), (64, 7), (256, 24), (5, 24)])
+    def test_rows_bit_identical_to_scalar(self, length, window):
+        rng = np.random.default_rng(length)
+        x = rng.standard_normal((20, length))
+        out = moving_average_batch(x, window)
+        for i in range(x.shape[0]):
+            np.testing.assert_array_equal(out[i], moving_average(x[i], window))
+
+    def test_window_one_returns_copy(self):
+        x = np.arange(12.0).reshape(3, 4)
+        out = moving_average_batch(x, 1)
+        assert np.array_equal(out, x)
+        out[0, 0] = 99.0
+        assert x[0, 0] == 0.0
+
+    def test_rejects_1d_and_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average_batch(np.ones(5), 2)
+        with pytest.raises(ValueError):
+            moving_average_batch(np.ones((2, 5)), 0)
 
 
 class TestButterBandpass:

@@ -5,9 +5,11 @@ import pytest
 
 from repro.signal.peaks import (
     adaptive_threshold_peaks,
+    adaptive_threshold_peaks_batch,
     count_sign_changes,
     find_peaks_simple,
     peak_intervals_to_bpm,
+    peak_intervals_to_bpm_batch,
 )
 
 
@@ -73,6 +75,84 @@ class TestAdaptiveThresholdPeaks:
     def test_rejects_2d(self):
         with pytest.raises(ValueError):
             adaptive_threshold_peaks(np.ones((4, 4)))
+
+
+class TestAdaptiveThresholdPeaksBatch:
+    """The batched detector must be bit-identical per row to the scalar one."""
+
+    def assert_rows_identical(self, x: np.ndarray, window: int = 24) -> None:
+        rows, positions = adaptive_threshold_peaks_batch(x, window=window)
+        assert np.all(np.diff(rows * (x.shape[1] + 1) + positions) > 0)
+        for i in range(x.shape[0]):
+            np.testing.assert_array_equal(
+                adaptive_threshold_peaks(x[i], window=window), positions[rows == i]
+            )
+
+    @pytest.mark.parametrize("length", [16, 64, 256])
+    def test_random_batches_match_scalar(self, length):
+        rng = np.random.default_rng(length)
+        self.assert_rows_identical(rng.standard_normal((64, length)))
+
+    def test_pulse_trains_match_scalar(self):
+        x = np.stack(
+            [synthetic_pulse_train(bpm, duration_s=8.0) for bpm in (55.0, 80.0, 140.0)]
+        )
+        self.assert_rows_identical(x)
+
+    def test_edge_windows(self):
+        """Flat, all-NaN and single-peak rows behave exactly like scalar."""
+        x = np.zeros((4, 64))
+        x[1] = np.nan
+        x[2, 30] = 1.0  # a single peak
+        x[3] = np.sin(np.linspace(0, 12 * np.pi, 64))
+        self.assert_rows_identical(x)
+
+    def test_empty_batches(self):
+        rows, positions = adaptive_threshold_peaks_batch(np.zeros((0, 32)))
+        assert rows.size == 0 and positions.size == 0
+        rows, positions = adaptive_threshold_peaks_batch(np.zeros((3, 0)))
+        assert rows.size == 0 and positions.size == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            adaptive_threshold_peaks_batch(np.zeros(16))
+
+
+class TestPeakIntervalsToBpmBatch:
+    def rows_reference(self, rows, positions, n_rows, **kwargs):
+        return np.array(
+            [
+                peak_intervals_to_bpm(positions[rows == i], **kwargs)
+                for i in range(n_rows)
+            ]
+        )
+
+    def test_matches_scalar_per_row(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((50, 256))
+        x[7] = 0.0  # no peaks at all
+        rows, positions = adaptive_threshold_peaks_batch(x)
+        batch = peak_intervals_to_bpm_batch(rows, positions, x.shape[0], fs=32.0)
+        np.testing.assert_array_equal(
+            batch, self.rows_reference(rows, positions, x.shape[0], fs=32.0)
+        )
+
+    def test_band_filter_matches_scalar(self):
+        # Peaks engineered so some intervals fall outside the BPM band.
+        rows = np.array([0, 0, 0, 1, 1, 2])
+        positions = np.array([0, 1, 33, 10, 42, 5])
+        batch = peak_intervals_to_bpm_batch(rows, positions, 3, fs=32.0)
+        np.testing.assert_array_equal(
+            batch, self.rows_reference(rows, positions, 3, fs=32.0)
+        )
+        assert np.isnan(batch[2])  # single peak -> no interval
+
+    def test_no_peaks_everywhere(self):
+        out = peak_intervals_to_bpm_batch(
+            np.array([], dtype=int), np.array([], dtype=int), 4, fs=32.0
+        )
+        assert out.shape == (4,)
+        assert np.all(np.isnan(out))
 
 
 class TestPeakIntervalsToBpm:
