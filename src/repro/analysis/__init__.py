@@ -1,0 +1,117 @@
+"""repro.analysis — repo-specific AST invariant linter.
+
+Five PRs of engine work rest on conventions no generic linter knows
+about: locked dispatcher state, vectorized hot paths, scalar/batch
+bit-identity twins, explicit equivalence flags, and an inference path
+that must not silently re-promote to float64.  This package enforces
+them statically.  Run it as::
+
+    PYTHONPATH=src python -m repro.analysis            # text report, exit 1 on new findings
+    PYTHONPATH=src python -m repro.analysis --json     # machine-readable report
+    PYTHONPATH=src python -m repro.analysis --write-baseline   # grandfather current findings
+
+It is also gated in tier-1 via ``tests/analysis/test_lint_clean.py``.
+
+Rule catalogue
+--------------
+
+``REP001`` dtype discipline (inference modules only — see
+    ``engine.DEFAULT_DTYPE_MODULES``).  Flags dtype-less
+    ``np.zeros/empty/ones/full/array/arange`` allocations (they default
+    to float64), any ``np.float64`` reference, and
+    ``.astype(float)``-style re-promoting casts.  ``dtype=float`` used
+    to coerce *caller input* at a public boundary is allowed; the
+    ``*_like`` allocators inherit dtype and are never flagged.  This is
+    the ground-clearing for the float32/int8 roadmap item: new scratch
+    arrays must inherit their dtype from the data they hold.
+
+``REP002`` lock discipline (threaded modules only — see
+    ``engine.DEFAULT_LOCK_MODULES``).  An attribute declared with a
+    trailing ``# guarded-by:`` pragma may only be touched inside a
+    lexically enclosing ``with self.<lock>:`` block (``__init__`` and
+    ``# unguarded-ok`` methods excepted — see the pragma grammar).
+
+``REP003`` hot-path purity (any module).  A function marked
+    ``# hot-path`` must stay vectorized: no ``for``/``while`` statements
+    (unless blessed with ``# loop-ok``), no ``np.append``, no
+    list-``.append`` accumulation inside a loop.
+
+``REP004`` equivalence contracts (whole scan root).  Every
+    ``HeartRatePredictor`` subclass must assign ``FLEET_BATCHABLE`` and
+    ``TOLERANCE_FUSABLE`` in its own class body; every ``predict_fleet``
+    override must handle ``FleetState`` stacks (call
+    ``_check_fleet_stack`` or delegate to ``super().predict_fleet``);
+    and every scalar/batch twin pair in the registry
+    (``engine.DEFAULT_BATCH_TWINS``) must exist with matching defaults
+    for shared defaulted parameters.
+
+Pragma grammar
+--------------
+
+All pragmas are trailing comments read via :mod:`tokenize`; a pragma
+must start the comment.  On multi-line statement headers the pragma may
+sit on any header line (``def`` line through the line before the body).
+
+``# guarded-by: <lock>[, <lock>...]``
+    On a ``self._x`` assignment (usually in ``__init__``): declares the
+    attribute guarded.  Extra names are *aliases* of one mutex — e.g.
+    ``threading.Condition`` objects built around the same lock; holding
+    any listed name satisfies the guard.
+
+``# unguarded-ok[: <attr>[, <attr>...]]``
+    On a ``def`` line: exempts the method from REP002 — entirely when
+    bare, or only for the named attributes.  Used for
+    caller-holds-the-lock helpers and documented set-once reads.
+
+``# hot-path``
+    On a ``def`` line: opts the function into REP003.
+
+``# loop-ok[: <reason>]``
+    On a ``for``/``while`` header inside a hot-path function: blesses
+    that loop and its body (for intentionally coarse-grained loops —
+    per-chunk, per-axis, lock-step over stream steps).
+
+``# lint-ok[: <CODE>[, <CODE>...]]``
+    On any finding's anchor line: suppresses the finding inline (all
+    codes when bare).  Prefer this over baselining for one-off,
+    justified exceptions.
+
+Baselining
+----------
+
+Pre-existing findings are grandfathered in ``baseline.json`` next to
+this file.  Entries match on ``(file, code, message)`` — line numbers
+are excluded so unrelated line churn cannot invalidate them — with
+multiset semantics (two identical findings need two entries).  A
+baseline entry that no longer matches anything is reported as *stale*
+so the file shrinks as debt is paid down.  To accept new debt
+deliberately, run ``python -m repro.analysis --write-baseline`` and
+commit the regenerated file; the tier-1 gate only fails on findings
+that are neither fixed, inline-suppressed, nor baselined.
+"""
+
+from repro.analysis.engine import (
+    BatchTwin,
+    Finding,
+    LintConfig,
+    LintReport,
+    default_config,
+    format_json,
+    format_text,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "BatchTwin",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "default_config",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

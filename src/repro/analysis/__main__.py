@@ -1,0 +1,82 @@
+"""CLI entry point: ``python -m repro.analysis [--json] [--baseline PATH]``.
+
+Exit codes: 0 — clean (no findings beyond the baseline), 1 — new
+findings (or stale baseline entries under ``--strict-baseline``),
+2 — usage error (argparse default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import (
+    default_config,
+    format_json,
+    format_text,
+    run_lint,
+    write_baseline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific AST invariant linter (REP001-REP004).",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file to read (default: the committed src/repro/analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="scan root (default: the installed repro package directory)",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(root=args.root, baseline_path=args.baseline)
+    baseline_path = config.baseline_path
+    if args.no_baseline:
+        config.baseline_path = None
+
+    report = run_lint(config)
+
+    if args.write_baseline:
+        assert baseline_path is not None
+        write_baseline(report.findings, baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    print(format_json(report) if args.json else format_text(report))
+    if report.new:
+        return 1
+    if args.strict_baseline and report.unused_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

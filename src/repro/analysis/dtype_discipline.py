@@ -1,0 +1,128 @@
+"""REP001 — dtype discipline in inference-path modules.
+
+The float32/int8 engine planned on the roadmap only works if the
+inference path *inherits* dtypes from its inputs instead of silently
+re-promoting to float64.  Three patterns are flagged in the configured
+inference modules (``LintConfig.dtype_modules``):
+
+1. allocation calls that default to float64 —
+   ``np.zeros/empty/ones/full/array/arange`` without a ``dtype``
+   argument (``*_like`` variants inherit and are fine);
+2. explicit float64 pins: any ``np.float64`` reference;
+3. re-promoting casts: ``.astype(float)`` / ``.astype("float64")`` /
+   ``.astype(np.float64)``.
+
+``dtype=float`` as an *input coercion* (``np.asarray(x, dtype=float)``)
+is deliberately not flagged: it normalizes caller input at the public
+boundary rather than widening an intermediate, and is the documented
+entry contract of the signal modules.  Use ``# lint-ok: REP001`` for the
+rare justified exception.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, LintConfig, ParsedModule
+
+CODE = "REP001"
+
+# Allocation call -> number of positional arguments at which the dtype is
+# already covered positionally (np.zeros(shape, dtype), np.full(shape,
+# fill, dtype), np.arange(start, stop, step, dtype), ...).
+_ALLOC_DTYPE_POSITION = {
+    "zeros": 2,
+    "empty": 2,
+    "ones": 2,
+    "full": 3,
+    "array": 2,
+    "arange": 4,
+}
+_NUMPY_NAMES = {"np", "numpy"}
+
+
+def _is_numpy_attr(node: ast.AST, attr: str | None = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _is_float64_expr(node: ast.AST) -> bool:
+    """``np.float64`` / the string ``"float64"`` / a bare ``float64`` name."""
+    if _is_numpy_attr(node, "float64"):
+        return True
+    if isinstance(node, ast.Constant) and node.value == "float64":
+        return True
+    return isinstance(node, ast.Name) and node.id == "float64"
+
+
+class _DtypeVisitor(ast.NodeVisitor):
+    def __init__(self, module: ParsedModule) -> None:
+        self.module = module
+        self.findings: list[Finding] = []
+        self._context: list[str] = []
+
+    # Track the enclosing function/class name so messages stay meaningful
+    # (and baseline-stable) without line numbers.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._context.append(node.name)
+        self.generic_visit(node)
+        self._context.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._context.append(node.name)
+        self.generic_visit(node)
+        self._context.pop()
+
+    def _where(self) -> str:
+        return ".".join(self._context) if self._context else "<module>"
+
+    def _add(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.module.relpath,
+                line=node.lineno,
+                code=CODE,
+                message=f"{message} (in {self._where()})",
+            )
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Any np.float64 reference is an explicit float64 pin.
+        if _is_numpy_attr(node, "float64"):
+            self._add(node, "explicit np.float64 pins the inference path to float64")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if _is_numpy_attr(func) and func.attr in _ALLOC_DTYPE_POSITION:  # type: ignore[union-attr]
+            has_dtype_kw = any(kw.arg == "dtype" for kw in node.keywords)
+            has_dtype_pos = len(node.args) >= _ALLOC_DTYPE_POSITION[func.attr]  # type: ignore[union-attr]
+            if not (has_dtype_kw or has_dtype_pos):
+                self._add(
+                    node,
+                    f"np.{func.attr} without an explicit dtype defaults to float64 — "  # type: ignore[union-attr]
+                    "inherit the input dtype or pass dtype=...",
+                )
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and node.args:
+            arg = node.args[0]
+            is_float_name = isinstance(arg, ast.Name) and arg.id == "float"
+            if is_float_name or _is_float64_expr(arg):
+                self._add(
+                    node,
+                    "astype(float) re-promotes to float64 — cast to the input dtype instead",
+                )
+        self.generic_visit(node)
+
+
+def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    if module.relpath not in config.dtype_modules:
+        return []
+    visitor = _DtypeVisitor(module)
+    visitor.visit(module.tree)
+    return visitor.findings

@@ -1,0 +1,88 @@
+"""REP003 — hot-path purity.
+
+A function whose ``def`` line carries ``# hot-path`` is part of the
+vectorized inference path (the wins of the batched AT detector, the GEMM
+convolution and the fused fleet paths).  Inside such a function the
+checker flags:
+
+* any ``for`` / ``while`` statement — vectorized code has no
+  per-element Python loops (comprehensions are left alone: they are used
+  for small fixed-arity collections, not array traversal);
+* ``np.append`` anywhere — it reallocates per call and is quadratic in
+  a loop;
+* ``.append(...)`` inside a loop — the list-accumulate pattern the
+  batched twins exist to remove.
+
+A loop that is *intentionally* coarse-grained (per-chunk, per-axis,
+lock-step over stream steps — bounded by something other than array
+length) is blessed in place with ``# loop-ok: <reason>`` on its header
+line, which exempts the loop and its entire body.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, LintConfig, ParsedModule
+
+CODE = "REP003"
+
+
+class _HotPathWalker:
+    def __init__(self, module: ParsedModule, func_name: str) -> None:
+        self.module = module
+        self.func_name = func_name
+        self.findings: list[Finding] = []
+
+    def _add(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.module.relpath,
+                line=node.lineno,
+                code=CODE,
+                message=f"{message} (in hot-path function {self.func_name})",
+            )
+        )
+
+    def walk(self, node: ast.AST, loop_depth: int) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            first, last = self.module.header_span(node)
+            if self.module.pragmas.find("loop-ok", first, last) is not None:
+                return  # blessed loop: skip it and everything inside
+            kind = "while" if isinstance(node, ast.While) else "for"
+            self._add(node, f"explicit `{kind}` loop in a hot-path function — vectorize it")
+            for child in ast.iter_child_nodes(node):
+                self.walk(child, loop_depth + 1)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "append"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                self._add(node, "np.append reallocates per call (quadratic accumulation)")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "append"
+                and loop_depth > 0
+            ):
+                self._add(node, "per-element list accumulation (`.append` inside a loop)")
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, loop_depth)
+
+
+def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first, last = module.header_span(node)
+        if module.pragmas.find("hot-path", first, last) is None:
+            continue
+        walker = _HotPathWalker(module, node.name)
+        for child in node.body:
+            walker.walk(child, 0)
+        findings.extend(walker.findings)
+    return findings

@@ -1,0 +1,148 @@
+"""REP002 — lock discipline in the threaded modules.
+
+An instance attribute assigned with a trailing ``# guarded-by: <lock>``
+pragma (``self._tables = {}  # guarded-by: _lock``) may only be read or
+written while a ``with self.<lock>:`` block is lexically open.  Several
+lock names may be listed (``# guarded-by: _lock, _arrivals``) when
+aliases of one mutex exist — e.g. ``threading.Condition`` objects
+constructed around the same lock; holding *any* listed alias satisfies
+the guard.
+
+Escapes:
+
+* ``__init__`` is implicitly exempt — the instance is not yet shared
+  while it is being constructed;
+* a method whose ``def`` line carries ``# unguarded-ok`` (optionally
+  naming specific attributes, ``# unguarded-ok: _active_ids``) is
+  exempt, which is how caller-holds-the-lock helpers and benign
+  set-once-before-sharing reads are documented in place;
+* the declaration line itself (the one carrying ``# guarded-by``) is
+  never flagged.
+
+The checker is lexical, not a model checker: it sees ``with`` blocks,
+not lock acquisition through helper calls — which is exactly the
+discipline the scheduler and registry code follows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, LintConfig, ParsedModule
+
+CODE = "REP002"
+
+
+def collect_guarded_declarations(module: ParsedModule, cls: ast.ClassDef) -> dict[str, frozenset[str]]:
+    """``attr -> accepted lock names`` from ``# guarded-by`` pragmas on
+    ``self.<attr>`` assignments (or class-level assignments) in ``cls``."""
+    guarded: dict[str, frozenset[str]] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            last_line = getattr(node, "end_lineno", node.lineno) or node.lineno
+            pragma = module.pragmas.find("guarded-by", node.lineno, last_line)
+            if pragma is None or not pragma.args:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None and isinstance(target, ast.Name):
+                    attr = target.id  # class-level declaration
+                if attr is not None:
+                    guarded[attr] = frozenset(pragma.args)
+    return guarded
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _LockWalker:
+    """Walk one method body tracking which ``with self.<x>:`` blocks are
+    lexically open."""
+
+    def __init__(
+        self,
+        module: ParsedModule,
+        cls_name: str,
+        method_name: str,
+        guarded: dict[str, frozenset[str]],
+        exempt: frozenset[str] | None,  # None => everything exempt
+    ) -> None:
+        self.module = module
+        self.cls_name = cls_name
+        self.method_name = method_name
+        self.guarded = guarded
+        self.exempt = exempt
+        self.findings: list[Finding] = []
+
+    def walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, ast.With):
+            acquired = {
+                attr
+                for item in node.items
+                if (attr := _self_attr(item.context_expr)) is not None
+            }
+            # The context expressions themselves evaluate before the lock
+            # is held.
+            for item in node.items:
+                self.walk(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self.walk(item.optional_vars, held)
+            for child in node.body:
+                self.walk(child, held | acquired)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and attr in self.guarded:
+                if self.exempt is None or attr in self.exempt:
+                    pass  # method-level pragma covers this attribute
+                elif not (held & self.guarded[attr]):
+                    if self.module.pragmas.find("guarded-by", node.lineno) is None:
+                        locks = "/".join(sorted(self.guarded[attr]))
+                        self.findings.append(
+                            Finding(
+                                file=self.module.relpath,
+                                line=node.lineno,
+                                code=CODE,
+                                message=(
+                                    f"self.{attr} accessed outside its guarding lock "
+                                    f"({locks}) in {self.cls_name}.{self.method_name}"
+                                ),
+                            )
+                        )
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+
+def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    if module.relpath not in config.lock_modules:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guarded = collect_guarded_declarations(module, node)
+        if not guarded:
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue
+            first, last = module.header_span(stmt)
+            pragma = module.pragmas.find("unguarded-ok", first, last)
+            if pragma is not None and not pragma.args:
+                continue  # bare pragma: whole method exempt
+            exempt = frozenset(pragma.args) if pragma is not None else frozenset()
+            walker = _LockWalker(module, node.name, stmt.name, guarded, exempt or frozenset())
+            for child in stmt.body:
+                walker.walk(child, frozenset())
+            findings.extend(walker.findings)
+    return findings

@@ -77,6 +77,10 @@ from repro.data.dataset import WindowedSubject
 from repro.hw.platform import CostTableRegistry, WearableSystem
 
 #: Worker-process state installed by :func:`_init_fleet_worker`.
+#: Deliberately lock-free (REP002 scans this module but nothing here is
+#: declared ``# guarded-by``): the dict is written once per *process* by
+#: the pool initializer and the executor uses process — not thread —
+#: workers, so no two threads ever share it.
 _WORKER_STATE: dict = {}
 
 

@@ -165,14 +165,17 @@ class FleetScheduler:
         #: replay would have after every dispatched session.
         self._runtime = copy.deepcopy(runtime)
         self._tickets = itertools.count()
+        # ``_arrivals`` and ``_resolved`` are Conditions built around
+        # ``_lock``: entering any of the three holds the same mutex, so
+        # the guarded-by pragmas below list all three as aliases.
         self._lock = threading.Lock()
         self._arrivals = threading.Condition(self._lock)
         self._resolved = threading.Condition(self._lock)
-        self._pending: deque[FleetSession] = deque()
-        self._active_ids: set[str] = set()
-        self._unresolved = 0
-        self._closed = False
-        self._paused = False
+        self._pending: deque[FleetSession] = deque()  # guarded-by: _lock, _arrivals, _resolved
+        self._active_ids: set[str] = set()  # guarded-by: _lock, _arrivals, _resolved
+        self._unresolved = 0  # guarded-by: _lock, _arrivals, _resolved
+        self._closed = False  # guarded-by: _lock, _arrivals, _resolved
+        self._paused = False  # guarded-by: _lock, _arrivals, _resolved
         #: Batches are stamped with a monotonically increasing *epoch* in
         #: dispatch (= stream) order.  When a batch fails after predictor
         #: streams may have advanced (fast-forward or partial execution),
@@ -181,7 +184,7 @@ class FleetScheduler:
         #: failed one would execute, so its stream position — and any
         #: result it produces — no longer matches sequential replay and
         #: must be failed rather than delivered.  Guarded by ``_lock``.
-        self._corrupt_epoch: float = math.inf
+        self._corrupt_epoch: float = math.inf  # guarded-by: _lock, _arrivals, _resolved
         self._epochs = itertools.count()
         self._done_q: "queue.Queue[FleetSession]" = queue.Queue()
         self._pool = ThreadPoolExecutor(
@@ -445,8 +448,13 @@ class FleetScheduler:
                 session.state = SessionState.FAILED
                 self._resolve_locked(session, deliver=True)
 
-    def _resolve_locked(self, session: FleetSession, deliver: bool) -> None:
-        """Bookkeeping for a session reaching a terminal state (lock held)."""
+    def _resolve_locked(self, session: FleetSession, deliver: bool) -> None:  # unguarded-ok: _active_ids, _unresolved
+        """Bookkeeping for a session reaching a terminal state (lock held).
+
+        Every caller (``retire``, ``_fail_batch``, ``_execute_batch``)
+        already holds ``_lock`` — the ``_locked`` suffix is the contract,
+        hence the attribute-scoped ``unguarded-ok`` pragma above.
+        """
         self._active_ids.discard(session.subject_id)
         if deliver:
             self._done_q.put(session)

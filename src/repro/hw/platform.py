@@ -106,13 +106,14 @@ class CostTableRegistry:
     """
 
     def __init__(self) -> None:
-        self._tables: dict[tuple, dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost]] = {}
+        self._tables: dict[tuple, dict[tuple[ModelDeployment, ExecutionTarget], PredictionCost]] = {}  # guarded-by: _lock
         #: In strict mode a lookup miss raises :class:`CostTableError`
         #: instead of profiling.  Fleet workers that load a table the
         #: parent shipped turn this on: a miss there means the parent
         #: shipped the wrong or a partial table, which silent
-        #: re-profiling would mask.
-        self.strict = False
+        #: re-profiling would mask.  Set once before the registry is
+        #: shared (worker init / deserialization), never mid-run.
+        self.strict = False  # guarded-by: _lock
         #: Guards ``_tables`` against concurrent fills/reads; re-entrant
         #: because :meth:`profile_system` holds it across its
         #: :meth:`lookup` calls so a profiling pass is atomic.
@@ -152,13 +153,19 @@ class CostTableRegistry:
             return list(self._tables)
 
     # ---------------------------------------------------------------- lookup
-    def lookup(
+    def lookup(  # unguarded-ok: strict
         self,
         system: "WearableSystem",
         deployment: ModelDeployment,
         target: ExecutionTarget,
     ) -> PredictionCost:
         """Memoized cost of one prediction on ``system``'s hardware revision.
+
+        The lock-free :attr:`strict` read at the top is deliberate
+        (``unguarded-ok`` above): the flag is configuration, flipped only
+        in worker initialization before the registry is shared — taking
+        the re-entrant lock for it on every hot-path lookup would buy
+        nothing.
 
         Profiles the pair on first sight and returns the shared
         :class:`PredictionCost` object afterwards — including to *other*

@@ -46,6 +46,13 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         Plausibility band used to reject spurious inter-peak intervals.
     """
 
+    # Equivalence-contract flags (REP004 requires them explicit): AT is
+    # stateful (NaN fallback carries across windows), so the fleet path
+    # must go through the stacked-state predict_fleet, not naive window
+    # batching; and as a bitwise-policy model it is never tolerance-fused.
+    FLEET_BATCHABLE = False
+    TOLERANCE_FUSABLE = False
+
     def __init__(
         self,
         fs: float = 32.0,
@@ -94,7 +101,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
             peaks, fs=self.fs, min_bpm=self.min_bpm, max_bpm=self.max_bpm
         )
 
-    def _raw_window_estimate_batch(self, ppg_windows: np.ndarray) -> np.ndarray:
+    def _raw_window_estimate_batch(self, ppg_windows: np.ndarray) -> np.ndarray:  # hot-path
         """Vectorized :meth:`_raw_window_estimate` over a window batch.
 
         One batched threshold recurrence + region extraction for the
@@ -117,7 +124,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         )
 
     # ---------------------------------------------------------------- batch
-    def predict(
+    def predict(  # hot-path
         self,
         ppg_windows: np.ndarray,
         accel_windows: np.ndarray | None = None,
@@ -141,7 +148,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         seed = np.nan if self._last_estimate is None else self._last_estimate
         stream = np.concatenate([[seed], raw])
         valid = ~np.isnan(stream)
-        idx = np.where(valid, np.arange(stream.size), 0)
+        idx = np.where(valid, np.arange(stream.size, dtype=np.intp), 0)
         np.maximum.accumulate(idx, out=idx)
         filled = stream[idx]
         self._last_estimate = None if np.isnan(filled[-1]) else float(filled[-1])
@@ -149,7 +156,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         return np.where(np.isnan(out), self.FALLBACK_BPM, out)
 
     # ---------------------------------------------------------------- fleet
-    def predict_fleet(
+    def predict_fleet(  # hot-path
         self,
         ppg_windows: np.ndarray,
         accel_windows: np.ndarray | None = None,

@@ -422,7 +422,7 @@ class HeartRatePredictor:
         self._last_estimate = float(bpm)
         return float(bpm)
 
-    def _with_fallback_fleet(
+    def _with_fallback_fleet(  # hot-path
         self, bpm: np.ndarray, subject_index: np.ndarray, state: FleetState
     ) -> np.ndarray:
         """Vectorized per-slot :meth:`_with_fallback` over a stacked stream.

@@ -130,6 +130,9 @@ class CalibratedHRModel(HeartRatePredictor):
     #: Laplace stream continues across runs), so whole fleets of subjects
     #: can be fused into one ``predict`` call per model.
     FLEET_BATCHABLE = True
+    #: Draws consume the Laplace stream sequentially, so cross-subject
+    #: fusion under the tolerance policy would reorder the stream.
+    TOLERANCE_FUSABLE = False
 
     def __init__(
         self,
@@ -256,6 +259,9 @@ class SmoothedCalibratedHRModel(CalibratedHRModel):
     """
 
     FLEET_BATCHABLE = False
+    #: The smoothing recurrence is replayed bit-identically by the
+    #: stacked fleet path; tolerance fusion is neither needed nor sound.
+    TOLERANCE_FUSABLE = False
 
     def __init__(
         self,
@@ -323,7 +329,7 @@ class SmoothedCalibratedHRModel(CalibratedHRModel):
             self._last_estimate = last
         return out
 
-    def predict_fleet(
+    def predict_fleet(  # hot-path
         self,
         ppg_windows: np.ndarray,
         accel_windows: np.ndarray | None = None,
@@ -362,14 +368,14 @@ class SmoothedCalibratedHRModel(CalibratedHRModel):
         if stack.uniform:
             # Full-width streams: each row smooths the previous one
             # in place — no per-step width bookkeeping.
-            for t in range(1, dense.shape[0]):
+            for t in range(1, dense.shape[0]):  # loop-ok: lock-step over stream positions, vectorized across slots
                 row = out[t]
                 np.multiply(out[t - 1], s, out=row)
                 np.add(row, scaled[t], out=row)
             est = out[-1].copy() if dense.shape[0] else est
         else:
             est[: stack.widths[0]] = out[0, : stack.widths[0]]
-            for t in range(1, dense.shape[0]):
+            for t in range(1, dense.shape[0]):  # loop-ok: lock-step over stream positions, vectorized across slots
                 k = int(stack.widths[t])
                 e = est[:k]
                 np.multiply(e, s, out=e)

@@ -43,6 +43,12 @@ class SpectralHRPredictor(HeartRatePredictor):
         frequency jumps implausibly far; a simple tracking smoother.
     """
 
+    # Equivalence-contract flags (REP004 requires them explicit): the
+    # tracking smoother is stateful, so fleet prediction goes through the
+    # stacked-state path; bitwise policy only, never tolerance-fused.
+    FLEET_BATCHABLE = False
+    TOLERANCE_FUSABLE = False
+
     def __init__(
         self,
         fs: float = 32.0,
@@ -110,7 +116,7 @@ class SpectralHRPredictor(HeartRatePredictor):
         return self._with_fallback(bpm)
 
     # ---------------------------------------------------------------- fleet
-    def _raw_band_peaks(
+    def _raw_band_peaks(  # hot-path
         self, ppg_windows: np.ndarray, accel_windows: np.ndarray | None
     ) -> np.ndarray:
         """State-free dominant-band estimates (BPM) for a batch of windows.
@@ -133,7 +139,7 @@ class SpectralHRPredictor(HeartRatePredictor):
                 accel_windows = accel_windows[:, :, None]
             accel_power = np.zeros_like(power)
             nfft = 2 * (freqs.size - 1)
-            for axis in range(accel_windows.shape[2]):
+            for axis in range(accel_windows.shape[2]):  # loop-ok: per accel axis (3), spectra are batched inside
                 _, p = power_spectrum_batch(
                     accel_windows[:, :, axis], self.fs, nfft=nfft
                 )
@@ -155,7 +161,7 @@ class SpectralHRPredictor(HeartRatePredictor):
             bpm[has_peak] = 60.0 * band_freqs[best[has_peak]]
         return bpm
 
-    def predict_fleet(
+    def predict_fleet(  # hot-path
         self,
         ppg_windows: np.ndarray,
         accel_windows: np.ndarray | None = None,
@@ -183,7 +189,7 @@ class SpectralHRPredictor(HeartRatePredictor):
         est = stack.gather_slots(state.last_estimate)
         w = self.tracking_weight
         with np.errstate(invalid="ignore"):
-            for t in range(dense.shape[0]):
+            for t in range(dense.shape[0]):  # loop-ok: lock-step over stream positions, vectorized across slots
                 k = int(stack.widths[t])
                 bpm = dense[t, :k]
                 e = est[:k]

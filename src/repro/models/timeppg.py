@@ -188,7 +188,9 @@ class TimePPGPredictor(HeartRatePredictor):
 
     #: Stateless forward, but not row-bit-stable across batch shapes —
     #: may fuse across subjects under the tolerance equivalence policy
-    #: (see the module docstring).
+    #: (see the module docstring), and for the same reason must *not* be
+    #: naively fleet-batched under the bitwise policy.
+    FLEET_BATCHABLE = False
     TOLERANCE_FUSABLE = True
 
     def __init__(
@@ -268,7 +270,7 @@ class TimePPGPredictor(HeartRatePredictor):
             return self._frozen.forward(batch, training=False)
         return self.network.forward(batch, training=False)
 
-    def predict(
+    def predict(  # hot-path
         self,
         ppg_windows: np.ndarray,
         accel_windows: np.ndarray | None = None,
@@ -284,7 +286,7 @@ class TimePPGPredictor(HeartRatePredictor):
         if batch.shape[0] == 0:
             return np.empty(0, dtype=float)
         outputs = []
-        for start in range(0, batch.shape[0], batch_size):
+        for start in range(0, batch.shape[0], batch_size):  # loop-ok: per chunk of batch_size windows, not per element
             outputs.append(self._forward(batch[start:start + batch_size]))
         predictions = np.concatenate(outputs, axis=0).reshape(-1)
         return np.clip(predictions, 30.0, 220.0)

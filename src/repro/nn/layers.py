@@ -209,7 +209,7 @@ class Conv1d(Layer):
         }
         return out
 
-    def _forward_gemm(self, x_padded: np.ndarray, l_out: int) -> np.ndarray:
+    def _forward_gemm(self, x_padded: np.ndarray, l_out: int) -> np.ndarray:  # hot-path
         """Inference lowering: stride-tricks im2col + one batched GEMM.
 
         A zero-copy sliding-window view exposes every (dilated) kernel
@@ -227,8 +227,15 @@ class Conv1d(Layer):
         # (batch, in_ch, l_out, kernel): strided output positions, dilated taps.
         view = view[:, :, : (l_out - 1) * self.stride + 1 : self.stride, :: self.dilation]
         shape = (batch, self.in_channels, self.kernel_size, l_out)
-        if self._gemm_cols is None or self._gemm_cols.shape != shape:
-            self._gemm_cols = np.empty(shape)
+        # The column buffer inherits the input's dtype (and is reallocated
+        # on a dtype switch): a float32 forward must not stage its columns
+        # through a float64 scratch array.
+        if (
+            self._gemm_cols is None
+            or self._gemm_cols.shape != shape
+            or self._gemm_cols.dtype != x_padded.dtype
+        ):
+            self._gemm_cols = np.empty(shape, dtype=x_padded.dtype)
         np.copyto(self._gemm_cols, view.transpose(0, 1, 3, 2))
         cols = self._gemm_cols.reshape(batch, self.in_channels * self.kernel_size, l_out)
         weight = self.params["weight"].reshape(self.out_channels, -1)

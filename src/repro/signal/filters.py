@@ -44,7 +44,7 @@ def moving_average(x: np.ndarray, window: int) -> np.ndarray:
     return moving_average_batch(x[None, :], window)[0]
 
 
-def moving_average_batch(x: np.ndarray, window: int) -> np.ndarray:
+def moving_average_batch(x: np.ndarray, window: int) -> np.ndarray:  # hot-path
     """Row-wise :func:`moving_average` over a ``(n_rows, length)`` batch.
 
     Every row is processed exactly like the scalar function processes a
@@ -70,10 +70,13 @@ def moving_average_batch(x: np.ndarray, window: int) -> np.ndarray:
     cumsum = np.cumsum(x, axis=1)
     out = np.empty_like(x)
     head = min(window - 1, length)
-    out[:, :head] = cumsum[:, :head] / np.arange(1, head + 1)
+    # The warm-up divisors and the zero pad inherit the input dtype: small
+    # integers are exact in float32 as in float64, so the recurrence stays
+    # bit-identical per precision while never widening a float32 batch.
+    out[:, :head] = cumsum[:, :head] / np.arange(1, head + 1, dtype=x.dtype)
     if length >= window:
         shifted = np.concatenate(
-            [np.zeros((x.shape[0], 1)), cumsum[:, :-window]], axis=1
+            [np.zeros((x.shape[0], 1), dtype=cumsum.dtype), cumsum[:, :-window]], axis=1
         )
         out[:, window - 1:] = (cumsum[:, window - 1:] - shifted) / window
     return out

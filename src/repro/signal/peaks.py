@@ -131,7 +131,7 @@ def peak_intervals_to_bpm(peaks: np.ndarray, fs: float, min_bpm: float = 30.0, m
     return float(np.cumsum(valid)[-1]) / valid.size
 
 
-def adaptive_threshold_peaks_batch(
+def adaptive_threshold_peaks_batch(  # hot-path
     x: np.ndarray, window: int = 24
 ) -> tuple[np.ndarray, np.ndarray]:
     """Row-wise AT peak detection over a ``(n_windows, window_len)`` batch.
@@ -197,7 +197,7 @@ def adaptive_threshold_peaks_batch(
     return (peak_flat // length).astype(int), (peak_flat % length).astype(int)
 
 
-def peak_intervals_to_bpm_batch(
+def peak_intervals_to_bpm_batch(  # hot-path
     peak_rows: np.ndarray,
     peak_positions: np.ndarray,
     n_rows: int,
@@ -218,7 +218,11 @@ def peak_intervals_to_bpm_batch(
     """
     peak_rows = np.asarray(peak_rows, dtype=np.intp)
     peak_positions = np.asarray(peak_positions, dtype=np.intp)
-    out = np.full(n_rows, np.nan)
+    # Scratch arrays carry explicit dtypes: the BPM math happens in float64
+    # today (intervals come from integer positions / float(fs)), and the
+    # index ranks are plain platform ints — neither may silently widen a
+    # future float32 pipeline's outputs.
+    out = np.full(n_rows, np.nan, dtype=float)
     if peak_rows.size < 2:
         return out
     same_row = peak_rows[1:] == peak_rows[:-1]
@@ -238,8 +242,8 @@ def peak_intervals_to_bpm_batch(
     # cumsum is strictly sequential and the right-padding zeros are
     # exact, so the last column equals the scalar path's running sum.
     row_starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
-    rank = np.arange(valid_bpm.size) - row_starts[valid_rows]
-    dense = np.zeros((n_rows, int(counts.max())))
+    rank = np.arange(valid_bpm.size, dtype=np.intp) - row_starts[valid_rows]
+    dense = np.zeros((n_rows, int(counts.max())), dtype=valid_bpm.dtype)
     dense[valid_rows, rank] = valid_bpm
     totals = np.cumsum(dense, axis=1)[:, -1]
     has_valid = counts > 0
@@ -264,7 +268,7 @@ def count_sign_changes(x: np.ndarray) -> int:
     if not nonzero.any():
         return 0
     # Forward-fill zero signs with the last non-zero sign.
-    idx = np.where(nonzero, np.arange(signs.size), 0)
+    idx = np.where(nonzero, np.arange(signs.size, dtype=np.intp), 0)
     np.maximum.accumulate(idx, out=idx)
     filled = signs[idx]
     return int(np.count_nonzero(np.diff(filled) != 0))

@@ -43,7 +43,7 @@ def power_spectrum(x: np.ndarray, fs: float, nfft: int | None = None) -> tuple[n
     return freqs, power
 
 
-def power_spectrum_batch(
+def power_spectrum_batch(  # hot-path
     x: np.ndarray, fs: float, nfft: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """One-sided power spectra of a batch of equally long 1-D signals.
@@ -93,7 +93,7 @@ def welch_spectrum(
     window = np.hanning(seg)
     nfft = max(256, 4 * seg)
     freqs = np.fft.rfftfreq(nfft, d=1.0 / fs)
-    acc = np.zeros(freqs.size)
+    acc = np.zeros(freqs.size, dtype=x.dtype)
     count = 0
     for start in range(0, x.size - seg + 1, step):
         chunk = x[start:start + seg]

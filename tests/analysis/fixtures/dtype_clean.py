@@ -1,0 +1,17 @@
+"""REP001 fixture (clean twin): every allocation inherits or states its dtype."""
+
+import numpy as np
+
+
+def alloc_with_dtype(x, n):
+    buf = np.zeros(n, dtype=x.dtype)
+    idx = np.arange(n, dtype=np.intp)
+    filled = np.full(n, -1.0, dtype=x.dtype)
+    like = np.empty_like(x)  # *_like inherits the dtype, never flagged
+    return buf, idx, filled, like
+
+
+def boundary_coercion(x):
+    # dtype=float at a public input boundary is the documented entry
+    # contract, not a mid-pipeline widening — deliberately not flagged.
+    return np.asarray(x, dtype=float)

@@ -1,0 +1,27 @@
+"""REP001 fixture (dirty twin): dtype-undisciplined allocations.
+
+Each violating line carries a ``# PLANT: <code>`` marker; the test
+derives the expected (line, code) pairs from these markers so the
+assertions survive fixture edits.  This module is only ever *parsed* by
+the lint engine, never imported.
+"""
+
+import numpy as np
+
+
+def alloc_without_dtype(n):
+    buf = np.zeros(n)  # PLANT: REP001
+    idx = np.arange(n)  # PLANT: REP001
+    filled = np.full(n, -1.0)  # PLANT: REP001
+    return buf, idx, filled
+
+
+def promote_to_float64(x):
+    y = x.astype(float)  # PLANT: REP001
+    z = np.empty(x.shape, dtype=np.float64)  # PLANT: REP001
+    return y + z
+
+
+def suppressed_promotion(x):
+    # An inline lint-ok keeps a justified exception out of the report.
+    return np.ones(x.shape)  # lint-ok: REP001

@@ -1,0 +1,18 @@
+"""REP003 fixture (clean twin): vectorized hot paths, plus a blessed
+coarse-grained loop."""
+
+import numpy as np
+
+
+def rolling_mean(x, w):  # hot-path
+    cumsum = np.cumsum(x)
+    head = cumsum[:w] / np.arange(1, min(w, x.size) + 1, dtype=x.dtype)
+    tail = (cumsum[w:] - cumsum[:-w]) / w
+    return np.concatenate([head, tail])
+
+
+def chunked_forward(batch, batch_size=64):  # hot-path
+    outputs = []
+    for start in range(0, batch.shape[0], batch_size):  # loop-ok: per chunk, not per element
+        outputs.append(batch[start:start + batch_size] * 2.0)
+    return np.concatenate(outputs)

@@ -1,0 +1,26 @@
+"""REP003 fixture (dirty twin): loops and per-element accumulation in
+functions marked ``# hot-path``."""
+
+import numpy as np
+
+
+def rolling_mean(x, w):  # hot-path
+    out = []
+    for i in range(len(x)):  # PLANT: REP003
+        out.append(x[max(0, i - w):i + 1].mean())  # PLANT: REP003
+    return np.asarray(out)
+
+
+def grow(x):  # hot-path
+    acc = np.empty(0, dtype=x.dtype)
+    while acc.size < x.size:  # PLANT: REP003
+        acc = np.append(acc, x[acc.size])  # PLANT: REP003
+    return acc
+
+
+def unmarked(x):
+    # No hot-path pragma: loops here are legal.
+    total = 0.0
+    for value in x:
+        total += value
+    return total

@@ -1,0 +1,39 @@
+"""REP002 fixture (clean twin): every guarded access holds a declared lock
+(or is exempted the documented way)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._tables = {}  # guarded-by: _lock, _cond
+        self._closed = False  # guarded-by: _lock, _cond
+        self.strict = False  # guarded-by: _lock
+
+    def fill(self, key, value):
+        with self._lock:
+            self._tables[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._tables)
+
+    def drain(self):
+        # A Condition alias of the mutex satisfies the guard.
+        with self._cond:
+            while not self._closed:
+                self._cond.wait()
+            return dict(self._tables)
+
+    def lookup(self, key):  # unguarded-ok: strict
+        if self.strict:
+            raise KeyError(key)
+        with self._lock:
+            return self._tables.get(key)
+
+    def _resolve_locked(self):  # unguarded-ok
+        # Caller-holds-the-lock helper: bare pragma exempts the method.
+        self._closed = True
+        return self._tables

@@ -1,0 +1,96 @@
+"""Baseline round-trip: add -> suppress -> remove, plus stale detection."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, load_baseline, run_lint, write_baseline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def sandbox(tmp_path):
+    """A private scan root holding only the dtype dirty twin."""
+    shutil.copy(FIXTURES / "dtype_dirty.py", tmp_path / "dtype_dirty.py")
+    return tmp_path
+
+
+def sandbox_config(root: Path) -> LintConfig:
+    return LintConfig(
+        root=root,
+        dtype_modules=("dtype_dirty.py",),
+        lock_modules=(),
+        batch_twins=(),
+        baseline_path=root / "baseline.json",
+    )
+
+
+def test_missing_baseline_reports_everything_new(sandbox):
+    report = run_lint(sandbox_config(sandbox))
+    assert report.new and report.new == report.findings
+    assert not report.baselined and not report.unused_baseline
+
+
+def test_write_then_rerun_suppresses_all(sandbox):
+    config = sandbox_config(sandbox)
+    first = run_lint(config)
+    write_baseline(first.findings, config.baseline_path)
+
+    second = run_lint(config)
+    assert second.clean
+    assert second.new == []
+    assert second.baselined == first.findings
+    # The file round-trips through the loader as an exact multiset.
+    assert load_baseline(config.baseline_path) == {
+        key: sum(1 for f in first.findings if f.key() == key)
+        for key in {f.key() for f in first.findings}
+    }
+
+
+def test_removed_entry_resurfaces_exactly_that_finding(sandbox):
+    config = sandbox_config(sandbox)
+    first = run_lint(config)
+    write_baseline(first.findings, config.baseline_path)
+
+    payload = json.loads(config.baseline_path.read_text())
+    dropped = payload["findings"].pop(0)
+    config.baseline_path.write_text(json.dumps(payload))
+
+    report = run_lint(config)
+    assert len(report.new) == 1
+    resurfaced = report.new[0]
+    assert (resurfaced.file, resurfaced.code, resurfaced.message) == (
+        dropped["file"], dropped["code"], dropped["message"],
+    )
+
+
+def test_stale_entry_is_reported_not_fatal(sandbox):
+    config = sandbox_config(sandbox)
+    first = run_lint(config)
+    write_baseline(first.findings, config.baseline_path)
+
+    payload = json.loads(config.baseline_path.read_text())
+    payload["findings"].append(
+        {"file": "dtype_dirty.py", "code": "REP001", "message": "no longer exists"}
+    )
+    config.baseline_path.write_text(json.dumps(payload))
+
+    report = run_lint(config)
+    assert report.clean  # stale entries alone do not fail the run
+    assert report.unused_baseline == [("dtype_dirty.py", "REP001", "no longer exists")]
+
+
+def test_fixed_finding_goes_stale(sandbox):
+    config = sandbox_config(sandbox)
+    write_baseline(run_lint(config).findings, config.baseline_path)
+
+    # "Fix" every violation by replacing the module with a clean twin.
+    shutil.copy(FIXTURES / "dtype_clean.py", sandbox / "dtype_dirty.py")
+    report = run_lint(config)
+    assert report.new == [] and report.baselined == []
+    assert report.unused_baseline  # the whole baseline is now stale
