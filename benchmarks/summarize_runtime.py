@@ -12,7 +12,10 @@ fallback), and through the fused inference engine (``"inference"`` block:
 batched AT peak detection vs the scalar detector, TimePPG's frozen
 inference network vs the training-mode forward, and the
 ``equivalence="tolerance"`` cross-subject TimePPG fusion vs the bitwise
-per-subject dispatch) — and writes the measured throughputs, MAE and
+per-subject dispatch), and through the crash-safe checkpointed fleet
+path (``"checkpoint"`` block: journal + atomic shard staging vs the
+unstaged pool, plus the all-shards-staged resume replay) — and writes
+the measured throughputs, MAE and
 offload statistics to ``BENCH_runtime.json`` at the repository root, so
 successive PRs can track the perf trajectory of every hot path.
 
@@ -31,6 +34,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.eval.benchmarking import (  # noqa: E402
+    benchmark_checkpoint,
     benchmark_fleet,
     benchmark_inference,
     benchmark_runtime,
@@ -55,6 +59,9 @@ def main(output_path: Path | None = None) -> dict:
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
     outcome["inference"] = benchmark_inference(experiment, seed=0)
+    outcome["checkpoint"] = benchmark_checkpoint(
+        experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
+    )
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")
     print(json.dumps(outcome, indent=2))
     print(f"\nwritten to {output_path}")

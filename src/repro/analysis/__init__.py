@@ -1,10 +1,11 @@
 """repro.analysis — repo-specific AST invariant linter.
 
-Five PRs of engine work rest on conventions no generic linter knows
+Several PRs of engine work rest on conventions no generic linter knows
 about: locked dispatcher state, vectorized hot paths, scalar/batch
-bit-identity twins, explicit equivalence flags, and an inference path
-that must not silently re-promote to float64.  This package enforces
-them statically.  Run it as::
+bit-identity twins, explicit equivalence flags, an inference path
+that must not silently re-promote to float64, and durable state that
+must only be committed atomically.  This package enforces them
+statically.  Run it as::
 
     PYTHONPATH=src python -m repro.analysis            # text report, exit 1 on new findings
     PYTHONPATH=src python -m repro.analysis --json     # machine-readable report
@@ -44,6 +45,14 @@ Rule catalogue
     and every scalar/batch twin pair in the registry
     (``engine.DEFAULT_BATCH_TWINS``) must exist with matching defaults
     for shared defaulted parameters.
+
+``REP005`` persistence atomicity (durable-state modules only — see
+    ``engine.DEFAULT_PERSISTENCE_MODULES``).  Durable state must be
+    committed through the atomic temp-file-then-``os.replace`` helpers:
+    flags bare write-mode ``open()`` calls and direct
+    ``.write_text()``/``.write_bytes()`` calls outside functions named
+    ``atomic_*``/``_atomic*`` — a torn journal or manifest would be
+    silently trusted by the next resumed run.
 
 Pragma grammar
 --------------

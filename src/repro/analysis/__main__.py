@@ -23,7 +23,7 @@ from repro.analysis.engine import (
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo-specific AST invariant linter (REP001-REP004).",
+        description="Repo-specific AST invariant linter (REP001-REP005).",
     )
     parser.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
     parser.add_argument(

@@ -172,6 +172,11 @@ DEFAULT_BATCH_TWINS: tuple[BatchTwin, ...] = (
     BatchTwin("signal/spectral.py", "power_spectrum", "power_spectrum_batch"),
 )
 
+# Durable-state modules subject to REP005 (persistence atomicity).
+DEFAULT_PERSISTENCE_MODULES: tuple[str, ...] = (
+    "core/checkpoint.py",
+)
+
 
 @dataclass
 class LintConfig:
@@ -183,6 +188,7 @@ class LintConfig:
     contract_root: str = "HeartRatePredictor"
     required_flags: tuple[str, ...] = ("FLEET_BATCHABLE", "TOLERANCE_FUSABLE")
     batch_twins: tuple[BatchTwin, ...] = DEFAULT_BATCH_TWINS
+    persistence_modules: tuple[str, ...] = DEFAULT_PERSISTENCE_MODULES
     baseline_path: Path | None = None
     exclude_dirs: tuple[str, ...] = ("__pycache__",)
 
@@ -336,10 +342,16 @@ def _apply_lint_ok(findings: list[Finding], modules: dict[str, ParsedModule]) ->
 
 # ------------------------------------------------------------------- run
 def run_lint(config: LintConfig) -> LintReport:
-    """Parse every file under ``config.root`` and run all four checkers."""
+    """Parse every file under ``config.root`` and run all five checkers."""
     # Imported here (not at module top) so engine.py stays importable from
     # the checkers without a cycle.
-    from repro.analysis import contracts, dtype_discipline, hot_path, lock_discipline
+    from repro.analysis import (
+        contracts,
+        dtype_discipline,
+        hot_path,
+        lock_discipline,
+        persistence,
+    )
 
     modules: dict[str, ParsedModule] = {}
     for path in iter_python_files(config.root, config.exclude_dirs):
@@ -351,6 +363,7 @@ def run_lint(config: LintConfig) -> LintReport:
         findings.extend(dtype_discipline.check_module(module, config))
         findings.extend(lock_discipline.check_module(module, config))
         findings.extend(hot_path.check_module(module, config))
+        findings.extend(persistence.check_module(module, config))
     findings.extend(contracts.check_project(modules, config))
 
     findings.sort(key=lambda f: (f.file, f.line, f.code))

@@ -20,7 +20,14 @@ reproduction's substrates:
   energy.
 """
 
+import repro.core.faults as faults  # noqa: F401 - re-exported fault harness
 from repro.core.zoo import ModelsZoo, ZooEntry
+from repro.core.checkpoint import (
+    FleetJournal,
+    RunStager,
+    ShardStatus,
+    StagedShardError,
+)
 from repro.core.configuration import (
     Configuration,
     ExecutionMode,
@@ -52,11 +59,16 @@ __all__ = [
     "DecisionEngine",
     "CHRISRuntime",
     "FleetExecutor",
+    "FleetJournal",
     "FleetResult",
     "FleetScheduler",
     "FleetSession",
     "RunResult",
+    "RunStager",
     "SessionState",
+    "ShardStatus",
     "SharedSubjectStore",
+    "StagedShardError",
     "WindowDecision",
+    "faults",
 ]

@@ -52,13 +52,40 @@ instead pickle the whole fleet once per worker; to avoid that,
 *attaches* zero-copy NumPy views.  :class:`FleetExecutor` turns this on
 automatically whenever the effective start method is not ``fork`` (and
 on request via ``share_signals=True``).
+
+Durability and fault tolerance
+------------------------------
+A failed shard no longer takes the fleet down with it: shard tasks are
+retried with capped exponential backoff (``max_retries`` /
+``retry_backoff_s``), a worker *death* (``BrokenProcessPool``) rebuilds
+the pool and retries every in-flight shard, and a shard that exhausts
+its retries is **quarantined** — its subjects surface as per-subject
+``FAILED`` entries in :attr:`~repro.core.runtime.FleetResult.failed`
+while the rest of the fleet completes normally.
+
+With a ``checkpoint_dir``, runs are additionally *crash-safe*: each
+completed shard's results are staged to disk through
+:class:`~repro.core.checkpoint.RunStager` (atomic npz + checksummed
+manifest) and its lifecycle tracked in a
+:class:`~repro.core.checkpoint.FleetJournal`.  A restarted
+:meth:`FleetExecutor.iter_runs` / :meth:`FleetExecutor.run_fleet` over
+the same fleet loads ``DONE`` shards from the stager and re-executes
+only the rest; because every shard fast-forwards predictor state from
+the fleet-wide plan regardless of *when* it runs, the resumed result is
+**bit-identical** to the uninterrupted one (pinned by the property
+suite).  A journal whose fingerprint does not match the current fleet —
+different subjects, constraint, zoo, equivalence policy or cost tables —
+is stale and discarded; a staged record failing its checksum is
+re-executed rather than loaded.
 """
 
 from __future__ import annotations
 
 import copy
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -66,6 +93,13 @@ import multiprocessing
 
 import numpy as np
 
+import repro.core.faults as faults
+from repro.core.checkpoint import (
+    FleetJournal,
+    RunStager,
+    ShardStatus,
+    StagedShardError,
+)
 from repro.core.decision_engine import Constraint
 from repro.core.runtime import (
     CHRISRuntime,
@@ -75,6 +109,9 @@ from repro.core.runtime import (
 )
 from repro.data.dataset import WindowedSubject
 from repro.hw.platform import CostTableRegistry, WearableSystem
+
+#: Upper bound on one retry backoff sleep, whatever the attempt count.
+_BACKOFF_CAP_S = 2.0
 
 #: Worker-process state installed by :func:`_init_fleet_worker`.
 #: Deliberately lock-free (REP002 scans this module but nothing here is
@@ -229,6 +266,7 @@ def _init_fleet_worker(
 
 
 def _run_fleet_shard(
+    shard_index: int,
     start: int,
     stop: int,
     prior_windows: Mapping[str, int],
@@ -248,6 +286,7 @@ def _run_fleet_shard(
     executes them directly instead of re-planning — difficulty inference
     and routing run exactly once per fleet.
     """
+    faults.fire("fleet.shard", shard=shard_index)
     runtime: CHRISRuntime = copy.deepcopy(_WORKER_STATE["runtime"])
     runtime.system.cost_registry = _WORKER_STATE["cost_registry"]
     systems: Mapping[str, WearableSystem] = _WORKER_STATE["systems"]
@@ -318,6 +357,19 @@ class FleetExecutor:
         ``fork`` (``spawn``/``forkserver`` platforms), where it replaces
         the per-worker pickling of the whole fleet.  Fleets with
         non-uniform window geometry fall back to pickling.
+    checkpoint_dir:
+        Directory for the durable shard journal and staged results (see
+        the module docstring).  ``None`` (default) runs without
+        checkpointing; a restarted run over the same fleet and the same
+        directory resumes instead of replaying, bit-identically.
+    max_retries:
+        How many times a failed shard is re-executed before its subjects
+        are quarantined (surfaced in
+        :attr:`~repro.core.runtime.FleetResult.failed`).  ``0`` fails a
+        shard on its first error.
+    retry_backoff_s:
+        Base of the capped exponential backoff between retries of one
+        shard (attempt ``k`` sleeps ``min(2 s, retry_backoff_s * 2**k)``).
     """
 
     def __init__(
@@ -328,17 +380,33 @@ class FleetExecutor:
         mega_batched: bool = True,
         start_method: str | None = None,
         share_signals: bool | None = None,
+        checkpoint_dir: "str | os.PathLike | None" = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if shards_per_worker < 1:
             raise ValueError(f"shards_per_worker must be >= 1, got {shards_per_worker}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         self.runtime = runtime
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.shards_per_worker = shards_per_worker
         self.mega_batched = mega_batched
         self.start_method = start_method
         self.share_signals = share_signals
+        self.checkpoint_dir = checkpoint_dir
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based), capped."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return min(_BACKOFF_CAP_S, self.retry_backoff_s * (2.0 ** attempt))
 
     # ------------------------------------------------------------- sharding
     def shard_bounds(self, n_subjects: int) -> list[tuple[int, int]]:
@@ -375,6 +443,7 @@ class FleetExecutor:
         batched: bool = True,
         connected_traces: Mapping[str, np.ndarray] | None = None,
         systems: Mapping[str, WearableSystem] | None = None,
+        failures: "dict[str, str] | None" = None,
     ) -> Iterator[tuple[str, RunResult]]:
         """Replay the fleet, yielding ``(subject_id, result)`` as shards finish.
 
@@ -383,6 +452,12 @@ class FleetExecutor:
         should use :meth:`run_fleet` (or reorder themselves).  One run can
         mix hardware revisions: ``systems`` maps subject ids to the
         :class:`~repro.hw.platform.WearableSystem` each device runs.
+
+        A shard that still fails after ``max_retries`` re-executions is
+        quarantined: its subjects are *not* yielded and — when the caller
+        passes a ``failures`` dict — recorded there as
+        ``subject_id -> error`` instead (:meth:`run_fleet` surfaces them
+        as :attr:`~repro.core.runtime.FleetResult.failed`).
         """
         subjects = list(subjects)
         traces = dict(connected_traces or {})
@@ -398,21 +473,32 @@ class FleetExecutor:
         if not subjects:
             return
         bounds = self.shard_bounds(len(subjects))
-        if len(bounds) <= 1 or self.max_workers == 1:
-            # In-process fast path: no pool, same decisions.  Like every
-            # shard task, run on a pristine copy so the executor never
-            # advances the parent runtime's predictor streams — repeated
-            # run_fleet calls replay identically whatever the worker count.
-            fleet = copy.deepcopy(self.runtime).run_many(
+        if self.checkpoint_dir is None and (len(bounds) <= 1 or self.max_workers == 1):
+            # In-process fast path: no pool, no planning pass, same
+            # decisions.  The whole fleet replays as a single local shard
+            # on a pristine runtime copy, so the executor never advances
+            # the parent runtime's predictor streams — with retry and
+            # quarantine semantics identical to the sharded paths.
+            yield from self._drain_shards(
+                self._run_shards_inprocess(
+                    subjects,
+                    [(0, len(subjects))],
+                    [{}],
+                    [None],
+                    constraint,
+                    use_oracle_difficulty,
+                    batched,
+                    traces,
+                    systems,
+                    [0],
+                    None,
+                ),
                 subjects,
-                constraint,
-                use_oracle_difficulty=use_oracle_difficulty,
-                batched=batched,
-                mega_batched=self.mega_batched,
-                connected_traces=traces,
-                systems=systems,
+                [(0, len(subjects))],
+                None,
+                None,
+                failures,
             )
-            yield from fleet.results.items()
             return
 
         # Plan the entire fleet once, in the parent: the plans give every
@@ -425,6 +511,246 @@ class FleetExecutor:
         priors = self._prior_window_counts(plans, bounds)
         ship_plans = batched and self.mega_batched
         self._profile_cost_tables(systems)
+        plan_slices = [
+            plans[start:stop] if ship_plans else None for start, stop in bounds
+        ]
+
+        journal = stager = None
+        todo = list(range(len(bounds)))
+        if self.checkpoint_dir is not None:
+            journal, stager, loaded = self._open_checkpoint(
+                subjects, bounds, constraint, use_oracle_difficulty, traces, systems
+            )
+            for index in sorted(loaded):
+                yield from loaded[index]
+            todo = [
+                index
+                for index in range(len(bounds))
+                if journal.status(index) is not ShardStatus.DONE
+            ]
+            if not todo:
+                return
+
+        if self.max_workers == 1 or len(todo) <= 1:
+            runner = self._run_shards_inprocess(
+                subjects, bounds, priors, plan_slices, constraint,
+                use_oracle_difficulty, batched, traces, systems, todo, journal,
+            )
+        else:
+            runner = self._run_shards_pooled(
+                subjects, bounds, priors, plan_slices, constraint,
+                use_oracle_difficulty, batched, traces, systems, todo, journal,
+            )
+        yield from self._drain_shards(
+            runner, subjects, bounds, journal, stager, failures
+        )
+
+    def _drain_shards(
+        self,
+        runner: Iterator[tuple[int, "list[tuple[str, RunResult]] | None", "str | None"]],
+        subjects: Sequence[WindowedSubject],
+        bounds: Sequence[tuple[int, int]],
+        journal: "FleetJournal | None",
+        stager: "RunStager | None",
+        failures: "dict[str, str] | None",
+    ) -> Iterator[tuple[str, RunResult]]:
+        """Stage/journal shard outcomes from a runner and yield its records."""
+        for index, records, error in runner:
+            if error is not None:
+                if journal is not None:
+                    journal.mark(index, ShardStatus.FAILED, error=error)
+                if failures is not None:
+                    start, stop = bounds[index]
+                    for subject in subjects[start:stop]:
+                        failures[subject.subject_id] = error
+                continue
+            if stager is not None:
+                stager.stage_shard(index, records)
+            if journal is not None:
+                journal.mark(index, ShardStatus.DONE)
+            yield from records
+
+    # ----------------------------------------------------------- durability
+    def _fingerprint_payload(
+        self,
+        subjects: Sequence[WindowedSubject],
+        bounds: Sequence[tuple[int, int]],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem],
+    ) -> dict:
+        """Everything that determines the run's results, JSON-serializable.
+
+        Two runs share a journal exactly when this payload matches; any
+        drift (subjects, shard layout, constraint, zoo, equivalence
+        policy, connectivity, hardware, cost tables) makes an existing
+        journal stale.
+        """
+        registry = self.runtime.system.cost_registry
+        return {
+            "subjects": [(s.subject_id, int(s.n_windows)) for s in subjects],
+            "bounds": [[int(start), int(stop)] for start, stop in bounds],
+            "constraint": repr(constraint),
+            "zoo": list(self.runtime.zoo.names),
+            "equivalence": self.runtime.equivalence,
+            "mega_batched": bool(self.mega_batched),
+            "use_oracle_difficulty": bool(use_oracle_difficulty),
+            "traced_subjects": sorted(traces),
+            "hardware": sorted(
+                [sid, repr(system.hardware_revision())]
+                for sid, system in systems.items()
+            )
+            + [["<default>", repr(self.runtime.system.hardware_revision())]],
+            "cost_registry": registry.fingerprint(),
+        }
+
+    def _open_checkpoint(
+        self,
+        subjects: Sequence[WindowedSubject],
+        bounds: Sequence[tuple[int, int]],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem],
+    ) -> tuple[FleetJournal, RunStager, dict[int, list[tuple[str, RunResult]]]]:
+        """Open (or resume) the journal/stager pair in ``checkpoint_dir``.
+
+        Returns the journal, the stager, and the verified results of every
+        ``DONE`` shard.  A ``DONE`` shard whose staged file fails
+        verification is discarded and demoted to ``PENDING``; interrupted
+        ``RUNNING`` and previously quarantined ``FAILED`` shards are also
+        re-set to ``PENDING`` so a restart retries them.
+        """
+        journal = FleetJournal(self.checkpoint_dir)
+        stager = RunStager(self.checkpoint_dir)
+        payload = self._fingerprint_payload(
+            subjects, bounds, constraint, use_oracle_difficulty, traces, systems
+        )
+        shard_subjects = [
+            [s.subject_id for s in subjects[start:stop]] for start, stop in bounds
+        ]
+        resumed = journal.open_run(
+            payload, shard_subjects, self.runtime.system.cost_registry.to_json()
+        )
+        if not resumed:
+            stager.reset()
+        loaded: dict[int, list[tuple[str, RunResult]]] = {}
+        for index in journal.shards_with(ShardStatus.DONE):
+            try:
+                loaded[index] = stager.load_shard(index)
+            except StagedShardError:
+                # Corrupt or torn staged data is re-executed, never trusted.
+                stager.discard_shard(index)
+                journal.mark(index, ShardStatus.PENDING)
+        for status in (ShardStatus.RUNNING, ShardStatus.FAILED):
+            for index in journal.shards_with(status):
+                journal.mark(index, ShardStatus.PENDING)
+        return journal, stager, loaded
+
+    # ------------------------------------------------------------ execution
+    def _execute_shard_local(
+        self,
+        index: int,
+        subjects: Sequence[WindowedSubject],
+        bound: tuple[int, int],
+        prior: Mapping[str, int],
+        plans: "list | None",
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        batched: bool,
+        traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem],
+    ) -> list[tuple[str, RunResult]]:
+        """In-process twin of :func:`_run_fleet_shard` (same fault site)."""
+        faults.fire("fleet.shard", shard=index)
+        start, stop = bound
+        runtime = copy.deepcopy(self.runtime)
+        for entry in runtime.zoo:
+            entry.predictor.advance_fleet_state(int(prior.get(entry.name, 0)))
+        shard_subjects = subjects[start:stop]
+        shard_ids = {s.subject_id for s in shard_subjects}
+        shard_systems = {sid: sys for sid, sys in systems.items() if sid in shard_ids}
+        if plans is not None:
+            fleet = runtime._run_many_planned(
+                shard_subjects, plans, systems=shard_systems
+            )
+        else:
+            shard_traces = {
+                sid: trace for sid, trace in traces.items() if sid in shard_ids
+            }
+            fleet = runtime.run_many(
+                shard_subjects,
+                constraint,
+                use_oracle_difficulty=use_oracle_difficulty,
+                batched=batched,
+                mega_batched=self.mega_batched,
+                connected_traces=shard_traces,
+                systems=shard_systems,
+            )
+        return list(fleet.results.items())
+
+    def _run_shards_inprocess(
+        self,
+        subjects: Sequence[WindowedSubject],
+        bounds: Sequence[tuple[int, int]],
+        priors: Sequence[Mapping[str, int]],
+        plan_slices: Sequence["list | None"],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        batched: bool,
+        traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem],
+        todo: Sequence[int],
+        journal: "FleetJournal | None",
+    ) -> Iterator[tuple[int, "list[tuple[str, RunResult]] | None", "str | None"]]:
+        """Serial shard runner with retry/backoff and quarantine.
+
+        Yields ``(shard_index, records, error)`` — exactly one of
+        ``records``/``error`` is set.
+        """
+        for index in todo:
+            attempts = 0
+            while True:
+                if journal is not None:
+                    journal.mark(index, ShardStatus.RUNNING, attempt=True)
+                try:
+                    records = self._execute_shard_local(
+                        index, subjects, bounds[index], priors[index],
+                        plan_slices[index], constraint, use_oracle_difficulty,
+                        batched, traces, systems,
+                    )
+                except Exception as exc:
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        yield index, None, f"{type(exc).__name__}: {exc}"
+                        break
+                    time.sleep(self._backoff_delay(attempts - 1))
+                else:
+                    yield index, records, None
+                    break
+
+    def _run_shards_pooled(
+        self,
+        subjects: Sequence[WindowedSubject],
+        bounds: Sequence[tuple[int, int]],
+        priors: Sequence[Mapping[str, int]],
+        plan_slices: Sequence["list | None"],
+        constraint: Constraint,
+        use_oracle_difficulty: bool,
+        batched: bool,
+        traces: Mapping[str, np.ndarray],
+        systems: Mapping[str, WearableSystem],
+        todo: Sequence[int],
+        journal: "FleetJournal | None",
+    ) -> Iterator[tuple[int, "list[tuple[str, RunResult]] | None", "str | None"]]:
+        """Pooled shard runner: retry/backoff, pool rebuild, quarantine.
+
+        Same ``(shard_index, records, error)`` protocol as
+        :meth:`_run_shards_inprocess`.  A worker *death*
+        (``BrokenProcessPool``) charges an attempt to every shard whose
+        future it broke, rebuilds the pool, and resubmits what is left.
+        """
         registry_json = self.runtime.system.cost_registry.to_json()
         context = (
             multiprocessing.get_context(self.start_method)
@@ -446,11 +772,13 @@ class FleetExecutor:
             if share and SharedSubjectStore.supports(subjects)
             else None
         )
-        pending: set = set()
-        pool = None
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(bounds)),
+        attempts = {index: 0 for index in todo}
+        inflight: dict[Future, int] = {}
+        pool: "ProcessPoolExecutor | None" = None
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(todo)),
                 mp_context=context,
                 initializer=_init_fleet_worker,
                 initargs=(
@@ -462,30 +790,69 @@ class FleetExecutor:
                     store.manifest if store is not None else None,
                 ),
             )
-            pending = {
-                pool.submit(
-                    _run_fleet_shard,
-                    start,
-                    stop,
-                    prior,
-                    constraint,
-                    use_oracle_difficulty,
-                    batched,
-                    self.mega_batched,
-                    plans[start:stop] if ship_plans else None,
-                )
-                for (start, stop), prior in zip(bounds, priors)
-            }
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+
+        def submit(index: int) -> None:
+            if journal is not None:
+                journal.mark(index, ShardStatus.RUNNING, attempt=True)
+            start, stop = bounds[index]
+            future = pool.submit(
+                _run_fleet_shard,
+                index,
+                start,
+                stop,
+                priors[index],
+                constraint,
+                use_oracle_difficulty,
+                batched,
+                self.mega_batched,
+                plan_slices[index],
+            )
+            inflight[future] = index
+
+        try:
+            pool = make_pool()
+            for index in todo:
+                submit(index)
+            while inflight:
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                rebuild = False
+                retry: list[int] = []
                 for future in done:
-                    yield from future.result()
+                    index = inflight.pop(future)
+                    try:
+                        records = future.result()
+                    except BrokenProcessPool:
+                        rebuild = True
+                        attempts[index] += 1
+                        if attempts[index] > self.max_retries:
+                            yield index, None, "worker process died (BrokenProcessPool)"
+                        else:
+                            retry.append(index)
+                    except Exception as exc:
+                        attempts[index] += 1
+                        if attempts[index] > self.max_retries:
+                            yield index, None, f"{type(exc).__name__}: {exc}"
+                        else:
+                            time.sleep(self._backoff_delay(attempts[index] - 1))
+                            retry.append(index)
+                    else:
+                        yield index, records, None
+                if rebuild:
+                    # The pool is unusable after a worker death; shards
+                    # whose futures never resolved are victims, not
+                    # causes — resubmit them without charging an attempt.
+                    retry.extend(inflight.values())
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = make_pool()
+                for index in retry:
+                    submit(index)
         finally:
             # Abandoning the generator early (consumer break/close) must
             # not block on shards whose results nobody will read — and
             # the shared-memory blocks must be unlinked even if pool
             # construction itself failed.
-            for future in pending:
+            for future in inflight:
                 future.cancel()
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -524,9 +891,13 @@ class FleetExecutor:
         """Replay the fleet in parallel and merge into fleet (subject) order.
 
         The merged result is decision-for-decision identical to
-        ``runtime.run_many`` over the same subjects.
+        ``runtime.run_many`` over the same subjects.  Subjects whose shard
+        exhausted its retries are quarantined into
+        :attr:`~repro.core.runtime.FleetResult.failed` instead of raising,
+        so one faulty shard degrades the fleet rather than killing it.
         """
         subjects = list(subjects)
+        failures: dict[str, str] = {}
         collected = dict(
             self.iter_runs(
                 subjects,
@@ -535,9 +906,14 @@ class FleetExecutor:
                 batched=batched,
                 connected_traces=connected_traces,
                 systems=systems,
+                failures=failures,
             )
         )
         fleet = FleetResult()
         for subject in subjects:
-            fleet.add(subject.subject_id, collected[subject.subject_id])
+            sid = subject.subject_id
+            if sid in failures:
+                fleet.add_failure(sid, failures[sid])
+            else:
+                fleet.add(sid, collected[sid])
         return fleet

@@ -112,8 +112,9 @@ shared :class:`~repro.hw.platform.CostTableRegistry`.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import IO, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -189,6 +190,20 @@ _COST_FIELDS = (
 def _cost_values(cost: PredictionCost) -> tuple[float, ...]:
     """The cost components in :data:`_COST_FIELDS` order."""
     return tuple(getattr(cost, name) for name in _COST_FIELDS)
+
+
+#: RunResult per-window fields stored as plain (non-object) arrays by the
+#: npz round-trip; ``model_names`` is object-dtyped and handled separately
+#: (stored as fixed-width unicode so the dump needs no pickled arrays).
+_NPZ_ARRAY_FIELDS = (
+    "window_index",
+    "predicted_difficulty",
+    "true_difficulty",
+    "offloaded",
+    "predicted_hr",
+    "true_hr",
+    *_COST_FIELDS,
+)
 
 
 def _fleet_signal_template(subjects: "Sequence[WindowedSubject]") -> np.ndarray | None:
@@ -327,6 +342,51 @@ class RunResult:
             configuration_segments=list(configuration_segments or []),
         )
 
+    # ---------------------------------------------------------- persistence
+    def to_npz(self, file: "str | IO[bytes]") -> None:
+        """Dump the struct-of-arrays representation to an ``.npz`` archive.
+
+        The per-window arrays are stored verbatim (bit-identical on
+        reload); ``model_names`` becomes fixed-width unicode so no array
+        in the archive needs pickling; the configuration objects (the
+        selected configuration plus the per-segment ones) travel as one
+        pickled blob in a ``uint8`` array.  ``file`` may be a path or a
+        binary file object.  The lazy :attr:`decisions` cache is *not*
+        serialized — a reloaded result materializes decisions on demand
+        exactly like a freshly executed one.
+        """
+        payload: dict[str, np.ndarray] = {
+            name: getattr(self, name) for name in _NPZ_ARRAY_FIELDS
+        }
+        payload["model_names"] = self.model_names.astype(str)
+        payload["segment_starts"] = np.array(
+            [start for start, _ in self.configuration_segments], dtype=np.int64
+        )
+        blob = pickle.dumps(
+            (self.configuration, [cfg for _, cfg in self.configuration_segments]),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        payload["configurations"] = np.frombuffer(blob, dtype=np.uint8)
+        np.savez(file, **payload)
+
+    @classmethod
+    def from_npz(cls, file: "str | IO[bytes]") -> "RunResult":
+        """Rebuild a result dumped by :meth:`to_npz` (bit-identical)."""
+        with np.load(file, allow_pickle=False) as data:
+            configuration, segment_configs = pickle.loads(
+                data["configurations"].tobytes()
+            )
+            segments = [
+                (int(start), cfg)
+                for start, cfg in zip(data["segment_starts"], segment_configs)
+            ]
+            return cls(
+                configuration=configuration,
+                model_names=data["model_names"].astype(object),
+                configuration_segments=segments,
+                **{name: data[name] for name in _NPZ_ARRAY_FIELDS},
+            )
+
     # ------------------------------------------------------------ aggregates
     @property
     def n_windows(self) -> int:
@@ -412,15 +472,30 @@ class FleetResult:
     Produced by :meth:`CHRISRuntime.run_many`; aggregates are weighted by
     each subject's window count, so they equal the metrics of one long
     concatenated run.
+
+    Fault-tolerant paths (:class:`repro.core.fleet.FleetExecutor` with
+    retries) may *quarantine* subjects whose shard kept failing: those
+    appear in :attr:`failed` (subject id -> error description) instead of
+    :attr:`results`, and every aggregate is computed over the successful
+    subjects only.
     """
 
     results: dict[str, RunResult] = field(default_factory=dict)
+    #: Quarantined subjects: id -> error description of the failure that
+    #: exhausted the shard's retries.  Empty on non-fault-tolerant paths.
+    failed: dict[str, str] = field(default_factory=dict)
 
     def add(self, subject_id: str, result: RunResult) -> None:
         """Record one subject's run."""
-        if subject_id in self.results:
+        if subject_id in self.results or subject_id in self.failed:
             raise ValueError(f"subject {subject_id!r} already recorded")
         self.results[subject_id] = result
+
+    def add_failure(self, subject_id: str, error: str) -> None:
+        """Record a subject quarantined after its shard exhausted retries."""
+        if subject_id in self.results or subject_id in self.failed:
+            raise ValueError(f"subject {subject_id!r} already recorded")
+        self.failed[subject_id] = error
 
     @property
     def subject_ids(self) -> list[str]:
@@ -431,6 +506,16 @@ class FleetResult:
     def n_subjects(self) -> int:
         """Number of replayed subjects."""
         return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of quarantined subjects."""
+        return len(self.failed)
+
+    @property
+    def failed_subject_ids(self) -> list[str]:
+        """Quarantined subjects, in insertion order."""
+        return list(self.failed)
 
     @property
     def n_windows(self) -> int:
@@ -473,11 +558,13 @@ class FleetResult:
     def summary(self) -> str:
         """One line per subject plus the fleet aggregate."""
         lines = [f"{sid}: {r.summary()}" for sid, r in self.results.items()]
+        lines.extend(f"{sid}: FAILED ({error})" for sid, error in self.failed.items())
+        tail = f", {self.n_failed} quarantined" if self.failed else ""
         lines.append(
             f"fleet: MAE {self.mae_bpm:.2f} BPM, "
             f"watch energy {self.mean_watch_energy_j * 1e3:.3f} mJ/prediction, "
             f"{100 * self.offload_fraction:.1f}% offloaded over "
-            f"{self.n_windows} windows from {self.n_subjects} subjects"
+            f"{self.n_windows} windows from {self.n_subjects} subjects{tail}"
         )
         return "\n".join(lines)
 

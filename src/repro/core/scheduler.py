@@ -55,10 +55,31 @@ bit-identical.)  Two mechanisms guarantee this:
 
 Sessions retired while still queued are never planned and never advance
 any predictor stream — the contract holds over the sessions that
-actually ran.  A batch that fails *during execution* leaves the stream
-position unaccounted for; the scheduler then poisons itself (queued
-sessions fail, further submissions raise) instead of letting later
-sessions silently diverge from sequential replay.
+actually ran.
+
+Fault tolerance: degrade, don't die
+-----------------------------------
+A batch that fails during execution is retried with capped exponential
+backoff (``max_retries`` / ``retry_backoff_s``); a batch that exhausts
+its retries is **quarantined** — its sessions resolve ``FAILED`` with
+the error attached while the scheduler keeps serving every other
+session.  Stream accounting is *as-if-planned*: the scheduler's
+predictor streams advance by each dispatched batch's planned window
+counts whether or not the batch ultimately succeeds, so batches planned
+after a quarantined one replay exactly as they would have had it
+succeeded — one bad recording cannot invalidate its neighbours.  (The
+flip side: after a quarantine, later sessions match sequential replay
+over *all dispatched* sessions, not over the successful subset.)
+
+Retries execute on runtimes rebuilt from the construction-time zoo
+snapshot fast-forwarded to the batch's planned start position —
+cross-run predictor state is a pure function of cumulative windows
+consumed (see :meth:`~repro.models.base.HeartRatePredictor.advance_fleet_state`),
+so a rebuilt attempt is bit-identical to a first attempt.  Only when
+that rebuild *itself* fails (a zoo that cannot be copied or
+fast-forwarded) does the scheduler poison itself: queued sessions fail
+and further submissions raise, because stream positions can no longer be
+reconstructed.
 """
 
 from __future__ import annotations
@@ -66,9 +87,9 @@ from __future__ import annotations
 import copy
 import dataclasses
 import itertools
-import math
 import queue
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -77,10 +98,14 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+import repro.core.faults as faults
 from repro.core.decision_engine import Constraint
 from repro.core.runtime import CHRISRuntime, RunResult
 from repro.data.dataset import WindowedSubject
 from repro.hw.platform import WearableSystem
+
+#: Upper bound on one retry backoff sleep, whatever the attempt count.
+_BACKOFF_CAP_S = 2.0
 
 
 class SessionState(Enum):
@@ -139,6 +164,13 @@ class FleetScheduler:
     use_oracle_difficulty:
         Whether planning uses ground-truth difficulty instead of the
         runtime's activity classifier.
+    max_retries:
+        How many times a failing batch is re-executed before its sessions
+        are quarantined as ``FAILED``.  ``0`` fails a batch on its first
+        error.
+    retry_backoff_s:
+        Base of the capped exponential backoff between retries of one
+        batch (attempt ``k`` sleeps ``min(2 s, retry_backoff_s * 2**k)``).
 
     Use as a context manager (or call :meth:`close`) so the dispatcher
     thread and worker pool are torn down deterministically.
@@ -151,19 +183,36 @@ class FleetScheduler:
         max_workers: int = 1,
         max_batch_size: int | None = None,
         use_oracle_difficulty: bool = False,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         self.constraint = constraint
         self.max_workers = max_workers
         self.max_batch_size = max_batch_size
         self.use_oracle_difficulty = use_oracle_difficulty
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         #: Stream runtime: planned in submission order and fast-forwarded
         #: batch by batch; always holds the predictor state sequential
         #: replay would have after every dispatched session.
         self._runtime = copy.deepcopy(runtime)
+        #: Construction-time zoo snapshot plus cumulative per-model window
+        #: totals of every batch planned so far.  Together they let the
+        #: scheduler *rebuild* any stream position (retry attempts, serial
+        #: restore after a mid-execution failure): predictor state is a
+        #: pure function of cumulative windows consumed.  ``_stream_totals``
+        #: is touched only by the dispatcher thread; workers receive
+        #: immutable per-batch copies.
+        self._pristine_zoo = copy.deepcopy(self._runtime.zoo)
+        self._stream_totals: dict[str, int] = {}
         self._tickets = itertools.count()
         # ``_arrivals`` and ``_resolved`` are Conditions built around
         # ``_lock``: entering any of the three holds the same mutex, so
@@ -176,16 +225,11 @@ class FleetScheduler:
         self._unresolved = 0  # guarded-by: _lock, _arrivals, _resolved
         self._closed = False  # guarded-by: _lock, _arrivals, _resolved
         self._paused = False  # guarded-by: _lock, _arrivals, _resolved
-        #: Batches are stamped with a monotonically increasing *epoch* in
-        #: dispatch (= stream) order.  When a batch fails after predictor
-        #: streams may have advanced (fast-forward or partial execution),
-        #: ``_corrupt_epoch`` records the earliest failed epoch: every
-        #: batch of a *later* epoch was fast-forwarded assuming the
-        #: failed one would execute, so its stream position — and any
-        #: result it produces — no longer matches sequential replay and
-        #: must be failed rather than delivered.  Guarded by ``_lock``.
-        self._corrupt_epoch: float = math.inf  # guarded-by: _lock, _arrivals, _resolved
-        self._epochs = itertools.count()
+        #: Last-resort poisoning flag: set only when a stream position can
+        #: no longer be *rebuilt* (the pristine zoo fails to copy or
+        #: fast-forward).  Ordinary batch failures never set it — they
+        #: retry and then quarantine (see the module docstring).
+        self._corrupted = False  # guarded-by: _lock, _arrivals, _resolved
         self._done_q: "queue.Queue[FleetSession]" = queue.Queue()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="fleet-worker"
@@ -230,11 +274,11 @@ class FleetScheduler:
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            if self._corrupt_epoch is not math.inf:
+            if self._corrupted:
                 raise RuntimeError(
-                    "scheduler predictor streams were corrupted by an earlier "
-                    "batch failure; results could no longer match sequential "
-                    "replay — create a fresh scheduler"
+                    "scheduler predictor streams could not be rebuilt after "
+                    "an earlier failure; results could no longer match "
+                    "sequential replay — create a fresh scheduler"
                 )
             if subject_id in self._active_ids:
                 raise ValueError(f"session for subject {subject_id!r} is already live")
@@ -281,46 +325,50 @@ class FleetScheduler:
                     session = self._pending.popleft()
                     session.state = SessionState.RUNNING
                     batch.append(session)
-            epoch = next(self._epochs)
             with self._lock:
-                corrupted = self._corrupt_epoch is not math.inf
+                corrupted = self._corrupted
             if corrupted:
                 self._fail_batch(
                     batch,
                     RuntimeError(
-                        "not dispatched: predictor streams were corrupted by "
-                        "an earlier batch failure"
+                        "not dispatched: predictor streams could not be "
+                        "rebuilt after an earlier failure"
                     ),
                 )
                 continue
             try:
-                task_runtime, plans, systems = self._prepare_batch(batch, epoch)
+                task_runtime, plans, systems, prior, post = self._prepare_batch(batch)
             except BaseException as exc:  # noqa: BLE001 - reported per session
                 self._fail_batch(batch, exc)
                 continue
             try:
                 self._pool.submit(
-                    self._execute_batch, task_runtime, batch, plans, systems, epoch
+                    self._execute_batch, task_runtime, batch, plans, systems, prior, post
                 )
             except BaseException as exc:  # noqa: BLE001 - pool shut down mid-flight
-                if self.max_workers > 1:
-                    # The snapshot path already fast-forwarded the stream
-                    # runtime past this batch; with the batch never
-                    # executing, that position is unaccounted for.  (With
-                    # one worker nothing was advanced — no poisoning.)
-                    self._mark_corrupt(epoch)
+                if self.max_workers == 1:
+                    # The serial stream runtime only advances by
+                    # *executing*; with the batch never executing, roll
+                    # the as-if-planned accounting back so the stream
+                    # position and the totals agree again.  (The snapshot
+                    # path already fast-forwarded the stream as planned —
+                    # later batches stay consistent without it.)
+                    self._stream_totals = dict(prior)
                 self._fail_batch(batch, exc)
 
     def _prepare_batch(
-        self, batch: list[FleetSession], epoch: int
-    ) -> tuple[CHRISRuntime, list, dict[str, WearableSystem]]:
+        self, batch: list[FleetSession]
+    ) -> tuple[CHRISRuntime, list, dict[str, WearableSystem], dict[str, int], dict[str, int]]:
         """Plan a batch on the stream runtime and snapshot its execution state.
 
         Planning is side-effect free; the execution snapshot is taken
         *before* the stream runtime is fast-forwarded by the batch's
         per-model window counts, so the snapshot starts exactly where
         sequential replay would and the next batch starts exactly after
-        it.
+        it.  Returns ``(task_runtime, plans, systems, prior_totals,
+        post_totals)`` — the cumulative per-model window totals before and
+        after this batch, which retries and the serial restore path use to
+        rebuild stream positions.
         """
         subjects = [s.recording for s in batch]
         traces = {
@@ -333,12 +381,23 @@ class FleetScheduler:
             subjects, self.constraint, self.use_oracle_difficulty, traces, systems=systems
         )
         self._profile_cost_tables(systems.values())
+        totals: dict[str, int] = {}
+        for counts in self._runtime.model_window_counts(plans):
+            for name, count in counts.items():
+                totals[name] = totals.get(name, 0) + count
+        # As-if-planned accounting: the stream position moves past this
+        # batch now, whether or not execution ultimately succeeds — a
+        # quarantined batch must not invalidate its successors.
+        prior = dict(self._stream_totals)
+        for name, count in totals.items():
+            self._stream_totals[name] = self._stream_totals.get(name, 0) + count
+        post = dict(self._stream_totals)
         if self.max_workers == 1:
             # A single worker executes batches strictly in dispatch order,
             # so the stream runtime can execute them itself: execution
             # advances the predictor streams exactly like sequential
             # replay, with no snapshot and no double fast-forward.
-            return self._runtime, plans, systems
+            return self._runtime, plans, systems, prior, post
         # Concurrent batches must not share mutable predictor state:
         # snapshot only what execution mutates — the zoo.  The engine,
         # system and classifier are read-only during execution (cost
@@ -347,8 +406,22 @@ class FleetScheduler:
         # experiment.  The stream runtime is then fast-forwarded by the
         # batch's per-model window counts so the next batch starts from
         # the state sequential replay would have reached.
-        task_runtime = CHRISRuntime(
-            zoo=copy.deepcopy(self._runtime.zoo),
+        task_runtime = self._clone_runtime(copy.deepcopy(self._runtime.zoo))
+        try:
+            for entry in self._runtime.zoo:
+                entry.predictor.advance_fleet_state(totals.get(entry.name, 0))
+        except BaseException:
+            # A half-applied fast-forward leaves the stream position
+            # undefined; poison the scheduler rather than let later
+            # sessions silently diverge from sequential replay.
+            self._mark_corrupt()
+            raise
+        return task_runtime, plans, systems, prior, post
+
+    def _clone_runtime(self, zoo) -> CHRISRuntime:
+        """A runtime sharing everything read-only with the stream runtime."""
+        return CHRISRuntime(
+            zoo=zoo,
             engine=self._runtime.engine,
             system=self._runtime.system,
             activity_classifier=self._runtime.activity_classifier,
@@ -357,25 +430,29 @@ class FleetScheduler:
             stacked_state=self._runtime.stacked_state,
             equivalence=self._runtime.equivalence,
         )
-        totals: dict[str, int] = {}
-        for counts in self._runtime.model_window_counts(plans):
-            for name, count in counts.items():
-                totals[name] = totals.get(name, 0) + count
-        try:
-            for entry in self._runtime.zoo:
-                entry.predictor.advance_fleet_state(totals.get(entry.name, 0))
-        except BaseException:
-            # A half-applied fast-forward leaves the stream position
-            # undefined; poison the scheduler rather than let later
-            # sessions silently diverge from sequential replay.
-            self._mark_corrupt(epoch)
-            raise
-        return task_runtime, plans, systems
 
-    def _mark_corrupt(self, epoch: int) -> None:
-        """Record that stream positions from ``epoch`` onward are invalid."""
+    def _rebuild_runtime(self, totals: Mapping[str, int]) -> CHRISRuntime:
+        """A runtime positioned at cumulative stream position ``totals``.
+
+        Built from the construction-time pristine zoo: predictor state is
+        a pure function of cumulative windows consumed, so this is
+        bit-identical to the live stream runtime at the same position.
+        """
+        zoo = copy.deepcopy(self._pristine_zoo)
+        for entry in zoo:
+            entry.predictor.advance_fleet_state(int(totals.get(entry.name, 0)))
+        return self._clone_runtime(zoo)
+
+    def _mark_corrupt(self) -> None:
+        """Record that stream positions can no longer be reconstructed."""
         with self._lock:
-            self._corrupt_epoch = min(self._corrupt_epoch, epoch)
+            self._corrupted = True
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based), capped."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return min(_BACKOFF_CAP_S, self.retry_backoff_s * (2.0 ** attempt))
 
     def _profile_cost_tables(self, systems) -> None:
         """Profile every revision up front so worker threads only read.
@@ -395,55 +472,83 @@ class FleetScheduler:
         batch: list[FleetSession],
         plans: list,
         systems: dict[str, WearableSystem],
-        epoch: int,
+        prior_totals: dict[str, int],
+        post_totals: dict[str, int],
     ) -> None:
-        try:
-            fleet = runtime._run_many_planned(
-                [s.recording for s in batch], plans, systems=systems
-            )
-            results = [fleet.results[s.subject_id] for s in batch]
-        except BaseException as exc:  # noqa: BLE001 - reported per session
-            # The batch's stream consumption is unaccounted for: with one
-            # worker the shared stream runtime may have advanced partway;
-            # with several, the fast-forward in _prepare_batch assumed the
-            # batch would execute.  Either way stream positions from this
-            # epoch onward could no longer match sequential replay —
-            # poison the scheduler.
-            self._mark_corrupt(epoch)
-            self._fail_batch(batch, exc)
-            return
-        with self._lock:
-            if epoch > self._corrupt_epoch:
-                # An *earlier* batch failed while this one was in flight:
-                # this batch's snapshot was fast-forwarded assuming the
-                # failed batch would execute, so these results diverge
-                # from sequential replay and must not be delivered.
-                error = RuntimeError(
-                    "discarded: an earlier batch failed mid-stream, so this "
-                    "batch's predictor stream position no longer matches "
-                    "sequential replay"
+        """Execute one batch with retry/backoff and quarantine-on-exhaustion.
+
+        Attempt 0 runs on the prepared ``runtime`` (the serial stream
+        runtime itself, or the snapshot); every retry runs on a runtime
+        rebuilt at the batch's planned start position (``prior_totals``),
+        which is bit-identical to a first attempt.  A serial attempt that
+        fails mid-execution leaves the stream runtime partway through the
+        batch, so the stream zoo is restored to the as-if-planned
+        position (``post_totals``) before anything else happens —
+        subsequent batches were planned assuming this batch's windows
+        were consumed.
+        """
+        subjects = [s.recording for s in batch]
+        serial = runtime is self._runtime
+        attempt = 0
+        while True:
+            attempt_runtime = runtime
+            if attempt > 0:
+                try:
+                    attempt_runtime = self._rebuild_runtime(prior_totals)
+                except BaseException as exc:  # noqa: BLE001 - poisons, reported per session
+                    self._mark_corrupt()
+                    self._fail_batch(batch, exc)
+                    return
+            try:
+                faults.fire("scheduler.batch")
+                fleet = attempt_runtime._run_many_planned(
+                    subjects, plans, systems=systems
                 )
-                for session in batch:
-                    session.error = error
-                    session.state = SessionState.FAILED
+                results = [fleet.results[s.subject_id] for s in batch]
+            except BaseException as exc:  # noqa: BLE001 - retried, then reported
+                if serial and attempt == 0:
+                    # The failed attempt advanced the shared stream
+                    # runtime partway through the batch; put it back on
+                    # the as-if-planned position before retrying (or
+                    # letting the next batch run).
+                    try:
+                        self._runtime.zoo = self._rebuild_runtime(post_totals).zoo
+                    except BaseException as rebuild_exc:  # noqa: BLE001
+                        self._mark_corrupt()
+                        self._fail_batch(batch, rebuild_exc)
+                        return
+                attempt += 1
+                if attempt > self.max_retries:
+                    self._fail_batch(batch, exc)
+                    return
+                time.sleep(self._backoff_delay(attempt - 1))
+                continue
+            with self._lock:
+                for session, result in zip(batch, results):
+                    if session.done:
+                        continue  # resolved elsewhere (e.g. failed at close)
+                    session.result = result
+                    session.state = SessionState.DONE
                     self._resolve_locked(session, deliver=True)
-                return
-            for session, result in zip(batch, results):
-                session.result = result
-                session.state = SessionState.DONE
-                self._resolve_locked(session, deliver=True)
+            return
 
     def _fail_batch(self, batch: list[FleetSession], exc: BaseException) -> None:
-        """Mark every session of a batch failed with the shared error.
+        """Mark every *unresolved* session of a batch failed with the error.
 
         Batches fail as a unit: by the time planning or execution raises,
         the batch's sessions are entangled (shared plans, shared predictor
         stream), so the error is reported on each of them.  Per-session
         input problems are caught at :meth:`submit` (empty recordings,
-        trace shape) precisely so they cannot poison a batch.
+        trace shape) precisely so they cannot poison a batch.  Sessions
+        already in a terminal state are skipped, so a session resolves
+        exactly once even when shutdown races an in-flight failure — a
+        double resolution would corrupt ``_unresolved`` and hang or
+        over-drain :meth:`as_completed`.
         """
         with self._lock:
             for session in batch:
+                if session.done:
+                    continue
                 session.error = exc
                 session.state = SessionState.FAILED
                 self._resolve_locked(session, deliver=True)

@@ -22,6 +22,7 @@ can be configured to study what happens when that assumption is dropped
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from dataclasses import asdict, dataclass
@@ -348,6 +349,25 @@ class CostTableRegistry:
         except OSError as exc:
             raise CostTableError(f"cannot read cost-table file {path}: {exc}") from exc
         return cls.from_json(text)
+
+    def fingerprint(self) -> str:
+        """Order-independent SHA-256 over the profiled tables.
+
+        The fleet journal (:mod:`repro.core.checkpoint`) folds this into
+        its fleet fingerprint: a resume against results produced under
+        *different* cost tables must be detected as stale, because every
+        staged energy/latency figure would silently be wrong.  Entries
+        and revisions are canonicalized (sorted) before hashing, so two
+        registries holding the same tables fingerprint identically no
+        matter what order profiling filled them in.
+        """
+        payload = json.loads(self.to_json())
+        for block in payload:
+            block["entries"] = sorted(
+                json.dumps(entry, sort_keys=True) for entry in block["entries"]
+            )
+        canonical = sorted(json.dumps(block, sort_keys=True) for block in payload)
+        return hashlib.sha256("\n".join(canonical).encode("utf-8")).hexdigest()
 
     def merge(self, other: "CostTableRegistry") -> None:
         """Adopt every entry of ``other`` (existing entries win).

@@ -1,0 +1,39 @@
+"""REP005 fixture (clean twin): durable state committed atomically.
+
+Reads are unrestricted; the only raw writes live inside the blessed
+``atomic_*`` helpers, exactly as in ``repro.core.checkpoint``.
+"""
+
+import json
+import os
+
+
+def atomic_write_bytes(path, payload):
+    # The blessed helper: the raw write is allowed here by name.
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _atomic_rewrite(path, text):
+    with open(path + ".tmp", "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(path + ".tmp", path)
+
+
+def load_manifest(path):
+    # Default mode is "r": reads never trip the rule.
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_journal(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def save_manifest(path, manifest):
+    atomic_write_bytes(path, json.dumps(manifest).encode("utf-8"))

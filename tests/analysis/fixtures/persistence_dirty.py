@@ -1,0 +1,38 @@
+"""REP005 fixture (dirty twin): torn-write hazards in a persistence module.
+
+Every flagged line commits durable state without the atomic
+temp-file-then-``os.replace`` dance: a crash mid-write leaves a
+half-visible journal/manifest that a resumed run would trust.
+"""
+
+import json
+from pathlib import Path
+
+
+def save_manifest(path, manifest):
+    with open(path, "w", encoding="utf-8") as handle:  # PLANT: REP005
+        json.dump(manifest, handle)
+
+
+def append_journal_entry(path, line):
+    with open(path, mode="a", encoding="utf-8") as handle:  # PLANT: REP005
+        handle.write(line + "\n")
+
+
+def save_blob(path, payload):
+    with open(path, "wb") as handle:  # PLANT: REP005
+        handle.write(payload)
+
+
+def rewrite(path, mode, text):
+    # Dynamic mode expression: judged conservatively as a write.
+    with open(path, mode) as handle:  # PLANT: REP005
+        handle.write(text)
+
+
+def save_via_pathlib(path, manifest):
+    Path(path).write_text(json.dumps(manifest), encoding="utf-8")  # PLANT: REP005
+
+
+def save_bytes_via_pathlib(path, payload):
+    Path(path).write_bytes(payload)  # PLANT: REP005

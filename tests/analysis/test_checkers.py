@@ -27,8 +27,15 @@ DIRTY_BY_RULE = {
     "REP002": "lock_dirty.py",
     "REP003": "hotpath_dirty.py",
     "REP004": "contract_dirty.py",
+    "REP005": "persistence_dirty.py",
 }
-CLEAN_TWINS = ("dtype_clean.py", "lock_clean.py", "hotpath_clean.py", "contract_clean.py")
+CLEAN_TWINS = (
+    "dtype_clean.py",
+    "lock_clean.py",
+    "hotpath_clean.py",
+    "contract_clean.py",
+    "persistence_clean.py",
+)
 
 
 def fixture_config() -> LintConfig:
@@ -41,6 +48,7 @@ def fixture_config() -> LintConfig:
             BatchTwin("contract_dirty.py", "other_fn", "other_fn_batch"),
             BatchTwin("contract_clean.py", "scale_rows", "scale_rows_batch"),
         ),
+        persistence_modules=("persistence_clean.py", "persistence_dirty.py"),
         baseline_path=None,
     )
 
@@ -144,7 +152,7 @@ def test_real_scheduler_and_registry_declarations_present():
     )
     guarded = collect_guarded_declarations(scheduler, cls)
     assert set(guarded) == {
-        "_pending", "_active_ids", "_unresolved", "_closed", "_paused", "_corrupt_epoch",
+        "_pending", "_active_ids", "_unresolved", "_closed", "_paused", "_corrupted",
     }
     assert all(locks == frozenset({"_lock", "_arrivals", "_resolved"}) for locks in guarded.values())
 

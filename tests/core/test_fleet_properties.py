@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import copy
 import functools
+import tempfile
 
 import numpy as np
 import pytest
@@ -455,3 +456,68 @@ def test_shared_subject_store_round_trips_exactly(scenario):
     finally:
         store.close()
         store.unlink()
+
+
+@settings(max_examples=6, **SCENARIO_SETTINGS)
+@given(scenario=fleet_scenarios(), interrupt_after=st.integers(min_value=0, max_value=4))
+def test_resumed_checkpoint_run_is_bit_identical_to_uninterrupted(
+    scenario, interrupt_after
+):
+    """Kill-and-resume == uninterrupted, *bit-identical* — even under the
+    tolerance policy.
+
+    Both runs use the same checkpointed shard layout, and every shard is
+    a pure function of (pristine runtime, shipped plans, prior window
+    counts): whether a shard executes before or after a crash cannot move
+    a single bit, and loaded ``DONE`` shards are byte-verified staged
+    copies of exactly such executions.  So unlike the pooled-vs-sequential
+    comparison (which tolerates fused-model drift), this one asserts
+    strict identity on every field.
+    """
+    arrival, traces, systems = build_fleet(scenario)
+    use_oracle = not scenario["use_rf"]
+    workers = min(scenario["workers"], 2)
+
+    def executor(directory):
+        return FleetExecutor(
+            make_runtime(scenario),
+            max_workers=workers,
+            shards_per_worker=2,
+            checkpoint_dir=directory,
+            retry_backoff_s=0.0,
+        )
+
+    def run(ex):
+        return ex.run_fleet(
+            arrival,
+            CONSTRAINT,
+            use_oracle_difficulty=use_oracle,
+            connected_traces=traces,
+            systems=systems,
+        )
+
+    with tempfile.TemporaryDirectory() as ref_dir:
+        uninterrupted = run(executor(ref_dir))
+
+    with tempfile.TemporaryDirectory() as directory:
+        # Crash: consume a prefix of the stream, then kill the run.  The
+        # consumed shards are durably staged; the rest are interrupted.
+        stream = executor(directory).iter_runs(
+            arrival,
+            CONSTRAINT,
+            use_oracle_difficulty=use_oracle,
+            connected_traces=traces,
+            systems=systems,
+        )
+        for consumed, _ in enumerate(stream, start=1):
+            if consumed > interrupt_after:
+                break
+        stream.close()
+        resumed = run(executor(directory))
+
+    assert resumed.subject_ids == uninterrupted.subject_ids
+    assert resumed.n_failed == 0
+    for sid in uninterrupted.subject_ids:
+        assert_results_equivalent(
+            uninterrupted.results[sid], resumed.results[sid], frozenset()
+        )

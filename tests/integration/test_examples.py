@@ -55,6 +55,14 @@ class TestExamples:
         assert "2 hardware revisions" in result.stdout
         assert "fleet speedup" in result.stdout
 
+    def test_fleet_resume_survives_a_kill_and_injected_faults(self):
+        result = run_example("fleet_resume.py")
+        assert result.returncode == 0, result.stderr
+        assert "killed after 6 subjects" in result.stdout
+        assert "bit-identical to the uninterrupted run: True" in result.stdout
+        assert "re-executed: identical=True" in result.stdout
+        assert "subjects quarantined" in result.stdout
+
     def test_all_examples_are_present_and_importable_as_scripts(self):
         expected = {
             "quickstart.py",
@@ -62,6 +70,7 @@ class TestExamples:
             "train_and_deploy_timeppg.py",
             "activity_difficulty_detector.py",
             "fleet_simulation.py",
+            "fleet_resume.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present
