@@ -12,7 +12,10 @@ fallback), and through the fused inference engine (``"inference"`` block:
 batched AT peak detection vs the scalar detector, TimePPG's frozen
 inference network vs the training-mode forward, and the
 ``equivalence="tolerance"`` cross-subject TimePPG fusion vs the bitwise
-per-subject dispatch), and through the crash-safe checkpointed fleet
+per-subject dispatch), through the float32 engine (``"inference_dtype"``
+block: batched AT and frozen TimePPG at float32 vs the float64
+reference, with per-dtype throughputs and equivalence flags), and
+through the crash-safe checkpointed fleet
 path (``"checkpoint"`` block: journal + atomic shard staging vs the
 unstaged pool, plus the all-shards-staged resume replay) — and writes
 the measured throughputs, MAE and
@@ -35,6 +38,7 @@ if str(_SRC) not in sys.path:
 
 from repro.eval.benchmarking import (  # noqa: E402
     benchmark_checkpoint,
+    benchmark_dtype_inference,
     benchmark_fleet,
     benchmark_inference,
     benchmark_runtime,
@@ -59,6 +63,7 @@ def main(output_path: Path | None = None) -> dict:
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
     outcome["inference"] = benchmark_inference(experiment, seed=0)
+    outcome["inference_dtype"] = benchmark_dtype_inference(seed=0)
     outcome["checkpoint"] = benchmark_checkpoint(
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )

@@ -594,6 +594,7 @@ class FleetExecutor:
             "constraint": repr(constraint),
             "zoo": list(self.runtime.zoo.names),
             "equivalence": self.runtime.equivalence,
+            "dtype": str(self.runtime.dtype),
             "mega_batched": bool(self.mega_batched),
             "use_oracle_difficulty": bool(use_oracle_difficulty),
             "traced_subjects": sorted(traces),

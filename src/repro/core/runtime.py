@@ -97,6 +97,13 @@ The policy rides every derived engine automatically:
 :class:`~repro.core.scheduler.FleetScheduler` mega-batches replicate
 the runtime they were built from, policy included.
 
+The inference dtype is part of the contract: a float64 runtime (the
+default) defaults to ``"bitwise"``, a ``CHRISRuntime(dtype="float32")``
+runs the whole signal hot path in single precision and therefore always
+runs under ``"tolerance"`` with the wider per-dtype bounds of
+:data:`EQUIVALENCE_TOLERANCES` (requesting float32 together with an
+explicit ``"bitwise"`` policy raises).
+
 Heterogeneous hardware
 ----------------------
 A fleet does not have to run on one hardware build: every multi-subject
@@ -122,6 +129,7 @@ from repro.core.configuration import NUM_DIFFICULTY_LEVELS, ProfiledConfiguratio
 from repro.core.decision_engine import Constraint, DecisionEngine
 from repro.core.zoo import ModelsZoo
 from repro.data.dataset import WindowedSubject
+from repro.dtypes import resolve_dtype
 from repro.hw.platform import PredictionCost, WearableSystem
 from repro.hw.profiles import ExecutionTarget
 from repro.ml.activity_classifier import ActivityClassifier
@@ -142,6 +150,22 @@ EQUIVALENCE_RTOL = 1e-9
 
 #: Valid values of the runtime's ``equivalence`` policy.
 EQUIVALENCE_POLICIES = ("bitwise", "tolerance")
+
+#: Per-dtype ``(atol, rtol)`` of the ``"tolerance"`` equivalence policy.
+#:
+#: * ``"float64"`` — the historical :data:`EQUIVALENCE_ATOL` /
+#:   :data:`EQUIVALENCE_RTOL` pair: observed reassociation drift is
+#:   ~1e-12 BPM, the bound leaves six orders of magnitude of headroom.
+#: * ``"float32"`` — single-precision inference re-rounds every
+#:   intermediate to 24-bit significands, so batch-shape reassociation
+#:   moves predictions by up to ~1e-4 BPM on the [30, 220] BPM range
+#:   (measured ~2e-5 across worker counts 1/2/4); ``atol=1e-3`` bounds
+#:   that with ~50x headroom while still flagging any real divergence,
+#:   which shifts predictions by whole BPM.
+EQUIVALENCE_TOLERANCES: dict[str, tuple[float, float]] = {
+    "float64": (EQUIVALENCE_ATOL, EQUIVALENCE_RTOL),
+    "float32": (1e-3, 1e-5),
+}
 
 
 @dataclass(frozen=True)
@@ -612,11 +636,27 @@ class CHRISRuntime:
         subject)`` dispatch.  Identical decisions either way.
     equivalence:
         Fast-path reproduction contract (see the module docstring):
-        ``"bitwise"`` (default) keeps every fast path bit-identical to
-        sequential replay; ``"tolerance"`` additionally fuses
-        ``TOLERANCE_FUSABLE`` predictors (the TimePPG TCNs) across
-        subjects, letting their predictions — and nothing else — move
-        within :data:`EQUIVALENCE_ATOL` / :data:`EQUIVALENCE_RTOL`.
+        ``"bitwise"`` keeps every fast path bit-identical to sequential
+        replay; ``"tolerance"`` additionally fuses ``TOLERANCE_FUSABLE``
+        predictors (the TimePPG TCNs) across subjects, letting their
+        predictions — and nothing else — move within the per-dtype
+        :data:`EQUIVALENCE_TOLERANCES`.  ``None`` (default) resolves per
+        dtype: ``"bitwise"`` for float64, ``"tolerance"`` for float32
+        (single-precision inference cannot honor a bitwise contract
+        against the float64 reference, so requesting float32 with an
+        explicit ``"bitwise"`` policy raises).
+    dtype:
+        Floating dtype of the inference hot path (``"float64"`` default,
+        or ``"float32"``).  Float32 re-freezes every TimePPG in the zoo
+        to single-precision folded weights and pins the AT kernels to
+        float32 inputs, so the batched/fleet paths run with zero float64
+        temporaries on the signal arrays; ``predicted_hr`` is reported in
+        this dtype.  Routing, energy costs and ``true_hr`` stay float64 —
+        they never depend on signal precision.  The scalar reference path
+        (``batched=False``) computes and reports at this dtype too.
+        Constructing a non-float64 runtime re-pins the (shared) zoo's
+        predictors in place; when comparing dtypes side by side, build
+        each runtime over its own zoo instance.
     """
 
     def __init__(
@@ -628,12 +668,21 @@ class CHRISRuntime:
         batched: bool = True,
         mega_batched: bool = True,
         stacked_state: bool = True,
-        equivalence: str = "bitwise",
+        equivalence: str | None = None,
+        dtype: str | np.dtype = "float64",
     ) -> None:
+        self.dtype = resolve_dtype(dtype)
+        if equivalence is None:
+            equivalence = "bitwise" if self.dtype == np.dtype("float64") else "tolerance"
         if equivalence not in EQUIVALENCE_POLICIES:
             raise ValueError(
                 f"equivalence must be one of {EQUIVALENCE_POLICIES}, "
                 f"got {equivalence!r}"
+            )
+        if equivalence == "bitwise" and self.dtype != np.dtype("float64"):
+            raise ValueError(
+                "the 'bitwise' equivalence policy requires float64 inference; "
+                f"dtype={self.dtype} runs under the 'tolerance' policy"
             )
         self.zoo = zoo
         self.engine = engine
@@ -643,6 +692,11 @@ class CHRISRuntime:
         self.mega_batched = mega_batched
         self.stacked_state = stacked_state
         self.equivalence = equivalence
+        if self.dtype != np.dtype("float64"):
+            # Re-pin every predictor's compute dtype (float64 runtimes
+            # leave the zoo untouched for back-compat bit-exactness).
+            for entry in self.zoo:
+                entry.predictor.set_inference_dtype(self.dtype)
 
     # ------------------------------------------------------------ difficulty
     def _predicted_difficulty(self, windows: WindowedSubject, use_oracle: bool) -> np.ndarray:
@@ -841,7 +895,7 @@ class CHRISRuntime:
         n = windows.n_windows
         hr = np.asarray(windows.hr, dtype=float)
         activity = np.asarray(windows.activity, dtype=int)
-        predicted_hr = np.empty(n, dtype=float)
+        predicted_hr = np.empty(n, dtype=self.dtype)
         for code, name in enumerate(self.zoo.names):
             idx = np.flatnonzero(plan.model_codes == code)
             if idx.size == 0:
@@ -864,7 +918,7 @@ class CHRISRuntime:
                 true_hr=hr[idx],
                 activity=activity[idx],
             )
-            predicted_hr[idx] = np.asarray(predictions, dtype=float)
+            predicted_hr[idx] = np.asarray(predictions, dtype=self.dtype)
 
         cost_arrays = tuple(np.empty(n, dtype=float) for _ in _COST_FIELDS)
         for code, name in enumerate(self.zoo.names):
@@ -886,7 +940,7 @@ class CHRISRuntime:
         """Reference per-window path: one ``predict_window`` call per window."""
         n = windows.n_windows
         entries = [self.zoo.entry(name) for name in self.zoo.names]
-        predicted_hr = np.empty(n, dtype=float)
+        predicted_hr = np.empty(n, dtype=self.dtype)
         cost_arrays = tuple(np.empty(n, dtype=float) for _ in _COST_FIELDS)
         for i in range(n):
             entry = entries[plan.model_codes[i]]
@@ -1317,7 +1371,7 @@ class CHRISRuntime:
         offloaded = np.concatenate([p.offloaded for p in plans])
         hr = np.concatenate([np.asarray(s.hr, dtype=float) for s in subjects])
         activity = np.concatenate([np.asarray(s.activity, dtype=int) for s in subjects])
-        predicted_hr = np.empty(n_total, dtype=float)
+        predicted_hr = np.empty(n_total, dtype=self.dtype)
 
         for code, name in enumerate(self.zoo.names):
             predictor = self.zoo.entry(name).predictor
@@ -1375,7 +1429,7 @@ class CHRISRuntime:
                         true_hr=hr[idx],
                         activity=activity[idx],
                     )
-                predicted_hr[idx] = np.asarray(predictions, dtype=float)
+                predicted_hr[idx] = np.asarray(predictions, dtype=self.dtype)
             else:
                 for offset, subject, plan in zip(bounds[:-1], subjects, plans):
                     # Sequential replay resets before every subject whether
@@ -1399,7 +1453,7 @@ class CHRISRuntime:
                         true_hr=np.asarray(subject.hr, dtype=float)[local_idx],
                         activity=np.asarray(subject.activity, dtype=int)[local_idx],
                     )
-                    predicted_hr[offset + local_idx] = np.asarray(predictions, dtype=float)
+                    predicted_hr[offset + local_idx] = np.asarray(predictions, dtype=self.dtype)
 
         # Group subjects by the hardware that executes them; a homogeneous
         # fleet collapses to one group and skips the per-group masking.

@@ -429,6 +429,7 @@ class FleetScheduler:
             mega_batched=self._runtime.mega_batched,
             stacked_state=self._runtime.stacked_state,
             equivalence=self._runtime.equivalence,
+            dtype=self._runtime.dtype,
         )
 
     def _rebuild_runtime(self, totals: Mapping[str, int]) -> CHRISRuntime:

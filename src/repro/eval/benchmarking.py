@@ -29,6 +29,7 @@ from repro.core.runtime import (
     CHRISRuntime,
     EQUIVALENCE_ATOL,
     EQUIVALENCE_RTOL,
+    EQUIVALENCE_TOLERANCES,
 )
 from repro.core.scheduler import FleetScheduler, SessionState
 from repro.core.zoo import ModelsZoo, ZooEntry
@@ -592,6 +593,128 @@ def benchmark_inference(
             "speedup": bitwise_s / tolerance_s,
             "bitwise_decisions_identical": bitwise_identical,
             "within_documented_tolerance": bool(equivalent(tolerance)),
+        },
+    }
+
+
+def benchmark_dtype_inference(
+    n_windows: int = 10_000,
+    window_length: int = 256,
+    n_nn_windows: int = 4_096,
+    nn_chunk: int = 256,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Measure the float32 engine against the float64 reference per path.
+
+    * **Batched AT per dtype** — the vectorized adaptive-threshold
+      detector on the same ``n_windows`` stack at float64 and at
+      float32.  The detector's elementwise kernels (cumsum recurrence,
+      region maxima) are memory-bound, so halving the element width is
+      the whole win.  ``bpm_identical`` records whether the two dtypes
+      detected identical peak trains (integer positions feed a float64
+      BPM conversion, so coinciding trains give bit-equal BPM); it is
+      not a universal guarantee — threshold-straddling samples can flip
+      with precision — but on this workload the margins are macroscopic.
+    * **Frozen TimePPG per dtype** — the inference-mode forward of the
+      same weights frozen at float64 (``freeze()``) and at float32
+      (``freeze(dtype="float32")``) on identical prepared batches, with
+      a ``within_tolerance`` flag checked against the documented float32
+      equivalence bound (:data:`EQUIVALENCE_TOLERANCES`).  The frozen
+      GEMMs dominate, so this isolates the BLAS single-precision win.
+
+    Every timed path reports the best of ``repeats``.  The checked-in
+    floors live in ``benchmarks/test_dtype_throughput.py``.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    rng = np.random.default_rng(seed)
+    atol32, rtol32 = EQUIVALENCE_TOLERANCES["float32"]
+
+    def timed(run):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    # ------------------------------------------------------ AT per dtype
+    # Noisy sinusoids (not white noise): the detector should find real
+    # peak trains so the threshold recurrence runs its full workload.
+    t = np.arange(window_length) / 32.0
+    hr_hz = 1.0 + 1.5 * rng.random((n_windows, 1))
+    windows64 = np.sin(2 * np.pi * hr_hz * t)
+    windows64 += 0.3 * rng.standard_normal((n_windows, window_length))
+    windows32 = windows64.astype(np.float32)
+
+    def run_at(windows, dtype):
+        # Pin the detector to the benchmark dtype the way the runtime
+        # does (set_inference_dtype) — otherwise ``predict``'s boundary
+        # coercion would silently cast the batch back to float64.
+        at = AdaptiveThresholdPredictor().set_inference_dtype(dtype)
+
+        def run():
+            at.reset()
+            return at.predict(windows)
+
+        return run
+
+    bpm64, at64_s = timed(run_at(windows64, "float64"))
+    bpm32, at32_s = timed(run_at(windows32, "float32"))
+    both = ~(np.isnan(bpm64) | np.isnan(bpm32))
+    bpm_identical = bool(
+        np.array_equal(np.isnan(bpm64), np.isnan(bpm32))
+        and np.array_equal(bpm64[both], bpm32[both])
+    )
+
+    # ------------------------------------------------ TimePPG per dtype
+    ppg = rng.standard_normal((n_nn_windows, TIMEPPG_SMALL_CONFIG.input_length))
+    accel = rng.standard_normal((n_nn_windows, TIMEPPG_SMALL_CONFIG.input_length, 3))
+    p64 = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=seed).freeze()
+    p32 = TimePPGPredictor(TIMEPPG_SMALL_CONFIG, seed=seed).freeze(dtype="float32")
+    batch64 = p64.prepare_input(ppg, accel)
+    batch32 = p32.prepare_input(ppg, accel)
+    # Mega-batch-scale chunks: small chunks are im2col-overhead bound,
+    # which buries the single-precision GEMM win this path measures.
+    chunks64 = [batch64[i : i + nn_chunk] for i in range(0, n_nn_windows, nn_chunk)]
+    chunks32 = [batch32[i : i + nn_chunk] for i in range(0, n_nn_windows, nn_chunk)]
+
+    def run_nn(frozen, chunks):
+        def run():
+            return np.concatenate([frozen.forward(c, training=False) for c in chunks])
+
+        return run
+
+    out64, nn64_s = timed(run_nn(p64._frozen, chunks64))
+    out32, nn32_s = timed(run_nn(p32._frozen, chunks32))
+    within_tolerance = bool(
+        np.allclose(out32.astype(np.float64), out64, atol=atol32, rtol=rtol32)
+    )
+
+    return {
+        "at": {
+            "n_windows": int(n_windows),
+            "window_length": int(window_length),
+            "float64_seconds": at64_s,
+            "float32_seconds": at32_s,
+            "float64_windows_per_s": n_windows / at64_s,
+            "float32_windows_per_s": n_windows / at32_s,
+            "float32_speedup": at64_s / at32_s,
+            "bpm_identical": bpm_identical,
+        },
+        "timeppg": {
+            "variant": TIMEPPG_SMALL_CONFIG.name,
+            "n_windows": int(n_nn_windows),
+            "float64_seconds": nn64_s,
+            "float32_seconds": nn32_s,
+            "float64_windows_per_s": n_nn_windows / nn64_s,
+            "float32_windows_per_s": n_nn_windows / nn32_s,
+            "float32_speedup": nn64_s / nn32_s,
+            "within_tolerance": within_tolerance,
+            "atol": atol32,
+            "rtol": rtol32,
         },
     }
 

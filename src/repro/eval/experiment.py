@@ -210,14 +210,17 @@ class CalibratedExperiment:
         activity_classifier: ActivityClassifier | None = None,
         batched: bool = True,
         mega_batched: bool = True,
-        equivalence: str = "bitwise",
+        equivalence: str | None = None,
+        dtype: str = "float64",
     ) -> CHRISRuntime:
         """A CHRIS runtime wired to this experiment's zoo/engine/system.
 
         ``equivalence`` selects the fast-path reproduction contract of
-        :class:`~repro.core.runtime.CHRISRuntime` (bitwise by default;
+        :class:`~repro.core.runtime.CHRISRuntime` (``None`` resolves per
+        dtype — bitwise for float64, tolerance for float32;
         ``"tolerance"`` lets TimePPG-style predictors fuse across
-        subjects within the documented atol/rtol).
+        subjects within the documented per-dtype atol/rtol).  ``dtype``
+        selects the inference precision of the signal hot path.
         """
         return CHRISRuntime(
             zoo=self.zoo,
@@ -227,6 +230,7 @@ class CalibratedExperiment:
             batched=batched,
             mega_batched=mega_batched,
             equivalence=equivalence,
+            dtype=dtype,
         )
 
     def fleet_executor(
@@ -235,10 +239,17 @@ class CalibratedExperiment:
         activity_classifier: ActivityClassifier | None = None,
         mega_batched: bool = True,
         shards_per_worker: int = 4,
+        equivalence: str | None = None,
+        dtype: str = "float64",
     ) -> FleetExecutor:
         """A process-pool fleet executor over this experiment's runtime."""
         return FleetExecutor(
-            self.runtime(activity_classifier=activity_classifier, mega_batched=mega_batched),
+            self.runtime(
+                activity_classifier=activity_classifier,
+                mega_batched=mega_batched,
+                equivalence=equivalence,
+                dtype=dtype,
+            ),
             max_workers=max_workers,
             shards_per_worker=shards_per_worker,
             mega_batched=mega_batched,
@@ -251,6 +262,8 @@ class CalibratedExperiment:
         max_batch_size: int | None = None,
         use_oracle_difficulty: bool = True,
         activity_classifier: ActivityClassifier | None = None,
+        equivalence: str | None = None,
+        dtype: str = "float64",
     ) -> FleetScheduler:
         """An online session scheduler over this experiment's runtime.
 
@@ -259,7 +272,11 @@ class CalibratedExperiment:
         order; close it (or use it as a context manager) when done.
         """
         return FleetScheduler(
-            self.runtime(activity_classifier=activity_classifier),
+            self.runtime(
+                activity_classifier=activity_classifier,
+                equivalence=equivalence,
+                dtype=dtype,
+            ),
             constraint,
             max_workers=max_workers,
             max_batch_size=max_batch_size,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import resolve_dtype
 from repro.models.base import FleetState, HeartRatePredictor, PredictorInfo
 from repro.signal.peaks import (
     adaptive_threshold_peaks,
@@ -68,6 +69,15 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         self.window = window
         self.min_bpm = min_bpm
         self.max_bpm = max_bpm
+        #: Floating dtype the threshold/peak kernels run in; the window
+        #: coercion below pins inputs to it, and the batched kernels
+        #: inherit it (see repro.signal.peaks).  BPM conversion stays
+        #: float64 (intervals come from integer peak positions).
+        self._dtype = resolve_dtype(None)
+
+    def set_inference_dtype(self, dtype) -> "AdaptiveThresholdPredictor":
+        self._dtype = resolve_dtype(dtype)
+        return self
 
     @property
     def info(self) -> PredictorInfo:
@@ -84,7 +94,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         accel_window: np.ndarray | None = None,
         **context,
     ) -> float:
-        ppg_window = np.asarray(ppg_window, dtype=float)
+        ppg_window = np.asarray(ppg_window, dtype=self._dtype)
         if ppg_window.ndim != 1:
             raise ValueError(f"AT expects a 1-D PPG window, got shape {ppg_window.shape}")
         return self._with_fallback(self._raw_window_estimate(ppg_window))
@@ -137,7 +147,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         a vectorized forward fill seeded from the instance state —
         value-for-value what looping :meth:`predict_window` produces.
         """
-        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        ppg_windows = np.asarray(ppg_windows, dtype=self._dtype)
         if ppg_windows.ndim != 2:
             raise ValueError(
                 f"AT expects (n, length) PPG windows, got shape {ppg_windows.shape}"
@@ -173,7 +183,7 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         """
         if subject_index is None or state is None:
             raise TypeError("predict_fleet requires subject_index and state")
-        ppg_windows = np.asarray(ppg_windows, dtype=float)
+        ppg_windows = np.asarray(ppg_windows, dtype=self._dtype)
         if ppg_windows.ndim != 2:
             raise ValueError(
                 f"AT expects (n, length) PPG windows, got shape {ppg_windows.shape}"

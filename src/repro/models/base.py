@@ -460,6 +460,19 @@ class HeartRatePredictor:
         """Forget temporal state (the last valid estimate)."""
         self._last_estimate = None
 
+    def set_inference_dtype(self, dtype) -> "HeartRatePredictor":
+        """Pin the floating dtype the predictor computes in.
+
+        Called by :class:`~repro.core.runtime.CHRISRuntime` when it is
+        constructed with a non-default ``dtype`` (e.g. ``"float32"``) so
+        signal-reading predictors coerce their inputs once and keep the
+        whole forward in that precision.  The base implementation is a
+        no-op — predictors that never touch the signal arrays (the
+        calibrated stand-ins) are dtype-agnostic; subclasses with real
+        compute (AT, TimePPG) override it.  Returns ``self``.
+        """
+        return self
+
     def advance_fleet_state(self, n_windows: int) -> None:
         """Fast-forward cross-run state past ``n_windows`` foreign windows.
 

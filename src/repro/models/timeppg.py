@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dtypes import resolve_dtype
 from repro.models.base import HeartRatePredictor, PredictorInfo
 from repro.nn.layers import AvgPool1d, BatchNorm1d, Conv1d, Dense, Flatten, ReLU
 from repro.nn.network import Sequential, fold_batchnorm
@@ -205,6 +206,11 @@ class TimePPGPredictor(HeartRatePredictor):
         self.network = network if network is not None else build_timeppg_network(config, seed=seed)
         self.quantized: QuantizedSequential | None = None
         self._frozen: Sequential | None = None
+        #: Floating dtype of the inference path: input preparation builds
+        #: the (batch, C, L) tensor in this dtype and the frozen network
+        #: (when built with a matching ``freeze(dtype=...)``) keeps the
+        #: whole forward in it.
+        self._dtype = resolve_dtype(None)
 
     # ----------------------------------------------------------------- info
     @property
@@ -224,7 +230,7 @@ class TimePPGPredictor(HeartRatePredictor):
         Each channel is standardized per window; missing acceleration is
         replaced by zero channels so a PPG-only deployment still works.
         """
-        ppg_windows = np.atleast_2d(np.asarray(ppg_windows, dtype=float))
+        ppg_windows = np.atleast_2d(np.asarray(ppg_windows, dtype=self._dtype))
         n, length = ppg_windows.shape
         if length != self.config.input_length:
             raise ValueError(
@@ -236,7 +242,7 @@ class TimePPGPredictor(HeartRatePredictor):
             if accel_windows is None:
                 channels.extend([np.zeros_like(ppg_windows)] * n_accel_channels)
             else:
-                accel_windows = np.asarray(accel_windows, dtype=float)
+                accel_windows = np.asarray(accel_windows, dtype=self._dtype)
                 if accel_windows.ndim == 2:
                     accel_windows = accel_windows[None, ...]
                 for axis in range(n_accel_channels):
@@ -244,7 +250,7 @@ class TimePPGPredictor(HeartRatePredictor):
         return np.stack(channels, axis=1)
 
     # ----------------------------------------------------------- inference
-    def freeze(self) -> "TimePPGPredictor":
+    def freeze(self, dtype=None) -> "TimePPGPredictor":
         """Build the frozen inference network (batch norm folded into convs).
 
         Call after the weights are final (post-training, pre-deployment):
@@ -253,8 +259,30 @@ class TimePPGPredictor(HeartRatePredictor):
         The fold snapshots the current weights — training afterwards
         requires calling :meth:`freeze` again (or :meth:`unfreeze`).  A
         quantized network (:attr:`quantized`) still takes precedence.
+
+        ``dtype`` (e.g. ``"float32"``) builds a reduced-precision frozen
+        network — fold in the source precision, cast once — and pins the
+        input-preparation dtype to match, so the whole forward (im2col
+        columns, GEMM, bias adds) runs in that dtype with no float64
+        temporaries.  ``None`` keeps the training network's dtype.
         """
-        self._frozen = fold_batchnorm(self.network)
+        self._frozen = fold_batchnorm(self.network, dtype=dtype)
+        self._dtype = resolve_dtype(dtype, default=self.network.dtype)
+        return self
+
+    def set_inference_dtype(self, dtype) -> "TimePPGPredictor":
+        """Pin the inference dtype (re-freezing the frozen net if needed).
+
+        A frozen predictor re-folds at the new dtype; an unfrozen one is
+        frozen on the spot when the requested dtype differs from the
+        training network's (running reduced precision through the
+        training stack would silently re-promote at every layer).
+        """
+        dtype = resolve_dtype(dtype)
+        if self._frozen is not None or dtype != self.network.dtype:
+            self.freeze(dtype=dtype)
+        else:
+            self._dtype = dtype
         return self
 
     def unfreeze(self) -> "TimePPGPredictor":
@@ -284,7 +312,7 @@ class TimePPGPredictor(HeartRatePredictor):
         """
         batch = self.prepare_input(ppg_windows, accel_windows)
         if batch.shape[0] == 0:
-            return np.empty(0, dtype=float)
+            return np.empty(0, dtype=self._dtype)
         outputs = []
         for start in range(0, batch.shape[0], batch_size):  # loop-ok: per chunk of batch_size windows, not per element
             outputs.append(self._forward(batch[start:start + batch_size]))

@@ -30,11 +30,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_floating, resolve_dtype
+
 
 class Layer:
-    """Base class for all layers."""
+    """Base class for all layers.
 
-    def __init__(self) -> None:
+    Every layer carries a ``dtype`` — the floating dtype its parameters
+    (if any) are stored in and its forward pass computes in.
+    Parameterized layers (:class:`Conv1d`, :class:`Dense`,
+    :class:`BatchNorm1d`) accept it as a constructor argument and coerce
+    their inputs to it; stateless layers inherit the floating dtype of
+    whatever flows through them.  :meth:`to_dtype` converts a built
+    layer in place (used by :func:`repro.nn.network.fold_batchnorm` to
+    produce e.g. a pure-float32 frozen network).
+    """
+
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
 
@@ -55,6 +68,15 @@ class Layer:
         """Reset accumulated parameter gradients."""
         for key, value in self.params.items():
             self.grads[key] = np.zeros_like(value)
+
+    def to_dtype(self, dtype) -> "Layer":
+        """Convert parameters, gradients and buffers to ``dtype`` in place."""
+        self.dtype = resolve_dtype(dtype)
+        for key, value in self.params.items():
+            self.params[key] = value.astype(self.dtype, copy=False)
+        for key, value in self.grads.items():
+            self.grads[key] = value.astype(self.dtype, copy=False)
+        return self
 
     @property
     def n_parameters(self) -> int:
@@ -87,6 +109,9 @@ class Conv1d(Layer):
         Whether to add a learnable per-channel bias.
     rng:
         Generator used for He-uniform weight initialization.
+    dtype:
+        Floating dtype of the weights (and of the forward computation);
+        defaults to float64.
     """
 
     def __init__(
@@ -99,8 +124,9 @@ class Conv1d(Layer):
         padding: int | str = "same",
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
-        super().__init__()
+        super().__init__(dtype=dtype)
         if in_channels <= 0 or out_channels <= 0:
             raise ValueError("channel counts must be positive")
         if kernel_size <= 0 or stride <= 0 or dilation <= 0:
@@ -118,9 +144,9 @@ class Conv1d(Layer):
         limit = np.sqrt(6.0 / fan_in)
         self.params["weight"] = rng.uniform(
             -limit, limit, size=(out_channels, in_channels, kernel_size)
-        )
+        ).astype(self.dtype, copy=False)
         if bias:
-            self.params["bias"] = np.zeros(out_channels)
+            self.params["bias"] = np.zeros(out_channels, dtype=self.dtype)
         self.zero_grad()
         self._cache: dict = {}
         #: Reusable im2col column buffer of the inference GEMM lowering
@@ -168,7 +194,7 @@ class Conv1d(Layer):
 
     # ------------------------------------------------------------- compute
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv1d expects input of shape (batch, {self.in_channels}, length), got {x.shape}"
@@ -190,8 +216,8 @@ class Conv1d(Layer):
             return self._forward_gemm(x_padded, l_out)
 
         # Gather the im2col tensor: (batch, in_ch, kernel, l_out).
-        tap_offsets = np.arange(self.kernel_size) * self.dilation
-        out_positions = np.arange(l_out) * self.stride
+        tap_offsets = np.arange(self.kernel_size, dtype=np.intp) * self.dilation
+        out_positions = np.arange(l_out, dtype=np.intp) * self.stride
         index = tap_offsets[:, None] + out_positions[None, :]
         cols = x_padded[:, :, index]
 
@@ -254,18 +280,18 @@ class Conv1d(Layer):
         padded_length = self._cache["padded_length"]
 
         weight = self.params["weight"]
-        grad_output = np.asarray(grad_output, dtype=float)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
 
         self.grads["weight"] += np.einsum("bol,bikl->oik", grad_output, cols, optimize=True)
         if self.use_bias:
             self.grads["bias"] += grad_output.sum(axis=(0, 2))
 
         grad_cols = np.einsum("oik,bol->bikl", weight, grad_output, optimize=True)
-        grad_padded = np.zeros((batch, self.in_channels, padded_length))
+        grad_padded = np.zeros((batch, self.in_channels, padded_length), dtype=grad_cols.dtype)
         # Scatter-add per kernel tap: output positions for a fixed tap are
         # distinct, so a direct slice-add is safe (taps overlap each other,
         # hence the loop).
-        out_positions = np.arange(index.shape[1]) * self.stride
+        out_positions = np.arange(index.shape[1], dtype=np.intp) * self.stride
         for tap in range(self.kernel_size):
             positions = out_positions + tap * self.dilation
             np.add.at(grad_padded, (slice(None), slice(None), positions), grad_cols[:, :, tap, :])
@@ -287,8 +313,9 @@ class Dense(Layer):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
-        super().__init__()
+        super().__init__(dtype=dtype)
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature counts must be positive")
         self.in_features = in_features
@@ -296,9 +323,11 @@ class Dense(Layer):
         self.use_bias = bias
         rng = rng or np.random.default_rng()
         limit = np.sqrt(6.0 / in_features)
-        self.params["weight"] = rng.uniform(-limit, limit, size=(out_features, in_features))
+        self.params["weight"] = rng.uniform(
+            -limit, limit, size=(out_features, in_features)
+        ).astype(self.dtype, copy=False)
         if bias:
-            self.params["bias"] = np.zeros(out_features)
+            self.params["bias"] = np.zeros(out_features, dtype=self.dtype)
         self.zero_grad()
         self._cache: np.ndarray | None = None
 
@@ -308,7 +337,7 @@ class Dense(Layer):
         return (self.out_features,)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Dense expects input of shape (batch, {self.in_features}), got {x.shape}"
@@ -322,7 +351,7 @@ class Dense(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward pass")
-        grad_output = np.asarray(grad_output, dtype=float)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
         self.grads["weight"] += grad_output.T @ self._cache
         if self.use_bias:
             self.grads["bias"] += grad_output.sum(axis=0)
@@ -340,14 +369,14 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_floating(x)
         self._mask = (x > 0) if training else None
         return np.maximum(x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before a training-mode forward pass")
-        return np.asarray(grad_output, dtype=float) * self._mask
+        return as_floating(grad_output) * self._mask
 
 
 class BatchNorm1d(Layer):
@@ -358,8 +387,10 @@ class BatchNorm1d(Layer):
     inference, as in the standard formulation.
     """
 
-    def __init__(self, num_channels: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
-        super().__init__()
+    def __init__(
+        self, num_channels: int, momentum: float = 0.1, eps: float = 1e-5, dtype=None
+    ) -> None:
+        super().__init__(dtype=dtype)
         if num_channels <= 0:
             raise ValueError("num_channels must be positive")
         if not 0.0 < momentum <= 1.0:
@@ -367,15 +398,15 @@ class BatchNorm1d(Layer):
         self.num_channels = num_channels
         self.momentum = momentum
         self.eps = eps
-        self.params["gamma"] = np.ones(num_channels)
-        self.params["beta"] = np.zeros(num_channels)
-        self.running_mean = np.zeros(num_channels)
-        self.running_var = np.ones(num_channels)
+        self.params["gamma"] = np.ones(num_channels, dtype=self.dtype)
+        self.params["beta"] = np.zeros(num_channels, dtype=self.dtype)
+        self.running_mean = np.zeros(num_channels, dtype=self.dtype)
+        self.running_var = np.ones(num_channels, dtype=self.dtype)
         self.zero_grad()
         self._cache: dict = {}
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 3 or x.shape[1] != self.num_channels:
             raise ValueError(
                 f"BatchNorm1d expects (batch, {self.num_channels}, length), got {x.shape}"
@@ -412,6 +443,12 @@ class BatchNorm1d(Layer):
         sum_grad_xhat = (grad_xhat * x_hat).sum(axis=(0, 2), keepdims=True)
         return (inv_std[None, :, None] / n) * (n * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
 
+    def to_dtype(self, dtype) -> "BatchNorm1d":
+        super().to_dtype(dtype)
+        self.running_mean = self.running_mean.astype(self.dtype, copy=False)
+        self.running_var = self.running_var.astype(self.dtype, copy=False)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BatchNorm1d({self.num_channels})"
 
@@ -431,7 +468,7 @@ class AvgPool1d(Layer):
         return (channels, length // self.pool_size)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_floating(x)
         if x.ndim != 3:
             raise ValueError(f"AvgPool1d expects (batch, channels, length), got {x.shape}")
         batch, channels, length = x.shape
@@ -448,8 +485,8 @@ class AvgPool1d(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward pass")
         (batch, channels, length), l_out = self._cache
-        grad_output = np.asarray(grad_output, dtype=float)
-        grad = np.zeros((batch, channels, length))
+        grad_output = as_floating(grad_output)
+        grad = np.zeros((batch, channels, length), dtype=grad_output.dtype)
         expanded = np.repeat(grad_output / self.pool_size, self.pool_size, axis=2)
         grad[:, :, : l_out * self.pool_size] = expanded
         return grad
@@ -470,7 +507,7 @@ class GlobalAvgPool1d(Layer):
         return (channels,)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_floating(x)
         if x.ndim != 3:
             raise ValueError(f"GlobalAvgPool1d expects (batch, channels, length), got {x.shape}")
         if training:
@@ -481,7 +518,7 @@ class GlobalAvgPool1d(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward pass")
         batch, channels, length = self._cache
-        grad_output = np.asarray(grad_output, dtype=float)
+        grad_output = as_floating(grad_output)
         return np.repeat(grad_output[:, :, None], length, axis=2) / length
 
 
@@ -499,7 +536,7 @@ class Flatten(Layer):
         return (total,)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_floating(x)
         if training:
             self._cache = x.shape
         # Explicit feature count: reshape(batch, -1) cannot infer the
@@ -512,7 +549,7 @@ class Flatten(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward pass")
-        return np.asarray(grad_output, dtype=float).reshape(self._cache)
+        return as_floating(grad_output).reshape(self._cache)
 
 
 class Dropout(Layer):
@@ -527,22 +564,22 @@ class Dropout(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = as_floating(x)
         if not training:
             # Identity at inference: no mask is sampled or allocated.
             self._mask = None
             return x
         if self.rate == 0.0:
-            self._mask = np.ones(1)
+            self._mask = np.ones(1, dtype=x.dtype)
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        self._mask = ((self.rng.random(x.shape) < keep) / keep).astype(x.dtype, copy=False)
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before a training-mode forward pass")
-        return np.asarray(grad_output, dtype=float) * self._mask
+        return as_floating(grad_output) * self._mask
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dropout({self.rate})"

@@ -6,6 +6,7 @@ import copy
 
 import numpy as np
 
+from repro.dtypes import resolve_dtype
 from repro.nn.layers import BatchNorm1d, Conv1d, Layer
 
 
@@ -92,6 +93,28 @@ class Sequential:
                     )
                 params[key][...] = state[full]
 
+    # --------------------------------------------------------------- dtype
+    def to_dtype(self, dtype) -> "Sequential":
+        """Convert every layer's parameters and buffers to ``dtype`` in place.
+
+        Threads the runtime dtype through the whole stack (weights,
+        biases, batch-norm running statistics, gradient buffers); scratch
+        buffers like the im2col column buffer re-inherit the new dtype
+        lazily on the next forward pass.  Returns ``self`` (chainable).
+        """
+        for layer in self.layers:
+            layer.to_dtype(dtype)
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating dtype of the stack's parameterized layers.
+
+        Defined as the dtype of the first layer (``to_dtype`` keeps all
+        layers consistent); an empty network reports the default float.
+        """
+        return self.layers[0].dtype if self.layers else resolve_dtype(None)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(repr(layer) for layer in self.layers)
         return f"Sequential([{inner}])"
@@ -134,7 +157,7 @@ def _fold_conv_bn(conv: Conv1d, bn: BatchNorm1d) -> Conv1d:
     return fused
 
 
-def fold_batchnorm(network: Sequential) -> Sequential:
+def fold_batchnorm(network: Sequential, dtype=None) -> Sequential:
     """Inference copy of ``network`` with batch norm folded into convolutions.
 
     Every ``Conv1d`` immediately followed by a ``BatchNorm1d`` is
@@ -151,6 +174,13 @@ def fold_batchnorm(network: Sequential) -> Sequential:
     (:mod:`repro.nn.ops_count` reads :attr:`Conv1d.bn_folded`), so energy
     modelling reports the same MAC count for folded and reference
     networks.
+
+    ``dtype`` (optional) converts the folded copy — weights, biases and
+    any remaining batch-norm buffers — to the given floating dtype, e.g.
+    ``fold_batchnorm(net, dtype="float32")`` for a pure-float32 frozen
+    network.  Folding arithmetic runs in the source network's dtype and
+    the fold result is cast once at the end, so the float32 weights are
+    the correctly-rounded float64 fold.  ``None`` keeps the source dtype.
     """
     layers: list[Layer] = []
     source = network.layers
@@ -164,4 +194,7 @@ def fold_batchnorm(network: Sequential) -> Sequential:
         else:
             layers.append(_strip_runtime_buffers(copy.deepcopy(layer)))
             i += 1
-    return Sequential(layers)
+    folded = Sequential(layers)
+    if dtype is not None:
+        folded.to_dtype(resolve_dtype(dtype))
+    return folded

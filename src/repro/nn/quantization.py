@@ -13,6 +13,32 @@ quantization error is usually modelled at the algorithm level).
 The quantizer is used to verify that the accuracy loss of int8 deployment
 is small (a property the paper relies on implicitly when it reports MAEs
 for the deployed, quantized models).
+
+Integer-accumulation path
+-------------------------
+:meth:`QuantizedSequential.forward_integer` is the true deployment
+arithmetic, not a float simulation: activations travel between layers as
+**int8 codes**, Conv/Dense layers accumulate ``sum_k w_q[k] * (x_q[k] -
+z_x)`` in **int32** (zero-padding contributes exactly zero because the
+input zero point is subtracted before the convolution), and each
+accumulator is requantized onto the next activation grid.  Requantization
+semantics: the int32 accumulator is scaled by the double-precision
+product ``scale_w * scale_x``, the float bias is added, and the result is
+rounded onto the activation grid with :meth:`QuantizationSpec.quantize` —
+i.e. **round-half-to-even** (``np.round``) computed in double precision,
+then clipped to ``[qmin, qmax]``.  Dequantized values leaving the integer
+domain (pooling layers, the final output) are emitted as **float32**, the
+deployment dtype.
+
+Because the accumulator is exact (integers) and the fake-quantize
+reference accumulates the same per-tap products in float64, both paths
+round onto the same activation grid point; on networks whose layers are
+all grid-exact between Conv/Dense stages (ReLU = ``max(q, z)`` on codes,
+Flatten = reshape, inference Dropout = identity), the integer path's
+codes match the fake-quantize reference exactly — the equivalence the
+int8 test suite pins.  Layers that leave the grid (average pooling)
+dequantize to float32 and re-enter through a calibrated re-entry spec,
+which adds one extra quantization the float reference does not have.
 """
 
 from __future__ import annotations
@@ -21,7 +47,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.layers import BatchNorm1d, Conv1d, Dense, Layer
+from repro.nn.layers import BatchNorm1d, Conv1d, Dense, Dropout, Flatten, Layer, ReLU
 from repro.nn.network import Sequential, fold_batchnorm
 
 
@@ -98,11 +124,21 @@ class QuantizedSequential:
         weight_specs: dict[int, dict[str, QuantizationSpec]],
         activation_specs: dict[int, QuantizationSpec],
         n_bits: int = 8,
+        input_spec: QuantizationSpec | None = None,
+        input_specs: dict[int, QuantizationSpec] | None = None,
     ) -> None:
         self.network = network
         self.weight_specs = weight_specs
         self.activation_specs = activation_specs
         self.n_bits = n_bits
+        #: Grid the raw model input is quantized onto by the integer path.
+        self.input_spec = input_spec
+        #: Per-Conv/Dense re-entry grids: the spec whose codes feed layer
+        #: ``i``.  For layers fed by grid-preserving predecessors this is
+        #: the upstream activation (or input) spec; after a layer that
+        #: leaves the grid it is freshly calibrated.
+        self.input_specs = input_specs if input_specs is not None else {}
+        self._weight_codes: dict[int, np.ndarray] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Quantized inference (always in evaluation mode)."""
@@ -115,6 +151,127 @@ class QuantizedSequential:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
+
+    # ----------------------------------------------------- integer path
+    def _weight_codes_for(self, i: int) -> np.ndarray:
+        """int8 weight codes for Conv/Dense layer ``i`` (cached).
+
+        The layer's weight array already holds fake-quantized values
+        ``q * scale`` exactly, so re-quantizing recovers the integer
+        codes losslessly.
+        """
+        if self._weight_codes is None:
+            self._weight_codes = {}
+        if i not in self._weight_codes:
+            spec = self.weight_specs[i]["weight"]
+            codes = spec.quantize(self.network.layers[i].params["weight"])
+            self._weight_codes[i] = codes.astype(np.int8)
+        return self._weight_codes[i]
+
+    @staticmethod
+    def _conv_integer_accumulate(layer: Conv1d, centered: np.ndarray) -> np.ndarray:
+        """int32 im2col convolution of zero-point-centered input codes.
+
+        ``centered`` is ``(batch, in_channels, length)`` int32 with the
+        input zero point already subtracted, so zero-padding contributes
+        exactly zero to every accumulator tap.
+        """
+        batch, _, length = centered.shape
+        if length < layer.effective_kernel:
+            raise ValueError(
+                f"input length {length} too short for kernel span {layer.effective_kernel}"
+            )
+        pad_left, pad_right = layer._padding_amount(length)
+        l_out = layer.output_length(length)
+        if pad_left or pad_right:
+            centered = np.pad(centered, ((0, 0), (0, 0), (pad_left, pad_right)))
+        view = np.lib.stride_tricks.sliding_window_view(
+            centered, layer.effective_kernel, axis=2
+        )
+        view = view[:, :, : (l_out - 1) * layer.stride + 1 : layer.stride, :: layer.dilation]
+        cols = np.ascontiguousarray(view.transpose(0, 1, 3, 2)).reshape(
+            batch, layer.in_channels * layer.kernel_size, l_out
+        )
+        return cols
+
+    def forward_integer(self, x: np.ndarray, return_codes: bool = False) -> np.ndarray:
+        """True int8 inference: int8 codes, int32 accumulators.
+
+        The input is quantized onto :attr:`input_spec`; activations then
+        travel between layers as int8 codes.  Conv/Dense accumulate in
+        int32 and requantize onto the calibrated activation grid (see the
+        module docstring for the exact rounding semantics).  Grid-exact
+        layers (ReLU, Flatten, inference Dropout) operate directly on the
+        codes; anything else dequantizes to float32 and re-enters the
+        integer domain through the calibrated re-entry spec of the next
+        Conv/Dense.
+
+        Returns the dequantized float32 output, or the raw int8 codes of
+        the final activation grid when ``return_codes`` is true.
+        """
+        if self.input_spec is None:
+            raise ValueError(
+                "forward_integer requires a calibrated input_spec; "
+                "re-export the model with quantize_network()"
+            )
+        if self.n_bits > 8:
+            raise ValueError(
+                f"integer path carries activations as int8; n_bits={self.n_bits} > 8"
+            )
+        current_spec: QuantizationSpec | None = self.input_spec
+        codes = self.input_spec.quantize(np.asarray(x, dtype=float)).astype(np.int8)
+        floats: np.ndarray | None = None  # float32 carrier outside the grid
+        last_spec = self.input_spec
+        for i, layer in enumerate(self.network.layers):
+            if isinstance(layer, (Conv1d, Dense)):
+                in_spec = self.input_specs.get(i, current_spec)
+                if in_spec is None:
+                    raise ValueError(
+                        f"layer {i} has no calibrated re-entry spec; "
+                        "re-export the model with quantize_network()"
+                    )
+                if floats is not None:  # re-enter the integer domain
+                    codes = in_spec.quantize(floats).astype(np.int8)
+                    floats = None
+                centered = codes.astype(np.int32) - np.int32(in_spec.zero_point)
+                w_codes = self._weight_codes_for(i)
+                if isinstance(layer, Dense):
+                    acc = centered @ w_codes.astype(np.int32).T
+                    bias = layer.params["bias"][None, :]
+                else:
+                    cols = self._conv_integer_accumulate(layer, centered)
+                    weight = w_codes.reshape(layer.out_channels, -1).astype(np.int32)
+                    acc = np.matmul(weight, cols)
+                    bias = layer.params["bias"][None, :, None]
+                out_spec = self.activation_specs[i]
+                # Requantize: double-precision scale product + bias,
+                # round-half-to-even onto the activation grid.
+                y = acc * (self.weight_specs[i]["weight"].scale * in_spec.scale) + bias
+                codes = out_spec.quantize(y).astype(np.int8)
+                current_spec = out_spec
+                last_spec = out_spec
+            elif isinstance(layer, ReLU) and floats is None:
+                assert current_spec is not None
+                codes = np.maximum(codes, np.int8(current_spec.zero_point))
+            elif isinstance(layer, Flatten) and floats is None:
+                # Explicit feature count: -1 is ambiguous for zero-row batches.
+                codes = codes.reshape(codes.shape[0], int(np.prod(codes.shape[1:])))
+            elif isinstance(layer, Dropout):
+                continue  # identity at inference
+            else:
+                # Leave the integer domain in the deployment float dtype.
+                assert current_spec is not None or floats is not None
+                if floats is None:
+                    floats = current_spec.dequantize(codes).astype(np.float32)
+                    current_spec = None
+                floats = layer.forward(floats, training=False)
+        if floats is not None:
+            if return_codes:
+                raise ValueError("network output left the integer grid; no codes to return")
+            return floats
+        if return_codes:
+            return codes
+        return last_spec.dequantize(codes).astype(np.float32)
 
     @property
     def weight_bytes(self) -> int:
@@ -186,15 +343,36 @@ def quantize_network(
             # deployment time; no 8-bit quantization applied.
             continue
 
-    # Second pass: propagate the calibration batch and record activation ranges.
+    # Second pass: propagate the calibration batch and record activation
+    # ranges, plus the re-entry grids the integer path needs.  While the
+    # running activation stays on a known grid (Conv/Dense output passed
+    # through grid-preserving layers), that grid is the re-entry spec of
+    # the next Conv/Dense; after a layer that leaves the grid, a fresh
+    # spec is calibrated on the float activations.
+    input_spec = asymmetric_spec(calibration_batch, n_bits=n_bits)
+    input_specs: dict[int, QuantizationSpec] = {}
     out = calibration_batch
+    current: QuantizationSpec | None = input_spec
     for i, layer in enumerate(network.layers):
-        out = layer.forward(out, training=False)
         if isinstance(layer, (Conv1d, Dense)):
+            input_specs[i] = current if current is not None else asymmetric_spec(out, n_bits=n_bits)
+            out = layer.forward(out, training=False)
             activation_specs[i] = asymmetric_spec(out, n_bits=n_bits)
             out = activation_specs[i].fake_quantize(out)
+            current = activation_specs[i]
+        else:
+            out = layer.forward(out, training=False)
+            if not isinstance(layer, (ReLU, Flatten, Dropout)):
+                current = None  # left the grid (pooling, batch norm, ...)
 
-    return QuantizedSequential(network, weight_specs, activation_specs, n_bits=n_bits)
+    return QuantizedSequential(
+        network,
+        weight_specs,
+        activation_specs,
+        n_bits=n_bits,
+        input_spec=input_spec,
+        input_specs=input_specs,
+    )
 
 
 def quantization_error(float_net: Sequential, quant_net: QuantizedSequential, x: np.ndarray) -> float:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal as sps
 
+from repro.dtypes import as_floating
+
 
 def moving_average(x: np.ndarray, window: int) -> np.ndarray:
     """Causal rolling mean with the same length as the input.
@@ -35,7 +37,7 @@ def moving_average(x: np.ndarray, window: int) -> np.ndarray:
     numpy.ndarray
         Array of the same shape as ``x`` holding the rolling mean.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 1:
         raise ValueError(f"moving_average expects a 1-D signal, got shape {x.shape}")
     # Delegate to the batched twin with a single row: one implementation
@@ -59,7 +61,7 @@ def moving_average_batch(x: np.ndarray, window: int) -> np.ndarray:  # hot-path
     window:
         Number of samples of the rolling window (must be >= 1).
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 2:
         raise ValueError(f"moving_average_batch expects a 2-D batch, got shape {x.shape}")
     if window < 1:
@@ -152,7 +154,7 @@ def standardize(x: np.ndarray, axis: int = -1, eps: float = 1e-8) -> np.ndarray:
     This is the pre-processing applied to each input window before it is
     fed to the TimePPG networks.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     mean = x.mean(axis=axis, keepdims=True)
     std = x.std(axis=axis, keepdims=True)
     return (x - mean) / (std + eps)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_floating
 from repro.signal.filters import moving_average, moving_average_batch
 
 
@@ -84,7 +85,7 @@ def adaptive_threshold_peaks(x: np.ndarray, window: int = 24) -> np.ndarray:
         Rolling-mean length in samples (24 in the paper, i.e. 0.75 s at
         32 Hz).
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 1:
         raise ValueError(f"adaptive_threshold_peaks expects a 1-D signal, got shape {x.shape}")
     if x.size == 0:
@@ -150,7 +151,7 @@ def adaptive_threshold_peaks_batch(  # hot-path
         Parallel int arrays naming each peak's window row and its sample
         index inside that row, sorted by ``(row, position)``.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 2:
         raise ValueError(
             f"adaptive_threshold_peaks_batch expects a 2-D batch, got shape {x.shape}"
@@ -170,23 +171,32 @@ def adaptive_threshold_peaks_batch(  # hot-path
     prev = np.empty_like(above)
     prev[:, 0] = False
     prev[:, 1:] = above[:, :-1]
-    start_rows, start_cols = np.nonzero(above & ~prev)
-    flat_starts = start_rows * length + start_cols
+    start_mask = (above & ~prev).ravel()
 
-    # Region maxima: mask everything outside the regions of interest to
-    # -inf, then one reduceat over the flat batch (each segment runs to
-    # the next region start; the masked gap contributes -inf only).
-    flat = x.ravel()
-    masked = np.where(above.ravel(), flat, -np.inf)
-    region_max = np.maximum.reduceat(masked, flat_starts)
+    # Compact to the in-region samples once and do all remaining work on
+    # that (much smaller) gather: values, start flags and region ids per
+    # in-region sample.  This keeps the full-batch-size passes down to
+    # the boolean ops above, which matters because everything here is
+    # exact integer/comparison logic — the only dtype-sensitive arrays
+    # are ``vals`` and ``region_max``.
+    in_region = np.flatnonzero(above.ravel())
+    vals = x.ravel()[in_region]
+    is_start = start_mask[in_region]
+    boundaries = np.flatnonzero(is_start)
+
+    # Region maxima: one reduceat over the compacted values (each
+    # segment runs from a region start to the next — compaction removed
+    # the gaps, and regions never span rows).
+    region_max = np.maximum.reduceat(vals, boundaries)
 
     # First in-region position equal to the region max == np.argmax of
-    # the region (float equality against an exact maximum).
-    in_region = np.flatnonzero(above.ravel())
-    start_marker = np.zeros(flat.size, dtype=np.intp)
-    start_marker[flat_starts] = 1
-    region_of = np.cumsum(start_marker)[in_region] - 1
-    is_max = flat[in_region] == region_max[region_of]
+    # the region (float equality against an exact maximum).  int32 region
+    # ids halve the cumsum traffic; the guard keeps pathological batches
+    # (>2**31 in-region samples) exact.
+    counter = np.int32 if in_region.size < 2**31 else np.intp
+    region_of = np.cumsum(is_start, dtype=counter)
+    region_of -= 1
+    is_max = vals == region_max[region_of]
     max_regions = region_of[is_max]
     # ``max_regions`` is sorted (flat order), so the first hit of each
     # region is wherever the region id changes.

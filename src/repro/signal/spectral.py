@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_floating
+
 HR_BAND_HZ = (0.5, 3.7)
 """Plausible heart-rate band in Hz (30–222 BPM)."""
 
@@ -29,14 +31,16 @@ def power_spectrum(x: np.ndarray, fs: float, nfft: int | None = None) -> tuple[n
     frequency grid, which matters for 8-second windows where the raw bin
     width (0.125 Hz = 7.5 BPM) would dominate the estimation error.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 1:
         raise ValueError(f"power_spectrum expects a 1-D signal, got shape {x.shape}")
     if x.size == 0:
         raise ValueError("power_spectrum received an empty signal")
     if nfft is None:
         nfft = max(256, 4 * x.size)
-    window = np.hanning(x.size)
+    # np.hanning is float64; cast to the signal dtype so a float32 window
+    # stays float32 end to end (float64 path: no-op cast, bit-identical).
+    window = np.hanning(x.size).astype(x.dtype, copy=False)
     spectrum = np.fft.rfft((x - x.mean()) * window, n=nfft)
     power = np.abs(spectrum) ** 2
     freqs = np.fft.rfftfreq(nfft, d=1.0 / fs)
@@ -54,14 +58,14 @@ def power_spectrum_batch(  # hot-path
     like the standalone 1-D call, which the batched predictors rely on
     for exact equivalence with the per-window reference path.
     """
-    x = np.asarray(x, dtype=float)
+    x = as_floating(x)
     if x.ndim != 2:
         raise ValueError(f"power_spectrum_batch expects (n, length), got shape {x.shape}")
     if x.shape[1] == 0:
         raise ValueError("power_spectrum_batch received empty signals")
     if nfft is None:
         nfft = max(256, 4 * x.shape[1])
-    window = np.hanning(x.shape[1])
+    window = np.hanning(x.shape[1]).astype(x.dtype, copy=False)
     spectrum = np.fft.rfft((x - x.mean(axis=-1, keepdims=True)) * window, n=nfft, axis=-1)
     power = np.abs(spectrum) ** 2
     freqs = np.fft.rfftfreq(nfft, d=1.0 / fs)

@@ -131,8 +131,59 @@ class TestRunResultNpz:
         configuration = calibrated_experiment.table.configurations[0]
         result = RunResult(configuration=configuration)
         reloaded = round_trip(result)
-        assert reloaded.n_windows == 0
         assert_bit_identical(result, reloaded)
+        assert reloaded.n_windows == 0
+
+    def test_float32_predictions_round_trip_bit_identical(self, calibrated_experiment):
+        """Archives preserve the float32 engine's dtype and payload exactly.
+
+        ``to_npz`` stores the per-window arrays verbatim, so a float32
+        ``predicted_hr`` (including -0.0, float32 denormals, infinities
+        and NaN) must reload as float32 with identical bytes — the
+        invariant staged-checkpoint replay of float32 runs rests on.
+        """
+        configuration = calibrated_experiment.table.configurations[0]
+        tricky = np.array(
+            [-0.0, 1e-45, np.inf, -np.inf, np.nan, 1.0 + 2**-23], dtype=np.float32
+        )
+        n = tricky.size
+        names = sorted(MODEL_REGISTRY)
+        result = RunResult(
+            configuration=configuration,
+            window_index=np.arange(n, dtype=int),
+            predicted_difficulty=np.zeros(n, dtype=int),
+            true_difficulty=np.ones(n, dtype=int),
+            model_names=np.array([names[i % len(names)] for i in range(n)], dtype=object),
+            offloaded=np.zeros(n, dtype=bool),
+            predicted_hr=tricky,
+            true_hr=np.linspace(60.0, 175.0, n),
+            watch_compute_j=np.full(n, 1e-4),
+            watch_radio_j=np.zeros(n),
+            watch_idle_j=np.full(n, 2.5e-5),
+            phone_compute_j=np.full(n, 3e-3),
+            latency_s=np.full(n, 0.21),
+        )
+        reloaded = round_trip(result)
+        assert reloaded.predicted_hr.dtype == np.float32
+        assert_bit_identical(result, reloaded)
+
+    def test_executed_float32_run_round_trips(self, calibrated_experiment, small_dataset):
+        """An actually executed float32 run survives the archive bit-for-bit."""
+        import copy
+
+        from repro.core.runtime import CHRISRuntime
+
+        runtime = CHRISRuntime(
+            zoo=copy.deepcopy(calibrated_experiment.zoo),
+            engine=calibrated_experiment.engine,
+            system=calibrated_experiment.system,
+            dtype="float32",
+        )
+        result = runtime.run(small_dataset.subjects[0], CONSTRAINT)
+        assert result.predicted_hr.dtype == np.float32
+        reloaded = round_trip(result)
+        assert_bit_identical(result, reloaded)
+        assert_results_identical(result, reloaded)
 
 
 # ------------------------------------------------------------- atomic writes

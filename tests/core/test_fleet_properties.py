@@ -9,7 +9,9 @@ RF vs oracle difficulty, stateful vs ``FLEET_BATCHABLE`` predictors —
 including a fully stateful zoo with a signal-reading spectral tracker —
 stacked-state fused dispatch vs the legacy per-``(model, subject)``
 fallback, the ``equivalence`` policy axis (bitwise vs tolerance) with a
-real signal-reading TimePPG network in the zoo, worker counts 1/2/4,
+real signal-reading TimePPG network in the zoo, the inference precision
+axis (float64 vs float32 — float32 always under the tolerance policy
+with the wider ``EQUIVALENCE_TOLERANCES`` bounds), worker counts 1/2/4,
 arrival orderings, batch-size limits, mid-queue retirements) and every
 example asserts bit-identical results — except the predictions of
 tolerance-fused models under ``equivalence="tolerance"``, which must
@@ -48,8 +50,7 @@ from repro.core.decision_engine import Constraint
 from repro.core.fleet import FleetExecutor, SharedSubjectStore
 from repro.core.runtime import (
     CHRISRuntime,
-    EQUIVALENCE_ATOL,
-    EQUIVALENCE_RTOL,
+    EQUIVALENCE_TOLERANCES,
     RunResult,
 )
 from repro.core.scheduler import FleetScheduler, SessionState
@@ -80,19 +81,24 @@ TINY_TIMEPPG_CONFIG = TimePPGConfig(
 
 
 def assert_results_equivalent(
-    reference: RunResult, result: RunResult, tolerance_models: frozenset
+    reference: RunResult,
+    result: RunResult,
+    tolerance_models: frozenset,
+    dtype: str = "float64",
 ) -> None:
     """Bit-exact equality except tolerance-fused models' predictions.
 
     Under ``equivalence="tolerance"`` the only field allowed to move —
     and only on windows routed to a tolerance-fused model — is the
-    predicted HR, within the runtime's documented atol/rtol.  Everything
-    else (routing, difficulty, offload, costs, configuration) must stay
-    bit-identical, whatever the policy.
+    predicted HR, within the runtime's documented per-dtype atol/rtol
+    (``EQUIVALENCE_TOLERANCES``).  Everything else (routing, difficulty,
+    offload, costs, configuration) must stay bit-identical, whatever the
+    policy or precision.
     """
     if not tolerance_models:
         assert_results_identical(reference, result)
         return
+    atol, rtol = EQUIVALENCE_TOLERANCES[dtype]
     relaxed = np.isin(reference.model_names.astype(str), sorted(tolerance_models))
     np.testing.assert_array_equal(
         reference.predicted_hr[~relaxed], result.predicted_hr[~relaxed]
@@ -100,8 +106,8 @@ def assert_results_equivalent(
     np.testing.assert_allclose(
         result.predicted_hr[relaxed],
         reference.predicted_hr[relaxed],
-        atol=EQUIVALENCE_ATOL,
-        rtol=EQUIVALENCE_RTOL,
+        atol=atol,
+        rtol=rtol,
     )
     exact = copy.copy(result)
     exact.predicted_hr = reference.predicted_hr
@@ -201,6 +207,10 @@ def fleet_scenarios(draw):
         # Equivalence policy axis: bitwise keeps every path bit-exact;
         # tolerance fuses TOLERANCE_FUSABLE predictors across subjects.
         "equivalence": draw(st.sampled_from(["bitwise", "tolerance"])),
+        # Inference precision axis: float32 runs the signal hot path in
+        # single precision (always under the tolerance policy, with the
+        # wider per-dtype bounds of EQUIVALENCE_TOLERANCES).
+        "dtype": draw(st.sampled_from(["float64", "float32"])),
         # Swap a real (signal-reading) TimePPG network into the zoo so
         # the tolerance axis exercises a genuine BLAS forward (ignored
         # by the fully stateful zoo, which replaces every predictor).
@@ -254,13 +264,18 @@ def make_runtime(scenario) -> CHRISRuntime:
             zoo.entry("TimePPG-Big").predictor = TimePPGPredictor(
                 TINY_TIMEPPG_CONFIG, seed=7
             ).freeze()
+    dtype = scenario.get("dtype", "float64")
+    # float32 inference cannot honor a bitwise contract against the
+    # float64 reference; it always runs under the tolerance policy.
+    equivalence = scenario["equivalence"] if dtype == "float64" else "tolerance"
     runtime = CHRISRuntime(
         zoo=zoo,
         engine=experiment.engine,
         system=experiment.system,
         activity_classifier=_classifier() if scenario["use_rf"] else None,
         stacked_state=scenario["stacked"],
-        equivalence=scenario["equivalence"],
+        equivalence=equivalence,
+        dtype=dtype,
     )
     if scenario["stateful"] == "flag":
         # Force one model through the stateful dispatch path.
@@ -323,7 +338,10 @@ def test_scheduler_matches_sequential_replay(scenario):
     fused = tolerance_fused_models(reference)
     for session in completed:
         assert_results_equivalent(
-            reference_fleet.results[session.subject_id], session.result, fused
+            reference_fleet.results[session.subject_id],
+            session.result,
+            fused,
+            dtype=str(reference.dtype),
         )
 
     # The scheduler's stream runtime must land on exactly the cross-run
@@ -396,7 +414,10 @@ def test_tolerance_fused_timeppg_within_documented_bounds(scenario):
     )
     for session in completed:
         assert_results_equivalent(
-            reference_fleet.results[session.subject_id], session.result, fused
+            reference_fleet.results[session.subject_id],
+            session.result,
+            fused,
+            dtype=str(reference.dtype),
         )
 
 
@@ -429,7 +450,58 @@ def test_pool_executor_matches_sequential_replay(scenario):
     assert pooled.subject_ids == sequential.subject_ids
     fused = tolerance_fused_models(reference_runtime)
     for sid in sequential.subject_ids:
-        assert_results_equivalent(sequential.results[sid], pooled.results[sid], fused)
+        assert_results_equivalent(
+            sequential.results[sid],
+            pooled.results[sid],
+            fused,
+            dtype=str(reference_runtime.dtype),
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_float32_fleet_decision_compatible_across_workers(workers):
+    """A float32 fleet run is decision-compatible at any worker count.
+
+    The sequential float64 bitwise run is the reference: a float32
+    executor fleet must route every window to the same model and target
+    with the same costs, report float32 predictions, and keep the
+    predicted HR of every model within the documented float32 tolerance
+    bounds — whether one, two, or four workers execute the shards.
+    """
+    scenario64 = {
+        "stateful": "none",
+        "timeppg": True,
+        "use_rf": False,
+        "stacked": True,
+        "equivalence": "tolerance",
+        "dtype": "float64",
+    }
+    scenario32 = dict(scenario64, dtype="float32")
+    subjects = [make_subject(f"f32-{i:02d}", 24 + 8 * i, seed=100 + i) for i in range(3)]
+
+    reference = make_runtime(scenario64).run_many(
+        subjects, CONSTRAINT, use_oracle_difficulty=True, mega_batched=False
+    )
+    executor = FleetExecutor(
+        make_runtime(scenario32), max_workers=workers, shards_per_worker=2
+    )
+    pooled = executor.run_fleet(subjects, CONSTRAINT, use_oracle_difficulty=True)
+
+    atol, rtol = EQUIVALENCE_TOLERANCES["float32"]
+    assert pooled.subject_ids == reference.subject_ids
+    for sid in reference.subject_ids:
+        ref, res = reference.results[sid], pooled.results[sid]
+        assert res.predicted_hr.dtype == np.float32
+        np.testing.assert_array_equal(ref.model_names, res.model_names)
+        np.testing.assert_array_equal(ref.offloaded, res.offloaded)
+        np.testing.assert_array_equal(ref.predicted_difficulty, res.predicted_difficulty)
+        np.testing.assert_array_equal(ref.watch_compute_j, res.watch_compute_j)
+        np.testing.assert_allclose(
+            res.predicted_hr.astype(np.float64),
+            ref.predicted_hr,
+            atol=atol,
+            rtol=rtol,
+        )
 
 
 @settings(max_examples=10, **SCENARIO_SETTINGS)

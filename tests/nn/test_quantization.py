@@ -172,3 +172,177 @@ class TestFoldedQuantization:
         calibration = np.random.default_rng(4).normal(size=(8, 1, 32))
         quantized = quantize_network(net, calibration, fold_bn=True)
         assert not any(isinstance(l, BatchNorm1d) for l in quantized.network.layers)
+
+
+def _trained(net, seed):
+    rng = np.random.default_rng(seed)
+    for layer in net.layers:
+        for key in layer.params:
+            layer.params[key] += rng.normal(0, 0.2, size=layer.params[key].shape)
+    return net
+
+
+class TestIntegerAccumulationPath:
+    """The true int8 engine against the fake-quantize float reference.
+
+    On grid-exact networks (Conv/Dense separated only by ReLU, Flatten
+    and inference Dropout) the integer path's activation codes must match
+    the fake-quantize reference *exactly*: the int32 accumulator computes
+    the same sum the float64 reference computes, so both round onto the
+    same grid point (see the module docstring of repro.nn.quantization).
+    """
+
+    def _quantized(self, seed=0, n=32):
+        net = _trained(small_regressor(seed=3), seed=4 + seed)
+        rng = np.random.default_rng(10 + seed)
+        quantized = quantize_network(net, rng.normal(size=(n, 1, 32)))
+        # Inputs on the int8 grid: the domain where the equivalence is exact.
+        x = quantized.input_spec.fake_quantize(rng.normal(size=(16, 1, 32)))
+        return quantized, x
+
+    def _reference_codes(self, quantized, x):
+        last = max(quantized.activation_specs)
+        return quantized.activation_specs[last].quantize(quantized.forward(x))
+
+    def test_codes_match_fake_quantize_reference_exactly(self):
+        for seed in range(3):
+            quantized, x = self._quantized(seed=seed)
+            codes = quantized.forward_integer(x, return_codes=True)
+            assert codes.dtype == np.int8
+            np.testing.assert_array_equal(
+                codes.astype(np.int32), self._reference_codes(quantized, x)
+            )
+
+    def test_dequantized_output_is_float32_on_the_same_grid(self):
+        quantized, x = self._quantized()
+        out = quantized.forward_integer(x)
+        assert out.dtype == np.float32
+        ref = quantized.forward(x)  # float64 fake reference, same grid points
+        last = max(quantized.activation_specs)
+        scale = quantized.activation_specs[last].scale
+        # Same codes -> same grid values up to the float32 cast of the output.
+        assert np.max(np.abs(out.astype(np.float64) - ref)) <= scale * 1e-6 + 1e-6
+
+    def test_zero_row_batch(self):
+        quantized, _ = self._quantized()
+        out = quantized.forward_integer(np.empty((0, 1, 32)))
+        assert out.shape == (0, 1)
+        assert out.dtype == np.float32
+        codes = quantized.forward_integer(np.empty((0, 1, 32)), return_codes=True)
+        assert codes.shape == (0, 1)
+        assert codes.dtype == np.int8
+
+    def test_signed_zero_and_denormal_weights(self):
+        net = _trained(small_regressor(seed=5), seed=6)
+        weight = net.layers[0].params["weight"]
+        weight[0, 0, 0] = 0.0
+        weight[0, 0, 1] = -0.0
+        weight[1, 0, 0] = 5e-324  # smallest positive denormal
+        rng = np.random.default_rng(7)
+        quantized = quantize_network(net, rng.normal(size=(32, 1, 32)))
+        x = quantized.input_spec.fake_quantize(rng.normal(size=(8, 1, 32)))
+        codes = quantized.forward_integer(x, return_codes=True)
+        np.testing.assert_array_equal(
+            codes.astype(np.int32), self._reference_codes(quantized, x)
+        )
+
+    def test_integer_weight_codes_recovered_losslessly(self):
+        quantized, _ = self._quantized()
+        for i, spec_map in quantized.weight_specs.items():
+            codes = quantized._weight_codes_for(i)
+            assert codes.dtype == np.int8
+            np.testing.assert_allclose(
+                codes.astype(np.float64) * spec_map["weight"].scale,
+                quantized.network.layers[i].params["weight"],
+                rtol=0,
+                atol=0,
+            )
+
+    def test_missing_input_spec_raises(self):
+        quantized, x = self._quantized()
+        stripped = QuantizedSequential(
+            quantized.network, quantized.weight_specs, quantized.activation_specs
+        )
+        with pytest.raises(ValueError, match="input_spec"):
+            stripped.forward_integer(x)
+
+    def test_wide_grids_rejected(self):
+        net = _trained(small_regressor(seed=8), seed=9)
+        rng = np.random.default_rng(11)
+        quantized = quantize_network(net, rng.normal(size=(8, 1, 32)), n_bits=12)
+        with pytest.raises(ValueError, match="int8"):
+            quantized.forward_integer(rng.normal(size=(2, 1, 32)))
+
+    def test_pooled_network_reenters_through_calibrated_spec(self):
+        from repro.nn.layers import AvgPool1d, Dropout
+
+        rng = np.random.default_rng(12)
+        net = _trained(
+            Sequential([
+                Conv1d(1, 4, 3, rng=rng),
+                ReLU(),
+                AvgPool1d(2),
+                Conv1d(4, 2, 3, rng=rng),
+                ReLU(),
+                Flatten(),
+                Dense(2 * 16, 1, rng=rng),
+                Dropout(0.5),
+            ]),
+            13,
+        )
+        quantized = quantize_network(net, rng.normal(size=(32, 1, 32)))
+        x = rng.normal(size=(8, 1, 32))
+        fake = quantized.forward(x)
+        integer = quantized.forward_integer(x)
+        # Pooling leaves the grid, so exactness is not guaranteed — but the
+        # re-entry spec keeps the two paths within a few activation steps.
+        span = np.abs(fake).max() + 1.0
+        assert np.mean(np.abs(integer.astype(np.float64) - fake)) < 0.1 * span
+
+
+class TestQuantizedMAEEnvelope:
+    """Paper envelope: int8 deployment must not visibly degrade the MAE."""
+
+    def test_quantized_timeppg_mae_within_envelope(self):
+        from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
+        from repro.models.timeppg import TimePPGConfig, TimePPGPredictor
+
+        dataset = SyntheticDaliaGenerator(
+            SyntheticDatasetConfig(n_subjects=2, activity_duration_s=30.0, seed=0)
+        ).generate_windowed()
+        subject = dataset.subjects[0]
+        config = TimePPGConfig(
+            name="TimePPG-Big",
+            input_length=subject.ppg_windows.shape[1],
+            block_channels=(2, 2, 2),
+            kernel_size=3,
+            head_pool=2,
+            head_hidden=0,
+        )
+        predictor = TimePPGPredictor(config, seed=7)
+        float_pred = predictor.predict(subject.ppg_windows, subject.accel_windows)
+        float_mae = np.mean(np.abs(float_pred - subject.hr))
+
+        import copy
+
+        calibration = predictor.prepare_input(
+            subject.ppg_windows, subject.accel_windows
+        )
+        predictor.quantized = quantize_network(
+            copy.deepcopy(predictor.network), np.asarray(calibration, dtype=float)
+        )
+        quant_pred = predictor.predict(subject.ppg_windows, subject.accel_windows)
+        quant_mae = np.mean(np.abs(quant_pred - subject.hr))
+
+        # The paper ships int8 TimePPG models whose MAE matches the float
+        # models to within a fraction of a BPM; the synthetic corpus must
+        # reproduce that envelope.
+        assert quant_mae - float_mae < 1.0
+
+        # And the true integer engine agrees with the fake-quantize MAE.
+        integer_out = predictor.quantized.forward_integer(
+            np.asarray(calibration, dtype=float)
+        )
+        integer_pred = np.clip(integer_out.reshape(-1), 30.0, 220.0)
+        integer_mae = np.mean(np.abs(integer_pred - subject.hr))
+        assert abs(integer_mae - quant_mae) < 0.5

@@ -1,0 +1,129 @@
+"""Per-kernel dtype discipline suite.
+
+The float32 inference engine rests on two kernel-level properties, both
+pinned here at float64 AND float32:
+
+* **dtype inheritance** — the hot-path signal kernels compute in the
+  dtype of their input: a float32 batch produces float32 outputs with no
+  silent float64 re-promotion (the Hann window cast in
+  :mod:`repro.signal.spectral`, the warm-up divisors in
+  :mod:`repro.signal.filters`).
+* **batch/scalar twin bit-identity per dtype** — every batched kernel is
+  bit-identical, row for row, to its scalar twin run at the same dtype.
+  The twins share elementwise operation order (sequential cumsum,
+  reduceat region maxima, row-wise FFT), so the identity that holds at
+  float64 holds at float32 too — which is exactly what lets a float32
+  fleet stay decision-compatible across batch compositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signal.filters import moving_average, moving_average_batch, standardize
+from repro.signal.peaks import (
+    adaptive_threshold_peaks,
+    adaptive_threshold_peaks_batch,
+    peak_intervals_to_bpm,
+    peak_intervals_to_bpm_batch,
+)
+from repro.signal.spectral import power_spectrum, power_spectrum_batch
+
+DTYPES = [np.float64, np.float32]
+
+
+def make_batch(n_rows: int, length: int, dtype, seed: int = 0) -> np.ndarray:
+    """A PPG-like batch: noisy sinusoids so the AT detector finds peaks."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length) / 32.0
+    hr_hz = 1.0 + 1.5 * rng.random((n_rows, 1))
+    x = np.sin(2 * np.pi * hr_hz * t) + 0.3 * rng.standard_normal((n_rows, length))
+    return x.astype(dtype)
+
+
+# ------------------------------------------------------------- inheritance
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_kernels_inherit_input_dtype(dtype):
+    batch = make_batch(6, 256, dtype)
+    assert moving_average(batch[0], 24).dtype == dtype
+    assert moving_average_batch(batch, 24).dtype == dtype
+    assert standardize(batch).dtype == dtype
+    _, power = power_spectrum(batch[0], fs=32.0)
+    assert power.dtype == dtype
+    _, power_b = power_spectrum_batch(batch, fs=32.0)
+    assert power_b.dtype == dtype
+
+
+def test_integer_input_promotes_to_default_float():
+    # Boundary coercion: non-float input enters the pipeline as float64.
+    x = np.arange(64, dtype=np.int32)
+    assert moving_average(x, 8).dtype == np.float64
+    _, power = power_spectrum(x, fs=32.0)
+    assert power.dtype == np.float64
+
+
+# ----------------------------------------------------------- batch twins
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_moving_average_batch_twin_bit_identical(dtype):
+    batch = make_batch(9, 256, dtype)
+    batched = moving_average_batch(batch, 24)
+    for i in range(batch.shape[0]):
+        scalar = moving_average(batch[i], 24)
+        assert scalar.dtype == dtype
+        np.testing.assert_array_equal(batched[i], scalar)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_adaptive_threshold_peaks_batch_twin_bit_identical(dtype):
+    batch = make_batch(9, 256, dtype, seed=3)
+    rows, positions = adaptive_threshold_peaks_batch(batch, window=24)
+    for i in range(batch.shape[0]):
+        scalar_peaks = adaptive_threshold_peaks(batch[i], window=24)
+        np.testing.assert_array_equal(positions[rows == i], scalar_peaks)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_peak_intervals_to_bpm_batch_twin_bit_identical(dtype):
+    batch = make_batch(9, 256, dtype, seed=5)
+    rows, positions = adaptive_threshold_peaks_batch(batch, window=24)
+    bpm = peak_intervals_to_bpm_batch(rows, positions, batch.shape[0], fs=32.0)
+    for i in range(batch.shape[0]):
+        scalar = peak_intervals_to_bpm(
+            adaptive_threshold_peaks(batch[i], window=24), fs=32.0
+        )
+        if np.isnan(scalar):
+            assert np.isnan(bpm[i])
+        else:
+            assert bpm[i] == scalar  # bit-identical, not allclose
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_power_spectrum_batch_twin_bit_identical(dtype):
+    batch = make_batch(7, 256, dtype, seed=7)
+    freqs_b, power_b = power_spectrum_batch(batch, fs=32.0)
+    for i in range(batch.shape[0]):
+        freqs, power = power_spectrum(batch[i], fs=32.0)
+        np.testing.assert_array_equal(freqs_b, freqs)
+        np.testing.assert_array_equal(power_b[i], power)
+
+
+# ----------------------------------------------------- cross-dtype sanity
+def test_float32_peaks_track_float64_peaks():
+    """Peak positions at float32 match float64 on clean-margin signals.
+
+    Not a bitwise guarantee (a sample sitting exactly on the threshold
+    can flip with precision) — but on the synthetic PPG used here the
+    comparisons have macroscopic margins, so the detected peak trains
+    coincide and the derived BPM agrees to float32 resolution.
+    """
+    batch64 = make_batch(6, 256, np.float64, seed=11)
+    batch32 = batch64.astype(np.float32)
+    rows64, pos64 = adaptive_threshold_peaks_batch(batch64, window=24)
+    rows32, pos32 = adaptive_threshold_peaks_batch(batch32, window=24)
+    np.testing.assert_array_equal(rows64, rows32)
+    np.testing.assert_array_equal(pos64, pos32)
+    bpm64 = peak_intervals_to_bpm_batch(rows64, pos64, 6, fs=32.0)
+    bpm32 = peak_intervals_to_bpm_batch(rows32, pos32, 6, fs=32.0)
+    # Identical integer peak trains -> identical float64 BPM conversion.
+    np.testing.assert_array_equal(bpm64, bpm32)
