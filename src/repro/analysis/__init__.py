@@ -3,15 +3,38 @@
 Several PRs of engine work rest on conventions no generic linter knows
 about: locked dispatcher state, vectorized hot paths, scalar/batch
 bit-identity twins, explicit equivalence flags, an inference path
-that must not silently re-promote to float64, and durable state that
-must only be committed atomically.  This package enforces them
-statically.  Run it as::
+that must not silently re-promote to float64, durable state that
+must only be committed atomically, a declared lock ordering on the
+threaded modules, and resources whose lifetime must not leak on
+exception paths.  This package enforces them statically.  Run it as::
 
-    PYTHONPATH=src python -m repro.analysis            # text report, exit 1 on new findings
-    PYTHONPATH=src python -m repro.analysis --json     # machine-readable report
+    PYTHONPATH=src python -m repro.analysis                 # text report, exit 1 on new findings
+    PYTHONPATH=src python -m repro.analysis --format json   # machine-readable report
+    PYTHONPATH=src python -m repro.analysis --format github # ::error annotations for CI
+    PYTHONPATH=src python -m repro.analysis --format sarif  # SARIF 2.1.0 for code-scanning UIs
     PYTHONPATH=src python -m repro.analysis --write-baseline   # grandfather current findings
 
-It is also gated in tier-1 via ``tests/analysis/test_lint_clean.py``.
+or, once the package is installed, as the ``repro-lint`` console
+script.  It is also gated in tier-1 via
+``tests/analysis/test_lint_clean.py``.
+
+Two-pass architecture
+---------------------
+
+The engine runs in two passes.  **Pass 1** parses every module once and
+builds a :class:`~repro.analysis.engine.ModuleSummary` per file: for
+each function, the locks it acquires (``with self._lock:``, bare
+``.acquire()``, or transitively via self-method calls), the dtype fact
+of the arrays it returns (``'float64'`` pin, dtype-``'param'``
+threading, or unknown), the resources it constructs, and its outgoing
+call sites; plus per-class mutex declarations (``Condition(self._lock)``
+canonicalizes to its underlying mutex) and the import graph.  Parses
+and summaries are cached per file on ``(mtime, size)`` — see
+:func:`clear_caches` — so a warm whole-repo run is mostly stat calls.
+**Pass 2** runs the per-module checkers (REP001-REP003, REP005, REP008)
+and the summary-driven project checkers (REP004, REP006, REP007), which
+stitch the per-file summaries into a project call graph and reason
+across function and module boundaries.
 
 Rule catalogue
 --------------
@@ -54,6 +77,36 @@ Rule catalogue
     ``atomic_*``/``_atomic*`` — a torn journal or manifest would be
     silently trusted by the next resumed run.
 
+``REP006`` lock-order discipline (threaded modules only — see
+    ``engine.DEFAULT_LOCK_MODULES``).  Every mutex attribute in these
+    modules must be registered with a ``# lock-order:`` pragma, and
+    nested acquisitions — direct ``with`` blocks, bare ``.acquire()``,
+    or locks taken inside a called self-method — must follow the
+    declared partial order (closed transitively).  Also flags cyclic or
+    self-aliasing declarations, and re-entrant acquisition of a
+    non-reentrant lock (``RLock``-rooted mutexes, including argless
+    ``Condition()``, are exempt from re-entry).  Helper-call
+    acquisitions are attributed to the call site with a ``via`` note.
+
+``REP007`` interprocedural dtype flow (inference modules only — the
+    REP001 set).  A *dtype-aware* function (one with a ``dtype``
+    parameter, or using ``resolve_dtype``/``self.dtype``) must not
+    consume the result of a helper whose return value is pinned to
+    float64.  Pins are traced through local variables and ``return
+    helper(...)`` chains across modules, and only count the forms
+    REP001 cannot see (``dtype=float``, ``dtype="float64"``,
+    ``dtype=np.float64`` keywords) so the two rules never double-report;
+    ``np.asarray(<param>, dtype=float)`` boundary coercion is exempt.
+    The finding anchors at the call site and names the origin pin.
+
+``REP008`` resource lifecycle (lifecycle modules only — see
+    ``engine.DEFAULT_LIFECYCLE_MODULES``).  ``SharedMemory``, executor
+    pools, bare ``open()`` and ``tempfile`` constructors must be
+    released on every path: a with-block, a try/finally releasing the
+    bound name (``close``/``shutdown``/``unlink``/``terminate``/
+    ``cleanup``/``release``), or an explicit ``# lifecycle-ok:``
+    ownership-transfer pragma.
+
 Pragma grammar
 --------------
 
@@ -85,6 +138,19 @@ sit on any header line (``def`` line through the line before the body).
     codes when bare).  Prefer this over baselining for one-off,
     justified exceptions.
 
+``# lock-order: <lock>[ < <lock>...][, <chain>...]``
+    Anywhere inside a class body (conventionally on the mutex
+    declaration or as a leading class-body comment): registers mutexes
+    for REP006 and optionally declares ordering chains.  A bare name
+    registers without ordering; ``_meta < _data < _log`` declares a
+    chain; commas separate independent chains.  Names are canonicalized
+    (a ``Condition(self._lock)`` alias may be written as either name).
+
+``# lifecycle-ok[: <reason>]``
+    On a resource constructor's line (anywhere in a multi-line call):
+    exempts it from REP008, documenting an ownership transfer — the
+    resource is stored for a named releaser, or handed to the caller.
+
 Baselining
 ----------
 
@@ -105,27 +171,41 @@ in a scanned module fails tier-1 outright — keep it that way.
 """
 
 from repro.analysis.engine import (
+    RULE_DESCRIPTIONS,
     BatchTwin,
     Finding,
     LintConfig,
     LintReport,
+    ModuleSummary,
+    ProjectSummary,
+    clear_caches,
     default_config,
+    format_github,
     format_json,
+    format_sarif,
     format_text,
     load_baseline,
     run_lint,
+    summarize_module,
     write_baseline,
 )
 
 __all__ = [
+    "RULE_DESCRIPTIONS",
     "BatchTwin",
     "Finding",
     "LintConfig",
     "LintReport",
+    "ModuleSummary",
+    "ProjectSummary",
+    "clear_caches",
     "default_config",
+    "format_github",
     "format_json",
+    "format_sarif",
     "format_text",
     "load_baseline",
     "run_lint",
+    "summarize_module",
     "write_baseline",
 ]

@@ -1,4 +1,10 @@
-"""CLI entry point: ``python -m repro.analysis [--json] [--baseline PATH]``.
+"""CLI entry point: ``python -m repro.analysis`` (also the ``repro-lint``
+console script).
+
+Output formats (``--format``): ``text`` (default), ``json``, ``github``
+(GitHub Actions ``::error`` workflow commands, rendered inline in CI
+diffs) and ``sarif`` (SARIF 2.1.0 for code-scanning UIs).  ``--json``
+remains as an alias for ``--format json``.
 
 Exit codes: 0 — clean (no findings beyond the baseline), 1 — new
 findings (or stale baseline entries under ``--strict-baseline``),
@@ -13,19 +19,36 @@ from pathlib import Path
 
 from repro.analysis.engine import (
     default_config,
+    format_github,
     format_json,
+    format_sarif,
     format_text,
     run_lint,
     write_baseline,
 )
 
+_FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+    "sarif": format_sarif,
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Repo-specific AST invariant linter (REP001-REP005).",
+        prog="repro-lint",
+        description="Repo-specific AST invariant linter (REP001-REP008).",
     )
-    parser.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+    parser.add_argument(
+        "--format",
+        choices=sorted(_FORMATTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="alias for --format json"
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -70,7 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
 
-    print(format_json(report) if args.json else format_text(report))
+    fmt = "json" if args.json else args.format
+    print(_FORMATTERS[fmt](report))
     if report.new:
         return 1
     if args.strict_baseline and report.unused_baseline:

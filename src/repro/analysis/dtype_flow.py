@@ -1,0 +1,65 @@
+"""REP007 — interprocedural dtype flow in the inference-path modules.
+
+REP001 polices *allocation sites*; this rule polices *call sites*: a
+function that participates in the dtype-parameterized inference path (it
+takes a ``dtype`` parameter, calls ``resolve_dtype``, or reads
+``self.dtype``/``self._dtype``) must not consume the result of a helper
+whose return value is pinned to float64 — that silently re-promotes a
+float32 pipeline no matter how disciplined the caller's own allocations
+are.
+
+The helper-side pin facts come from the pass-1 summaries and cover
+exactly the forms REP001 structurally cannot see (``dtype=float`` and
+``dtype="float64"`` keywords on non-boundary allocations), propagated
+transitively through ``return helper(...)`` chains across modules via
+the project call graph.  ``np.asarray(<param>, dtype=float)`` stays
+exempt — it is the documented boundary coercion of caller input, not a
+mid-pipeline widening.
+
+Findings land on the call line in the dtype-aware caller, naming the
+helper and the ``file:line`` of the underlying pin.  A deliberate
+float64 contract (e.g. BPM conversion from integer peak positions) is
+suppressed in place with ``# lint-ok: REP007`` next to a comment saying
+why.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Finding, LintConfig, ProjectSummary
+
+CODE = "REP007"
+
+
+def check_project(project: ProjectSummary, config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for relpath in config.dtype_modules:
+        msum = project.module(relpath)
+        if msum is None:
+            continue
+        for qualname, fs in sorted(msum.functions.items()):
+            if not fs.dtype_aware:
+                continue
+            seen: set[tuple[int, str]] = set()
+            for call in fs.calls:
+                target = project.resolve(call, relpath, fs.cls)
+                if target is None or target == (relpath, qualname):
+                    continue
+                fact, origin = project.return_fact(*target)
+                if fact != "float64":
+                    continue
+                if (call.line, call.name) in seen:
+                    continue
+                seen.add((call.line, call.name))
+                findings.append(
+                    Finding(
+                        file=relpath,
+                        line=call.line,
+                        code=CODE,
+                        message=(
+                            f"dtype-aware '{qualname}' consumes the float64-pinned "
+                            f"result of '{call.name}' (pinned at {origin}) — thread "
+                            "the caller's dtype through or coerce at this boundary"
+                        ),
+                    )
+                )
+    return findings

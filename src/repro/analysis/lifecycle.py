@@ -1,0 +1,152 @@
+"""REP008 — resource lifecycle in the fleet/checkpoint/scheduler modules.
+
+The crash-safe fleet machinery owns three kinds of leak-prone resources:
+``multiprocessing.shared_memory`` segments (which outlive the process if
+never unlinked), executor pools (which strand worker processes), and
+temp files.  In the configured ``LintConfig.lifecycle_modules`` every
+construction of one must provably release on *all* paths, including
+exceptions.  Accepted dispositions:
+
+* the constructor is a ``with`` context item (``with open(...) as f:``,
+  ``with ProcessPoolExecutor(...) as pool:``);
+* it is bound to a local name that a ``try``/``finally`` in the same
+  function releases (``close``/``shutdown``/``unlink``/``terminate``/
+  ``cleanup``/``release`` call on the name inside a ``finalbody``);
+* the construction line carries ``# lifecycle-ok: <reason>`` — the
+  documented ownership-transfer escape (stored on ``self``, returned to
+  a caller that owns the release, handed to a registry that closes it).
+
+Anything else — including a release that merely *follows* the use
+without a ``finally`` — is flagged: an exception between construction
+and release leaks the resource.  Nested functions (e.g. a pool factory
+closure) are analyzed independently.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, LintConfig, ParsedModule
+
+CODE = "REP008"
+
+_CTOR_NAMES = {"SharedMemory", "ThreadPoolExecutor", "ProcessPoolExecutor"}
+_TEMPFILE_CTORS = {
+    "NamedTemporaryFile",
+    "TemporaryFile",
+    "SpooledTemporaryFile",
+    "TemporaryDirectory",
+    "mkstemp",
+    "mkdtemp",
+}
+_RELEASE_METHODS = {"close", "shutdown", "unlink", "terminate", "cleanup", "release"}
+
+
+def _ctor_label(call: ast.Call) -> str | None:
+    """Resource-constructor label for ``call``, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in _CTOR_NAMES:
+            return func.id
+        if func.id == "open":
+            return "open"
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr in _CTOR_NAMES:
+            return func.attr
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "tempfile"
+            and func.attr in _TEMPFILE_CTORS
+        ):
+            return f"tempfile.{func.attr}"
+    return None
+
+
+def _walk_shallow(node: ast.AST):
+    """Walk ``node`` without descending into nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _released_names(fn: ast.AST) -> set[str]:
+    """Local names a ``finally`` block in ``fn`` calls a release method on."""
+    released: set[str] = set()
+    for node in _walk_shallow(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _RELEASE_METHODS
+                    and isinstance(sub.func.value, ast.Name)
+                ):
+                    released.add(sub.func.value.id)
+    return released
+
+
+def _with_item_nodes(fn: ast.AST) -> set[int]:
+    """ids of every node inside a ``with`` context expression in ``fn``."""
+    ids: set[int] = set()
+    for node in _walk_shallow(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                ids.update(id(sub) for sub in ast.walk(item.context_expr))
+    return ids
+
+
+def _finally_released(call: ast.Call, fn: ast.AST, released: set[str]) -> bool:
+    """Whether ``call``'s result is bound to a finally-released local."""
+    for node in _walk_shallow(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and node.value is call
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            return node.targets[0].id in released
+    return False
+
+
+def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    if module.relpath not in config.lifecycle_modules:
+        return []
+    findings: list[Finding] = []
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        with_items = _with_item_nodes(fn)
+        released = _released_names(fn)
+        for node in _walk_shallow(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            label = _ctor_label(node)
+            if label is None:
+                continue
+            if id(node) in with_items:
+                continue
+            last_line = getattr(node, "end_lineno", node.lineno) or node.lineno
+            if module.pragmas.find("lifecycle-ok", node.lineno, last_line) is not None:
+                continue
+            if _finally_released(node, fn, released):
+                continue
+            findings.append(
+                Finding(
+                    file=module.relpath,
+                    line=node.lineno,
+                    code=CODE,
+                    message=(
+                        f"'{label}(...)' in {fn.name} is not released on every path — "
+                        "use a with-block or try/finally, or mark ownership transfer "
+                        "with '# lifecycle-ok: <reason>'"
+                    ),
+                )
+            )
+    return findings

@@ -19,16 +19,24 @@ Escapes:
 * the declaration line itself (the one carrying ``# guarded-by``) is
   never flagged.
 
-The checker is lexical, not a model checker: it sees ``with`` blocks,
-not lock acquisition through helper calls — which is exactly the
-discipline the scheduler and registry code follows.
+Besides ``with self.<lock>:`` blocks, bare ``self.<lock>.acquire()`` /
+``.release()`` calls are understood: a lexically paired span (the
+release at the same statement level, or in the ``finally`` of an
+immediately following ``try``) counts as holding the lock, and an
+*unpaired* acquire or release is itself flagged — a leaked acquire
+deadlocks the next contender, a stray release corrupts the lock state.
+
+The checker is lexical, not a model checker: it sees acquisitions in
+the method body, not acquisition through helper calls — cross-function
+lock *ordering* is REP006's job (:mod:`repro.analysis.lock_order`),
+which consumes the pass-1 call-graph summaries.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.analysis.engine import Finding, LintConfig, ParsedModule
+from repro.analysis.engine import Finding, LintConfig, ParsedModule, _bare_lock_call
 
 CODE = "REP002"
 
@@ -63,9 +71,19 @@ def _self_attr(node: ast.AST) -> str | None:
     return None
 
 
+def _releases_in_finally(stmt: ast.Try, attr: str) -> ast.Expr | None:
+    """The ``self.<attr>.release()`` statement in ``stmt``'s finally, if any."""
+    for final_stmt in stmt.finalbody:
+        bare = _bare_lock_call(final_stmt)
+        if bare is not None and bare[0] == attr and bare[1] == "release":
+            return final_stmt  # type: ignore[return-value]
+    return None
+
+
 class _LockWalker:
-    """Walk one method body tracking which ``with self.<x>:`` blocks are
-    lexically open."""
+    """Walk one method body tracking which locks are lexically held —
+    via ``with self.<x>:`` blocks or paired ``acquire()``/``release()``
+    call spans."""
 
     def __init__(
         self,
@@ -81,23 +99,106 @@ class _LockWalker:
         self.guarded = guarded
         self.exempt = exempt
         self.findings: list[Finding] = []
+        # Release statements consumed by a matched acquire (so they are
+        # not re-flagged as stray when the walk reaches them).
+        self._consumed: set[int] = set()
 
-    def walk(self, node: ast.AST, held: frozenset[str]) -> None:
-        if isinstance(node, ast.With):
+    # ----------------------------------------------------------- statements
+    def walk_body(self, stmts: list[ast.stmt], held: frozenset[str]) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            bare = _bare_lock_call(stmt)
+            if bare is not None and id(stmt) not in self._consumed:
+                attr, op, line = bare
+                if op == "acquire":
+                    end = self._find_release(stmts, index + 1, attr)
+                    if end is None:
+                        self._flag_unpaired(line, attr, "acquire() without a matching release()")
+                        # Treat the lock as held for the rest of the list so
+                        # the leak is one finding, not a cascade.
+                        self.walk_body(stmts[index + 1 :], held | {attr})
+                        return
+                    self.walk_body(stmts[index + 1 : end + 1], held | {attr})
+                    index = end + 1
+                    continue
+                self._flag_unpaired(line, attr, "release() without a matching acquire()")
+                index += 1
+                continue
+            self.walk_stmt(stmt, held)
+            index += 1
+
+    def _find_release(self, stmts: list[ast.stmt], start: int, attr: str) -> int | None:
+        """Index of the statement completing the acquire span: the bare
+        release at the same level, or a ``try`` whose finally releases."""
+        for index in range(start, len(stmts)):
+            stmt = stmts[index]
+            bare = _bare_lock_call(stmt)
+            if bare is not None and bare[0] == attr and bare[1] == "release":
+                self._consumed.add(id(stmt))
+                return index
+            if isinstance(stmt, ast.Try):
+                release_stmt = _releases_in_finally(stmt, attr)
+                if release_stmt is not None:
+                    self._consumed.add(id(release_stmt))
+                    return index
+        return None
+
+    def _flag_unpaired(self, line: int, attr: str, problem: str) -> None:
+        self.findings.append(
+            Finding(
+                file=self.module.relpath,
+                line=line,
+                code=CODE,
+                message=(
+                    f"self.{attr}.{problem} "
+                    f"in {self.cls_name}.{self.method_name}"
+                ),
+            )
+        )
+
+    def walk_stmt(self, stmt: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
             acquired = {
                 attr
-                for item in node.items
+                for item in stmt.items
                 if (attr := _self_attr(item.context_expr)) is not None
             }
             # The context expressions themselves evaluate before the lock
             # is held.
-            for item in node.items:
-                self.walk(item.context_expr, held)
+            for item in stmt.items:
+                self.walk_expr(item.context_expr, held)
                 if item.optional_vars is not None:
-                    self.walk(item.optional_vars, held)
-            for child in node.body:
-                self.walk(child, held | acquired)
-            return
+                    self.walk_expr(item.optional_vars, held)
+            self.walk_body(stmt.body, held | acquired)
+        elif isinstance(stmt, ast.If):
+            self.walk_expr(stmt.test, held)
+            self.walk_body(stmt.body, held)
+            self.walk_body(stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            self.walk_expr(stmt.test, held)
+            self.walk_body(stmt.body, held)
+            self.walk_body(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.walk_expr(stmt.target, held)
+            self.walk_expr(stmt.iter, held)
+            self.walk_body(stmt.body, held)
+            self.walk_body(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body, held)
+            for handler in stmt.handlers:
+                if handler.type is not None:
+                    self.walk_expr(handler.type, held)
+                self.walk_body(handler.body, held)
+            self.walk_body(stmt.orelse, held)
+            self.walk_body(stmt.finalbody, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.walk_body(stmt.body, held)
+        else:
+            self.walk_expr(stmt, held)
+
+    # ---------------------------------------------------------- expressions
+    def walk_expr(self, node: ast.AST, held: frozenset[str]) -> None:
         if isinstance(node, ast.Attribute):
             attr = _self_attr(node)
             if attr is not None and attr in self.guarded:
@@ -118,7 +219,7 @@ class _LockWalker:
                             )
                         )
         for child in ast.iter_child_nodes(node):
-            self.walk(child, held)
+            self.walk_expr(child, held)
 
 
 def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
@@ -142,7 +243,6 @@ def check_module(module: ParsedModule, config: LintConfig) -> list[Finding]:
                 continue  # bare pragma: whole method exempt
             exempt = frozenset(pragma.args) if pragma is not None else frozenset()
             walker = _LockWalker(module, node.name, stmt.name, guarded, exempt or frozenset())
-            for child in stmt.body:
-                walker.walk(child, frozenset())
+            walker.walk_body(stmt.body, frozenset())
             findings.extend(walker.findings)
     return findings

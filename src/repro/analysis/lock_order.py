@@ -1,0 +1,228 @@
+"""REP006 — lock-order discipline across the threaded modules.
+
+The deadlock rule the scheduler/fleet/platform code must follow: every
+mutex a class owns is *registered* in a ``# lock-order`` pragma inside
+the class body, and any nested acquisition (directly, or through a
+helper the method calls — the blind spot REP002's lexical guard check
+documents) must follow the declared partial order.  The pragma grammar::
+
+    # lock-order: _lock                      (registers a single mutex)
+    # lock-order: _meta < _data < _log       (registers + orders a chain)
+    # lock-order: _meta < _data, _meta < _log  (several chains, one pragma)
+
+Names are canonicalized through ``threading.Condition`` aliases before
+any check (``Condition(self._lock)`` *is* ``_lock``), so registering the
+mutex covers its condition variables, and ``_lock < _arrivals`` between
+aliases of one mutex is rejected as meaningless.  Orders are transitive
+(``_meta < _data < _log`` permits acquiring ``_log`` under ``_meta``).
+
+Flagged, per class in ``LintConfig.lock_modules``:
+
+* a ``lock-order`` pragma whose pair is already reachable in reverse
+  (a declaration cycle — no consistent acquisition order exists);
+* a declared mutex whose canonical name no pragma registers;
+* acquiring a lock while holding one with the *reverse* order declared;
+* nested acquisition of a registered pair with no declared order;
+* re-entrant acquisition of a non-reentrant lock (``threading.Lock``;
+  ``RLock`` and bare ``Condition()`` — which owns an RLock — are safe).
+
+Helper-call acquisitions are attributed to the *call site* so the
+finding lands on the line that creates the nesting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    ClassInfo,
+    Finding,
+    LintConfig,
+    ParsedModule,
+    ProjectSummary,
+    _IDENT_RE,
+)
+
+CODE = "REP006"
+
+
+def _declared_order(
+    module: ParsedModule, info: ClassInfo
+) -> tuple[set[str], set[tuple[str, str]], list[Finding]]:
+    """Parse the class's ``lock-order`` pragmas into a registered-mutex
+    set and the transitive closure of the declared order, flagging
+    declaration cycles and alias self-orders as they are introduced."""
+    findings: list[Finding] = []
+    registered: set[str] = set()
+    edges: dict[str, set[str]] = {}
+
+    def reachable(src: str, dst: str) -> bool:
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    pragmas = [
+        p
+        for p in module.pragmas.all("lock-order")
+        if info.line <= p.line <= info.end_line
+    ]
+    for pragma in pragmas:
+        text = pragma.reason.split("#")[0]
+        for chain_text in text.split(","):
+            names = [
+                match.group(0)
+                for part in chain_text.split("<")
+                if (match := _IDENT_RE.match(part.strip())) is not None
+            ]
+            chain = [info.canonical(name) for name in names]
+            registered.update(chain)
+            for first, second in zip(chain, chain[1:]):
+                if first == second:
+                    findings.append(
+                        Finding(
+                            file=module.relpath,
+                            line=pragma.line,
+                            code=CODE,
+                            message=(
+                                f"lock-order pragma in {info.name} orders aliases of "
+                                f"the same mutex ('{first}')"
+                            ),
+                        )
+                    )
+                    continue
+                if reachable(second, first):
+                    findings.append(
+                        Finding(
+                            file=module.relpath,
+                            line=pragma.line,
+                            code=CODE,
+                            message=(
+                                f"lock-order declaration cycle in {info.name}: "
+                                f"'{first} < {second}' contradicts the order already declared"
+                            ),
+                        )
+                    )
+                    continue
+                edges.setdefault(first, set()).add(second)
+
+    closure: set[tuple[str, str]] = set()
+    for src in edges:
+        stack, seen = list(edges[src]), set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closure.add((src, node))
+            stack.extend(edges.get(node, ()))
+    return registered, closure, findings
+
+
+def check_project(
+    modules: dict[str, ParsedModule], project: ProjectSummary, config: LintConfig
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for relpath in config.lock_modules:
+        module = modules.get(relpath)
+        msum = project.module(relpath)
+        if module is None or msum is None:
+            continue
+        for info in msum.classes.values():
+            if not info.locks:
+                continue
+            registered, closure, declaration_findings = _declared_order(module, info)
+            findings.extend(declaration_findings)
+
+            for decl in sorted(info.locks.values(), key=lambda d: d.line):
+                if info.canonical(decl.name) not in registered:
+                    findings.append(
+                        Finding(
+                            file=relpath,
+                            line=decl.line,
+                            code=CODE,
+                            message=(
+                                f"mutex 'self.{decl.name}' in {info.name} is not registered "
+                                "in any # lock-order pragma"
+                            ),
+                        )
+                    )
+
+            for qualname, fs in sorted(msum.functions.items()):
+                if fs.cls != info.name:
+                    continue
+                # (line, lock, held, via-helper) acquisition events: direct
+                # lexical acquisitions plus locks acquired inside self-call
+                # helpers, attributed to the call line.
+                events: list[tuple[int, str, frozenset[str], str]] = []
+                for acq in fs.acquisitions:
+                    if info.canonical(acq.lock) not in info.locks:
+                        continue
+                    events.append((acq.line, acq.lock, acq.held, ""))
+                for call in fs.calls:
+                    if call.kind != "self" or not call.held:
+                        continue
+                    target = project.resolve(call, relpath, info.name)
+                    if target is None:
+                        continue
+                    for lock in sorted(project.transitive_acquires(*target)):
+                        if info.canonical(lock) in info.locks:
+                            events.append((call.line, lock, call.held, call.name))
+
+                for line, lock, held, via in sorted(events):
+                    canon = info.canonical(lock)
+                    held_canon = {
+                        info.canonical(h) for h in held if info.canonical(h) in info.locks
+                    }
+                    if not held_canon:
+                        continue
+                    suffix = f" via self.{via}()" if via else ""
+                    if canon in held_canon:
+                        if not info.reentrant(lock):
+                            findings.append(
+                                Finding(
+                                    file=relpath,
+                                    line=line,
+                                    code=CODE,
+                                    message=(
+                                        f"{qualname} re-acquires non-reentrant lock "
+                                        f"'self.{canon}' already held{suffix} — deadlock"
+                                    ),
+                                )
+                            )
+                        continue
+                    for other in sorted(held_canon):
+                        if (other, canon) in closure:
+                            continue
+                        if (canon, other) in closure:
+                            findings.append(
+                                Finding(
+                                    file=relpath,
+                                    line=line,
+                                    code=CODE,
+                                    message=(
+                                        f"{qualname} acquires 'self.{canon}' while holding "
+                                        f"'self.{other}'{suffix}, reversing the declared "
+                                        "lock order"
+                                    ),
+                                )
+                            )
+                        else:
+                            findings.append(
+                                Finding(
+                                    file=relpath,
+                                    line=line,
+                                    code=CODE,
+                                    message=(
+                                        f"{qualname} nests 'self.{canon}' under "
+                                        f"'self.{other}'{suffix} with no declared order — "
+                                        f"declare '# lock-order: {other} < {canon}' "
+                                        "or restructure"
+                                    ),
+                                )
+                            )
+    return findings

@@ -158,7 +158,7 @@ class SharedSubjectStore:
                 arrays = [np.ascontiguousarray(getattr(s, field)) for s in subjects]
                 shape = (int(bounds[-1]), *arrays[0].shape[1:])
                 size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
-                shm = shared_memory.SharedMemory(create=True, size=size)
+                shm = shared_memory.SharedMemory(create=True, size=size)  # lifecycle-ok: owned via self._shms; close()/unlink() release, and the except below cleans up a partial build
                 self._shms.append(shm)
                 view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
                 for array, start, stop in zip(arrays, bounds[:-1], bounds[1:]):
@@ -204,7 +204,7 @@ class SharedSubjectStore:
         handles = []
         views: dict[str, np.ndarray] = {}
         for field, (name, shape, dtype_str) in manifest["blocks"].items():
-            shm = shared_memory.SharedMemory(name=name)
+            shm = shared_memory.SharedMemory(name=name)  # lifecycle-ok: ownership transfers to the returned store; detach() closes every handle
             handles.append(shm)
             views[field] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf)
         subjects = [
@@ -778,7 +778,7 @@ class FleetExecutor:
         pool: "ProcessPoolExecutor | None" = None
 
         def make_pool() -> ProcessPoolExecutor:
-            return ProcessPoolExecutor(
+            return ProcessPoolExecutor(  # lifecycle-ok: ownership transfers to the caller; _run_shards_pooled shuts the pool down in its finally
                 max_workers=min(self.max_workers, len(todo)),
                 mp_context=context,
                 initializer=_init_fleet_worker,

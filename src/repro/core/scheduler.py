@@ -217,7 +217,7 @@ class FleetScheduler:
         # ``_arrivals`` and ``_resolved`` are Conditions built around
         # ``_lock``: entering any of the three holds the same mutex, so
         # the guarded-by pragmas below list all three as aliases.
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # lock-order: _lock
         self._arrivals = threading.Condition(self._lock)
         self._resolved = threading.Condition(self._lock)
         self._pending: deque[FleetSession] = deque()  # guarded-by: _lock, _arrivals, _resolved
@@ -231,7 +231,7 @@ class FleetScheduler:
         #: retry and then quarantine (see the module docstring).
         self._corrupted = False  # guarded-by: _lock, _arrivals, _resolved
         self._done_q: "queue.Queue[FleetSession]" = queue.Queue()
-        self._pool = ThreadPoolExecutor(
+        self._pool = ThreadPoolExecutor(  # lifecycle-ok: owned by the scheduler, shut down in close()
             max_workers=max_workers, thread_name_prefix="fleet-worker"
         )
         self._dispatcher = threading.Thread(

@@ -118,7 +118,7 @@ class CostTableRegistry:
         #: Guards ``_tables`` against concurrent fills/reads; re-entrant
         #: because :meth:`profile_system` holds it across its
         #: :meth:`lookup` calls so a profiling pass is atomic.
-        self._lock = threading.RLock()
+        self._lock = threading.RLock()  # lock-order: _lock
 
     def __getstate__(self) -> dict:
         # Snapshot under the lock; the lock itself cannot (and must not)

@@ -154,7 +154,11 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
             )
         if ppg_windows.shape[0] == 0:
             return np.empty(0, dtype=float)
-        raw = self._raw_window_estimate_batch(ppg_windows)
+        # BPM estimates are deliberately float64 regardless of the kernel
+        # dtype: intervals come from integer peak positions, and the class
+        # contract (see __init__) keeps the conversion in the reference
+        # precision.
+        raw = self._raw_window_estimate_batch(ppg_windows)  # lint-ok: REP007
         seed = np.nan if self._last_estimate is None else self._last_estimate
         stream = np.concatenate([[seed], raw])
         valid = ~np.isnan(stream)
@@ -191,7 +195,8 @@ class AdaptiveThresholdPredictor(HeartRatePredictor):
         subject_index = self._check_fleet_stack(
             ppg_windows.shape[0], subject_index, state
         )
-        raw = self._raw_window_estimate_batch(ppg_windows)
+        # Same documented float64 BPM contract as predict() above.
+        raw = self._raw_window_estimate_batch(ppg_windows)  # lint-ok: REP007
         out = self._with_fallback_fleet(raw, subject_index, state)
         self.reset()
         return out

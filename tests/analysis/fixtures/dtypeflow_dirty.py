@@ -1,0 +1,42 @@
+"""REP007 fixture (dirty twin): float64-pinned helpers feeding dtype-aware
+callers.  The pins use forms REP001 deliberately ignores (``dtype=float``
+and string dtype keywords on non-boundary allocations), so only the
+interprocedural pass can see them — including through a ``return
+helper(...)`` chain.  Parsed, never imported.
+"""
+
+import numpy as np
+
+from repro.dtypes import resolve_dtype
+
+
+def _pinned_grid(n):
+    return np.arange(n, dtype="float64")
+
+
+def _pinned_scratch(n):
+    buf = np.zeros(n, dtype="float64")
+    return buf
+
+
+def _grid_via_chain(n):
+    # Propagates _pinned_grid's float64 fact one call deeper.
+    return _pinned_grid(n)
+
+
+def window_positions(n, dtype=None):
+    dt = resolve_dtype(dtype)
+    grid = _pinned_grid(n)  # PLANT: REP007
+    return (grid / n).astype(dt, copy=False)
+
+
+def scratch_rows(n, dtype=None):
+    dt = resolve_dtype(dtype)
+    buf = _pinned_scratch(n)  # PLANT: REP007
+    return buf.astype(dt, copy=False)
+
+
+def chained_positions(n):
+    dt = resolve_dtype(None)
+    grid = _grid_via_chain(n)  # PLANT: REP007
+    return (grid * 2).astype(dt, copy=False)

@@ -1,0 +1,31 @@
+"""REP008 fixture (clean twin): every resource is released on all paths —
+try/finally, with-blocks, or a documented ownership transfer."""
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def copy_segment(name, payload):
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        seg.buf[: len(payload)] = payload
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def run_jobs(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [future.result() for future in [pool.submit(job) for job in jobs]]
+
+
+def scratch_file(rows):
+    with tempfile.NamedTemporaryFile() as handle:
+        for row in rows:
+            handle.write(row)
+        return handle.name
+
+
+def transfer_pool():
+    return ThreadPoolExecutor(max_workers=2)  # lifecycle-ok: ownership transfers to the caller, which shuts it down

@@ -1,0 +1,33 @@
+"""REP008 fixture (dirty twin): resources leaked on exception paths — a
+shared-memory segment whose close merely *follows* the use, a pool with
+no shutdown, a temp file outside any with-block, and an ownership
+transfer with no ``# lifecycle-ok`` escape.  Parsed, never imported.
+"""
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def leak_segment(name, payload):
+    seg = shared_memory.SharedMemory(name=name)  # PLANT: REP008
+    # An exception here leaks the segment: the close below never runs.
+    seg.buf[: len(payload)] = payload
+    seg.close()
+
+
+def leak_pool(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)  # PLANT: REP008
+    return [future.result() for future in [pool.submit(job) for job in jobs]]
+
+
+def leak_scratch_file(rows):
+    handle = tempfile.NamedTemporaryFile(delete=False)  # PLANT: REP008
+    for row in rows:
+        handle.write(row)
+    return handle.name
+
+
+class Runner:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(max_workers=2)  # PLANT: REP008

@@ -6,7 +6,7 @@ import threading
 
 class Registry:
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # lock-order: _lock
         self._cond = threading.Condition(self._lock)
         self._tables = {}  # guarded-by: _lock, _cond
         self._closed = False  # guarded-by: _lock, _cond
@@ -37,3 +37,17 @@ class Registry:
         # Caller-holds-the-lock helper: bare pragma exempts the method.
         self._closed = True
         return self._tables
+
+    def refresh(self, key, value):
+        # Bare acquire paired with a release in the finally: held span.
+        self._lock.acquire()
+        try:
+            self._tables[key] = value
+        finally:
+            self._lock.release()
+
+    def tick(self, key):
+        # Bare acquire paired with a same-level release.
+        self._lock.acquire()
+        self._tables[key] = self._tables.get(key, 0) + 1
+        self._lock.release()

@@ -13,7 +13,7 @@ import threading
 
 class Registry:
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # lock-order: _lock
         self._cond = threading.Condition(self._lock)
         self._tables = {}  # guarded-by: _lock, _cond
         self._closed = False  # guarded-by: _lock, _cond
@@ -33,3 +33,10 @@ class Registry:
             while not self._closed:
                 self._cond.wait()
         return self._tables  # PLANT: REP002
+
+    def leak_lock(self, key, value):
+        self._lock.acquire()  # PLANT: REP002
+        self._tables[key] = value
+
+    def double_release(self):
+        self._lock.release()  # PLANT: REP002

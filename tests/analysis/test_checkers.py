@@ -28,6 +28,9 @@ DIRTY_BY_RULE = {
     "REP003": "hotpath_dirty.py",
     "REP004": "contract_dirty.py",
     "REP005": "persistence_dirty.py",
+    "REP006": "lockorder_dirty.py",
+    "REP007": "dtypeflow_dirty.py",
+    "REP008": "lifecycle_dirty.py",
 }
 CLEAN_TWINS = (
     "dtype_clean.py",
@@ -35,20 +38,34 @@ CLEAN_TWINS = (
     "hotpath_clean.py",
     "contract_clean.py",
     "persistence_clean.py",
+    "lockorder_clean.py",
+    "dtypeflow_clean.py",
+    "lifecycle_clean.py",
 )
 
 
 def fixture_config() -> LintConfig:
     return LintConfig(
         root=FIXTURES,
-        dtype_modules=("dtype_clean.py", "dtype_dirty.py"),
-        lock_modules=("lock_clean.py", "lock_dirty.py"),
+        dtype_modules=(
+            "dtype_clean.py",
+            "dtype_dirty.py",
+            "dtypeflow_clean.py",
+            "dtypeflow_dirty.py",
+        ),
+        lock_modules=(
+            "lock_clean.py",
+            "lock_dirty.py",
+            "lockorder_clean.py",
+            "lockorder_dirty.py",
+        ),
         batch_twins=(
             BatchTwin("contract_dirty.py", "scalar_fn", "scalar_fn_batch"),
             BatchTwin("contract_dirty.py", "other_fn", "other_fn_batch"),
             BatchTwin("contract_clean.py", "scale_rows", "scale_rows_batch"),
         ),
         persistence_modules=("persistence_clean.py", "persistence_dirty.py"),
+        lifecycle_modules=("lifecycle_clean.py", "lifecycle_dirty.py"),
         baseline_path=None,
     )
 
@@ -124,6 +141,8 @@ def test_parse_pragmas_grammar():
         "y = '# guarded-by: not_a_pragma'\n"
         "z = 2  # lint-ok\n"
         "# the hot-path is described here, prose does not match\n"
+        "# lock-order: _meta < _data, _meta < _log\n"
+        "h = open('x')  # lifecycle-ok: ownership transfers\n"
     )
     pragmas = {(p.kind, p.line): p for p in parse_pragmas(source)}
     assert pragmas[("guarded-by", 1)].args == ("_lock", "_arrivals")
@@ -131,6 +150,8 @@ def test_parse_pragmas_grammar():
     assert ("hot-path", 6) in pragmas  # on the closing line of a multi-line header
     assert pragmas[("loop-ok", 7)].reason == "per chunk"
     assert pragmas[("lint-ok", 10)].args == ()
+    assert pragmas[("lock-order", 12)].args == ("_meta", "_data", "_meta", "_log")
+    assert pragmas[("lifecycle-ok", 13)].reason == "ownership transfers"
     # Strings and prose must not parse as pragmas.
     assert not any(p.line in (9, 11) for p in pragmas.values())
     assert isinstance(next(iter(pragmas.values())), Pragma)

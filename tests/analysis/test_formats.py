@@ -1,0 +1,113 @@
+"""Output-format tests: GitHub workflow-command and SARIF reporters,
+both at the function level (exact escaping, structure) and through the
+CLI against a tree with a planted finding."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis import RULE_DESCRIPTIONS, format_github, format_sarif
+from repro.analysis.engine import Finding, LintReport
+
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+
+PLANTED_SOURCE = "import numpy as np\n\ndef f(n):\n    return np.zeros(n)\n"
+
+
+def _report_with(*findings: Finding) -> LintReport:
+    return LintReport(findings=list(findings), new=list(findings), n_files=1)
+
+
+def test_format_github_emits_one_error_per_finding():
+    report = _report_with(
+        Finding("nn/layers.py", 4, "REP001", "dtype-less np.zeros defaults to float64"),
+        Finding("core/fleet.py", 9, "REP008", "'open(...)' in f is not released on every path"),
+    )
+    lines = format_github(report).splitlines()
+    assert lines[0] == (
+        "::error file=nn/layers.py,line=4,title=REP001"
+        "::dtype-less np.zeros defaults to float64"
+    )
+    assert lines[1].startswith("::error file=core/fleet.py,line=9,title=REP008::")
+
+
+def test_format_github_escapes_workflow_command_metacharacters():
+    report = _report_with(
+        Finding("a,b:c.py", 1, "REP003", "50% slower\nsee: docs, line 2")
+    )
+    (line,) = format_github(report).splitlines()
+    # Properties additionally escape ':' and ','; the message only %, \r, \n.
+    assert "file=a%2Cb%3Ac.py" in line
+    assert line.endswith("::50%25 slower%0Asee: docs, line 2")
+
+
+def test_format_github_clean_report_is_empty():
+    assert format_github(LintReport(n_files=3)) == ""
+
+
+def test_format_sarif_structure():
+    report = _report_with(
+        Finding("nn/layers.py", 4, "REP001", "dtype-less np.zeros"),
+        Finding("nn/layers.py", 7, "REP001", "np.float64 reference"),
+        Finding("core/fleet.py", 9, "REP008", "leaked pool"),
+    )
+    log = json.loads(format_sarif(report))
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert [r["id"] for r in driver["rules"]] == ["REP001", "REP008"]
+    assert all(
+        r["shortDescription"]["text"] == RULE_DESCRIPTIONS[r["id"]]
+        for r in driver["rules"]
+    )
+    assert len(run["results"]) == 3
+    first = run["results"][0]
+    assert first["ruleId"] == "REP001"
+    assert driver["rules"][first["ruleIndex"]]["id"] == "REP001"
+    assert first["level"] == "error"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "nn/layers.py"
+    assert loc["region"]["startLine"] == 4
+
+
+def _run_cli(tmp_path: Path, fmt: str) -> subprocess.CompletedProcess:
+    dirty = tmp_path / "nn"
+    dirty.mkdir(exist_ok=True)
+    (dirty / "layers.py").write_text(PLANTED_SOURCE, encoding="utf-8")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro.analysis",
+            "--root", str(tmp_path), "--no-baseline", "--format", fmt,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+
+
+def test_cli_format_github_on_dirty_tree(tmp_path):
+    proc = _run_cli(tmp_path, "github")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "::error file=nn/layers.py,line=4,title=REP001::" in proc.stdout
+
+
+def test_cli_format_sarif_on_dirty_tree(tmp_path):
+    proc = _run_cli(tmp_path, "sarif")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    log = json.loads(proc.stdout)
+    hits = [
+        r for r in log["runs"][0]["results"]
+        if r["ruleId"] == "REP001"
+        and r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"] == "nn/layers.py"
+    ]
+    assert len(hits) == 1
+    assert hits[0]["locations"][0]["physicalLocation"]["region"]["startLine"] == 4

@@ -1,6 +1,6 @@
 """Tier-1 gate: the repo must lint clean (modulo the committed baseline).
 
-This is the CI wiring of the invariant linter: a REP001-REP004 violation
+This is the CI wiring of the invariant linter: a REP001-REP008 violation
 anywhere under ``src/repro`` fails the ordinary
 ``PYTHONPATH=src python -m pytest`` run with the offending file:line in
 the assertion message.
@@ -37,10 +37,30 @@ def test_baseline_has_no_stale_entries():
 
 
 def test_lint_runtime_under_budget():
+    """Both passes over the whole repo stay inside the budget — cold
+    (parse + summarize every module) and warm (per-file caches keyed on
+    mtime/size make the second run mostly stat calls)."""
+    from repro.analysis import clear_caches
+
+    clear_caches()
     start = time.perf_counter()
     run_lint(default_config())
-    elapsed = time.perf_counter() - start
-    assert elapsed < 5.0, f"lint took {elapsed:.2f}s (budget: 5s)"
+    cold = time.perf_counter() - start
+    assert cold < 5.0, f"cold lint took {cold:.2f}s (budget: 5s)"
+
+    start = time.perf_counter()
+    run_lint(default_config())
+    warm = time.perf_counter() - start
+    assert warm < 5.0, f"warm lint took {warm:.2f}s (budget: 5s)"
+
+
+def test_parse_cache_is_deterministic():
+    """An unchanged file must hit the cache: same ParsedModule object."""
+    from repro.analysis.engine import load_module
+
+    config = default_config()
+    path = config.root / "core" / "scheduler.py"
+    assert load_module(config.root, path) is load_module(config.root, path)
 
 
 def test_cli_json_output_is_machine_readable():
