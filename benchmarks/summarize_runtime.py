@@ -17,10 +17,16 @@ block: batched AT and frozen TimePPG at float32 vs the float64
 reference, with per-dtype throughputs and equivalence flags), and
 through the crash-safe checkpointed fleet
 path (``"checkpoint"`` block: journal + atomic shard staging vs the
-unstaged pool, plus the all-shards-staged resume replay) — and writes
-the measured throughputs, MAE and
+unstaged pool, plus the all-shards-staged resume replay), and through
+the online serving engine (``"latency"`` block: paced streaming
+arrivals under the deadline policy with p50/p95/p99 completion latency,
+deadline-miss fraction, and the saturated deadline-vs-drain throughput
+ratio) — and writes the measured throughputs, MAE and
 offload statistics to ``BENCH_runtime.json`` at the repository root, so
-successive PRs can track the perf trajectory of every hot path.
+successive PRs can track the perf trajectory of every hot path.  Each
+run also appends a timestamped headline snapshot (one JSON line) to
+``BENCH_history.jsonl``, so the trajectory survives the per-PR
+overwrite of the full summary.
 
 Run with:  PYTHONPATH=src python benchmarks/summarize_runtime.py
 """
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
@@ -41,6 +48,7 @@ from repro.eval.benchmarking import (  # noqa: E402
     benchmark_dtype_inference,
     benchmark_fleet,
     benchmark_inference,
+    benchmark_latency,
     benchmark_runtime,
     benchmark_scheduler,
     benchmark_stateful_fleet,
@@ -67,10 +75,41 @@ def main(output_path: Path | None = None) -> dict:
     outcome["checkpoint"] = benchmark_checkpoint(
         experiment, n_subjects=50, n_windows_per_subject=2_000, seed=0
     )
+    outcome["latency"] = benchmark_latency(experiment, seed=0)
     output_path.write_text(json.dumps(outcome, indent=2) + "\n")
+    append_history(outcome, output_path.parent / "BENCH_history.jsonl")
     print(json.dumps(outcome, indent=2))
     print(f"\nwritten to {output_path}")
     return outcome
+
+
+def append_history(outcome: dict, history_path: Path) -> None:
+    """Append a timestamped headline snapshot of one run as a JSON line."""
+    snapshot = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "batched_windows_per_s": outcome["batched_windows_per_s"],
+        "speedup": outcome["speedup"],
+        "fleet_best_windows_per_s": max(
+            outcome["fleet"]["sequential_windows_per_s"],
+            outcome["fleet"]["mega_windows_per_s"],
+            outcome["fleet"]["pool_windows_per_s"],
+        ),
+        "scheduler_windows_per_s": outcome["scheduler"]["scheduler_windows_per_s"],
+        "stateful_stacked_windows_per_s": outcome["stateful_fleet"][
+            "stacked_windows_per_s"
+        ],
+        "checkpoint_relative_throughput": outcome["checkpoint"][
+            "checkpoint_relative_throughput"
+        ],
+        "latency_p95_s": outcome["latency"]["p95_s"],
+        "latency_p99_s": outcome["latency"]["p99_s"],
+        "deadline_miss_fraction": outcome["latency"]["deadline_miss_fraction"],
+        "deadline_throughput_ratio": outcome["latency"][
+            "deadline_throughput_ratio"
+        ],
+    }
+    with history_path.open("a") as sink:
+        sink.write(json.dumps(snapshot) + "\n")
 
 
 if __name__ == "__main__":

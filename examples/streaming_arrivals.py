@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Online serving: per-window streaming arrivals under a latency SLO.
+
+The fleet scheduler now serves *windows*, not recordings: each wearer is
+an open :class:`~repro.core.scheduler.StreamSession` and every arriving
+PPG window is pushed the moment its sensor produces it.  The
+``policy="deadline"`` dispatcher holds arrivals back just long enough to
+fuse them into cross-wearer mega-batches — releasing when the batch is
+full or the oldest window nears its deadline — while every prediction
+stays bit-identical to sequential whole-recording replay (the predictor
+streams continue across batches through long-lived per-stream state).
+This example simulates a serving node:
+
+1. build the calibrated CHRIS experiment and open one stream per wearer;
+2. replay a Poisson-ish arrival process (seeded exponential gaps) at a
+   few hundred windows/second through the deadline dispatcher;
+3. read the latency instrumentation: p50/p95/p99 enqueue→complete,
+   deadline-miss fraction, and how large the fused batches got;
+4. replay the identical schedule under the legacy ``"drain"`` policy to
+   show the trade: drain dispatches eagerly (small batches, more
+   dispatches), deadline batches up to the SLO budget.
+
+Run with:  python examples/streaming_arrivals.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import Constraint, FleetScheduler
+from repro.eval import CalibratedExperiment
+from repro.eval.benchmarking import synthetic_fleet
+
+N_STREAMS = 4
+N_WINDOWS = 80
+ARRIVAL_RATE_HZ = 400.0
+SLO_S = 0.4
+
+
+def serve(experiment, subjects, policy: str) -> dict:
+    """Replay the seeded arrival schedule through one serving policy."""
+    rng = np.random.default_rng(17)
+    gaps = rng.exponential(1.0 / ARRIVAL_RATE_HZ, size=N_STREAMS * N_WINDOWS)
+    offsets = np.cumsum(gaps)
+    scheduler = FleetScheduler(
+        experiment.runtime(),
+        Constraint.max_mae(5.60),
+        max_workers=1,
+        use_oracle_difficulty=True,
+        policy=policy,
+        slo_s=SLO_S,
+        deadline_slack_s=0.1,
+    )
+    with scheduler:
+        streams = [scheduler.open_stream(s.subject_id) for s in subjects]
+        start = time.monotonic()
+        event = 0
+        for w in range(N_WINDOWS):
+            for subject, stream in zip(subjects, streams):
+                delay = start + offsets[event] - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                stream.push(
+                    subject.ppg_windows[w],
+                    subject.accel_windows[w],
+                    activity=int(subject.activity[w]),
+                    hr=float(subject.hr[w]),
+                )
+                event += 1
+        scheduler.join()
+        stats = scheduler.latency_stats()
+        for stream in streams:
+            stream.close()
+    return stats
+
+
+def main() -> None:
+    print("== assembling the calibrated CHRIS experiment ==")
+    experiment = CalibratedExperiment.build(
+        seed=0, n_subjects=4, activity_duration_s=40.0
+    )
+    subjects = synthetic_fleet(
+        n_subjects=N_STREAMS, n_windows_per_subject=N_WINDOWS, seed=3
+    )
+    print(
+        f"{N_STREAMS} wearers x {N_WINDOWS} windows, "
+        f"~{ARRIVAL_RATE_HZ:,.0f} arrivals/s, SLO {SLO_S:.1f} s\n"
+    )
+
+    for policy in ("deadline", "drain"):
+        stats = serve(experiment, subjects, policy)
+        print(f"== policy={policy!r} ==")
+        print(
+            f"  completion latency: p50 {stats['complete_p50_s'] * 1e3:6.1f} ms, "
+            f"p95 {stats['complete_p95_s'] * 1e3:6.1f} ms, "
+            f"p99 {stats['complete_p99_s'] * 1e3:6.1f} ms"
+        )
+        print(
+            f"  dispatch wait:      p95 {stats['dispatch_p95_s'] * 1e3:6.1f} ms "
+            f"(released {stats['n_batches']} batches, "
+            f"{stats['mean_batch_windows']:.1f} windows/batch)"
+        )
+        print(
+            f"  deadline misses:    {100 * stats['deadline_miss_fraction']:.1f}% "
+            f"of {stats['n_windows']} windows\n"
+        )
+    print(
+        "deadline batches up to the SLO budget (fewer, larger dispatches); "
+        "drain dispatches eagerly — both serve bit-identical predictions."
+    )
+
+
+if __name__ == "__main__":
+    main()

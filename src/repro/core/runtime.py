@@ -133,6 +133,7 @@ from repro.dtypes import resolve_dtype
 from repro.hw.platform import PredictionCost, WearableSystem
 from repro.hw.profiles import ExecutionTarget
 from repro.ml.activity_classifier import ActivityClassifier
+from repro.models.base import FleetState
 
 
 #: Absolute tolerance (BPM) of the ``"tolerance"`` equivalence policy:
@@ -1299,15 +1300,33 @@ class CHRISRuntime:
         subjects: Sequence[WindowedSubject],
         plans: Sequence[_ExecutionPlan],
         systems: Mapping[str, WearableSystem] | None = None,
+        fleet_states: Mapping[str, "FleetState"] | None = None,
+        fleet_slots: np.ndarray | None = None,
     ) -> FleetResult:
         """Execute precomputed fleet plans (mega-batched).
 
         Split out of :meth:`_run_many_mega` so fleet-executor workers can
         replay a shard from plans computed once in the parent instead of
         re-planning (and re-running difficulty inference) per shard.
+
+        ``fleet_states``/``fleet_slots`` switch stateful predictors from
+        fresh per-batch state to **streaming continuations**: instead of a
+        fresh :class:`~repro.models.base.FleetState` per call, each
+        stateful model continues from ``fleet_states[name]`` at the
+        long-lived slot ``fleet_slots[i]`` of subject ``i``, and the
+        advanced slot values are written back — this is how the online
+        scheduler feeds single arriving windows through ``predict_fleet``
+        without replaying whole sessions (see
+        :meth:`repro.core.scheduler.FleetScheduler.open_stream`).
         """
         self._reset_predictors()
-        predicted_hr, cost_arrays = self._execute_fleet(subjects, plans, systems=systems)
+        predicted_hr, cost_arrays = self._execute_fleet(
+            subjects,
+            plans,
+            systems=systems,
+            fleet_states=fleet_states,
+            fleet_slots=fleet_slots,
+        )
 
         fleet = FleetResult()
         names = np.array(self.zoo.names, dtype=object)
@@ -1340,6 +1359,8 @@ class CHRISRuntime:
         subjects: Sequence[WindowedSubject],
         plans: Sequence[_ExecutionPlan],
         systems: Mapping[str, WearableSystem] | None = None,
+        fleet_states: Mapping[str, FleetState] | None = None,
+        fleet_slots: np.ndarray | None = None,
     ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """Execute all subjects' plans in per-model fleet-wide groups.
 
@@ -1420,7 +1441,20 @@ class CHRISRuntime:
                         ppg, accel, true_hr=hr[idx], activity=activity[idx]
                     )
                 else:
-                    state = predictor.make_fleet_state(len(subjects))
+                    # Streaming continuation: gather the batch's long-lived
+                    # slots into a batch-local sub-state (slots = batch
+                    # positions, monotone as predict_fleet requires) while
+                    # the windows keep arrival order — the order every
+                    # predictor's random stream consumes — then scatter
+                    # the advanced slot values back for the next batch.
+                    persistent = (
+                        fleet_states.get(name) if fleet_states is not None else None
+                    )
+                    if persistent is not None:
+                        batch_slots = np.asarray(fleet_slots, dtype=np.intp)
+                        state = persistent.take_slots(batch_slots)
+                    else:
+                        state = predictor.make_fleet_state(len(subjects))
                     predictions = predictor.predict_fleet(
                         ppg,
                         accel,
@@ -1429,6 +1463,8 @@ class CHRISRuntime:
                         true_hr=hr[idx],
                         activity=activity[idx],
                     )
+                    if persistent is not None:
+                        persistent.restore_slots(batch_slots, state)
                 predicted_hr[idx] = np.asarray(predictions, dtype=self.dtype)
             else:
                 for offset, subject, plan in zip(bounds[:-1], subjects, plans):

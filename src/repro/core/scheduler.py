@@ -29,6 +29,41 @@ the same amortization that makes mega-batched ``run_many`` several times
 faster than per-subject replay — while a lightly loaded scheduler
 degenerates to one small batch per arrival with minimal latency.
 
+Serving policies and latency
+----------------------------
+The dispatcher knows two batching policies.  ``policy="drain"`` (the
+default, the historical behaviour) releases a batch the moment anything
+is waiting.  ``policy="deadline"`` batches *as late as the deadline
+allows*: every arrival carries a timestamp and an SLO budget
+(per-session ``slo_s`` or the scheduler-wide default), and the
+dispatcher holds the queue until either the batch is full
+(``max_batch_size`` sessions) or the oldest queued window is within
+``deadline_slack_s`` of its deadline — maximizing fusion under an
+explicit latency bound instead of dispatch eagerness.  ``close()``
+always drains immediately, pause/resume hold and release the buffer
+unchanged, and per-session ordering is preserved (batches are still
+submission-order prefixes of the queue), so both policies satisfy the
+same equivalence contract below.  Every arrival is stamped
+(enqueue → dispatch → complete, via an injectable monotonic ``clock`` —
+:class:`VirtualClock` makes tests and benchmarks deterministic) and
+:meth:`FleetScheduler.latency_stats` aggregates p50/p95/p99 latency,
+deadline-miss fraction and batch-size statistics off the hot path.
+
+Streaming dispatch
+------------------
+:meth:`FleetScheduler.open_stream` turns the scheduler into a true
+online server: each stream owns one long-lived
+:class:`~repro.models.base.FleetState` slot per stateful model, and
+:meth:`StreamSession.push` submits *single arriving windows* that
+execute through ``predict_fleet`` continuations — the slot carries the
+tracker state across batches, so nothing ever replays a whole session.
+Pushes that are still queued coalesce in place (one growing window
+batch per stream), which keeps at most one queued session per stream
+and lets the deadline policy fuse an entire SLO window's worth of
+arrivals into one mega-batch.  Streaming requires ``max_workers=1``
+(continuations serialize on the long-lived state) and a
+``stacked_state`` runtime.
+
 Equivalence contract
 --------------------
 The scheduler is **decision-for-decision identical to sequential
@@ -94,18 +129,26 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
 import repro.core.faults as faults
 from repro.core.decision_engine import Constraint
 from repro.core.runtime import CHRISRuntime, RunResult
-from repro.data.dataset import WindowedSubject
+from repro.data.dataset import DEFAULT_WINDOW_SPEC, WindowedSubject, WindowSpec
 from repro.hw.platform import WearableSystem
+from repro.models.base import FleetState
 
 #: Upper bound on one retry backoff sleep, whatever the attempt count.
 _BACKOFF_CAP_S = 2.0
+
+#: Re-poll cadence of a deadline-policy dispatcher holding a batch back.
+#: ``Condition.wait`` sleeps in *wall* time while deadlines live in
+#: ``clock`` time; a :class:`VirtualClock` advances without notifying the
+#: dispatcher, so the hold re-checks the (possibly virtual) deadline at
+#: least this often.
+_DEADLINE_POLL_S = 0.05
 
 
 class SessionState(Enum):
@@ -126,6 +169,15 @@ class FleetSession:
     consumers read them after the session is yielded by
     :meth:`FleetScheduler.as_completed` (or after
     :meth:`FleetScheduler.join`).
+
+    Latency bookkeeping: :attr:`arrivals_s` holds one ``clock()`` stamp
+    per *arrival event* — a whole-recording :meth:`FleetScheduler.submit`
+    is one event, every :meth:`StreamSession.push` coalesced into the
+    session adds one — and :attr:`dispatch_s`/:attr:`complete_s` record
+    when the session left the queue and resolved.  ``slo_s`` overrides
+    the scheduler-wide deadline budget; ``stream_slot`` names the
+    long-lived :class:`~repro.models.base.FleetState` slot of a streaming
+    session (``None`` for ordinary submissions).
     """
 
     subject_id: str
@@ -136,11 +188,108 @@ class FleetSession:
     state: SessionState = SessionState.QUEUED
     result: RunResult | None = field(default=None, repr=False)
     error: BaseException | None = field(default=None, repr=False)
+    slo_s: float | None = None
+    arrivals_s: list[float] = field(default_factory=list, repr=False)
+    dispatch_s: float | None = field(default=None, repr=False)
+    complete_s: float | None = field(default=None, repr=False)
+    stream_slot: int | None = None
+    stream: "StreamSession | None" = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
         """Whether the session reached a terminal state."""
         return self.state in (SessionState.DONE, SessionState.FAILED, SessionState.RETIRED)
+
+
+class VirtualClock:
+    """Deterministic manual time source for latency tests and benchmarks.
+
+    Drop-in for ``time.monotonic``: calling the instance returns the
+    current virtual time, and :meth:`sleep` — the drop-in for
+    ``time.sleep`` — advances it instantly, so a paced arrival schedule
+    replays in microseconds of wall time with bit-identical timestamps
+    run after run (the same ``Date``-free determinism the fault harness
+    gets from seeded triggers).  Thread-safe: the benchmark's submitter
+    advances the clock while the dispatcher and workers read it.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()  # lock-order: _lock
+        self._now = float(start)  # guarded-by: _lock
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, duration_s: float) -> None:
+        """Advance the clock by ``duration_s`` without blocking."""
+        if duration_s < 0:
+            raise ValueError(f"cannot sleep a negative duration ({duration_s})")
+        with self._lock:
+            self._now += float(duration_s)
+
+    def advance(self, duration_s: float) -> None:
+        """Alias of :meth:`sleep` for call sites that read better this way."""
+        self.sleep(duration_s)
+
+
+class StreamSession:
+    """One open per-window serving stream (see :meth:`FleetScheduler.open_stream`).
+
+    Holds the stream's identity, its long-lived state slot, and the
+    coalescing cursor; all mutable fields are touched under the owning
+    scheduler's lock.  :meth:`push` submits one arriving window;
+    :meth:`close` retires the stream and recycles its state slot once
+    every pushed window has resolved.
+    """
+
+    def __init__(
+        self,
+        scheduler: "FleetScheduler",
+        stream_id: str,
+        slot: int,
+        spec: WindowSpec,
+        system: WearableSystem | None,
+        slo_s: float | None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.slot = slot
+        self.spec = spec
+        self.system = system
+        self.slo_s = slo_s
+        self._scheduler = scheduler
+        self._open = True
+        #: The stream's queued (still coalescible) session, if any.
+        self._live: FleetSession | None = None
+        #: Sessions pushed but not yet resolved (slot recycling gate).
+        self._unresolved = 0
+        self._pushes = itertools.count()
+
+    def push(
+        self,
+        ppg_window: np.ndarray,
+        accel_window: np.ndarray | None = None,
+        activity: int = 0,
+        hr: float = float("nan"),
+    ) -> FleetSession:
+        """Submit one arriving PPG window; returns its session handle.
+
+        The window is stamped with the scheduler clock and dispatched
+        through the stream's ``predict_fleet`` continuation — consecutive
+        pushes that are still queued coalesce into one growing session
+        (the returned handle is then the shared one), so under load a
+        whole SLO window's worth of arrivals fuses into a single batch.
+        """
+        return self._scheduler._push_window(self, ppg_window, accel_window, activity, hr)
+
+    def close(self) -> None:
+        """Close the stream (idempotent).
+
+        Further pushes raise; the long-lived state slot is freed — the
+        per-subject ``reset()`` boundary of sequential replay — and
+        recycled once every already-pushed window has resolved.
+        """
+        self._scheduler._close_stream(self)
 
 
 class FleetScheduler:
@@ -171,6 +320,25 @@ class FleetScheduler:
     retry_backoff_s:
         Base of the capped exponential backoff between retries of one
         batch (attempt ``k`` sleeps ``min(2 s, retry_backoff_s * 2**k)``).
+    policy:
+        Batching policy: ``"drain"`` releases a batch the moment anything
+        is waiting (the historical behaviour); ``"deadline"`` holds the
+        queue until it is full or the oldest window nears its deadline —
+        see *Serving policies and latency* in the module docstring.
+    slo_s:
+        Scheduler-wide deadline budget (seconds from a window's arrival
+        to its completion); sessions/streams may override it.  The paper
+        serves one window every ~2 s per wearer, hence the default.
+    deadline_slack_s:
+        How long before the oldest deadline the dispatcher releases a
+        held batch — the headroom left for planning and execution.
+    max_streams:
+        Capacity of the long-lived per-model state used by
+        :meth:`open_stream` (concurrently open streams).
+    clock:
+        Monotonic time source for arrival stamps and deadlines; defaults
+        to ``time.monotonic``.  Inject a :class:`VirtualClock` for
+        deterministic latency tests and benchmarks.
 
     Use as a context manager (or call :meth:`close`) so the dispatcher
     thread and worker pool are torn down deterministically.
@@ -185,6 +353,11 @@ class FleetScheduler:
         use_oracle_difficulty: bool = False,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        policy: str = "drain",
+        slo_s: float = 2.0,
+        deadline_slack_s: float = 0.25,
+        max_streams: int = 64,
+        clock: "Callable[[], float] | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -194,12 +367,26 @@ class FleetScheduler:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff_s < 0:
             raise ValueError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if policy not in ("drain", "deadline"):
+            raise ValueError(f"policy must be 'drain' or 'deadline', got {policy!r}")
+        if slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {slo_s}")
+        if deadline_slack_s < 0:
+            raise ValueError(f"deadline_slack_s must be >= 0, got {deadline_slack_s}")
+        if max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {max_streams}")
         self.constraint = constraint
         self.max_workers = max_workers
         self.max_batch_size = max_batch_size
         self.use_oracle_difficulty = use_oracle_difficulty
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.policy = policy
+        self.slo_s = slo_s
+        self.deadline_slack_s = deadline_slack_s
+        self.max_streams = max_streams
+        #: Monotonic time source; set once here, read-only afterwards.
+        self._clock = clock if clock is not None else time.monotonic
         #: Stream runtime: planned in submission order and fast-forwarded
         #: batch by batch; always holds the predictor state sequential
         #: replay would have after every dispatched session.
@@ -230,6 +417,27 @@ class FleetScheduler:
         #: fast-forward).  Ordinary batch failures never set it — they
         #: retry and then quarantine (see the module docstring).
         self._corrupted = False  # guarded-by: _lock, _arrivals, _resolved
+        # ----------------------------------------- serving / latency state
+        #: Open streams by id and the freelist of long-lived state slots.
+        self._streams: dict[str, StreamSession] = {}  # guarded-by: _lock, _arrivals, _resolved
+        self._free_slots = list(range(max_streams - 1, -1, -1))  # guarded-by: _lock, _arrivals, _resolved
+        #: Long-lived per-model fleet states backing streaming
+        #: continuations.  Created under the lock by the first
+        #: ``open_stream`` — before any streaming session can exist — and
+        #: thereafter its *contents* are touched only by the (single,
+        #: streaming requires ``max_workers=1``) executing worker and by
+        #: slot recycling after a stream's last session resolved, so the
+        #: gather/execute/scatter cycle itself runs unlocked.
+        self._fleet_states: dict[str, FleetState] | None = None
+        #: Latency samples (one per arrival event): enqueue→dispatch and
+        #: enqueue→complete, plus deadline misses and per-batch window
+        #: counts.  Appended under the lock at dispatch/resolve time —
+        #: bookkeeping stays off the execution hot path — and aggregated
+        #: lazily by :meth:`latency_stats`.
+        self._dispatch_latencies: list[float] = []  # guarded-by: _lock, _arrivals, _resolved
+        self._complete_latencies: list[float] = []  # guarded-by: _lock, _arrivals, _resolved
+        self._deadline_misses = 0  # guarded-by: _lock, _arrivals, _resolved
+        self._batch_windows: list[int] = []  # guarded-by: _lock, _arrivals, _resolved
         self._done_q: "queue.Queue[FleetSession]" = queue.Queue()
         self._pool = ThreadPoolExecutor(  # lifecycle-ok: owned by the scheduler, shut down in close()
             max_workers=max_workers, thread_name_prefix="fleet-worker"
@@ -246,18 +454,22 @@ class FleetScheduler:
         recording: WindowedSubject,
         system: WearableSystem | None = None,
         connected_trace: np.ndarray | None = None,
+        slo_s: float | None = None,
     ) -> FleetSession:
         """Enqueue one session; returns its handle immediately.
 
         ``system`` attaches the subject's own hardware (heterogeneous
         fleets); ``connected_trace`` replays the session through the
-        BLE-trace path.  A subject id may be resubmitted once its
-        previous session resolved; two live sessions with one id are
+        BLE-trace path; ``slo_s`` overrides the scheduler-wide deadline
+        budget for this session.  A subject id may be resubmitted once
+        its previous session resolved; two live sessions with one id are
         rejected (their results would be indistinguishable).  The session
         id is authoritative: a recording carrying a different
         ``subject_id`` is relabeled, so one recording can back several
         session ids.
         """
+        if slo_s is not None and slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {slo_s}")
         if recording.n_windows == 0:
             raise ValueError(
                 f"session {subject_id!r}: the recording contains no windows"
@@ -288,6 +500,8 @@ class FleetScheduler:
                 system=system,
                 connected_trace=connected_trace,
                 ticket=next(self._tickets),
+                slo_s=slo_s,
+                arrivals_s=[self._clock()],
             )
             self._active_ids.add(subject_id)
             self._pending.append(session)
@@ -311,20 +525,229 @@ class FleetScheduler:
             self._resolve_locked(session, deliver=False)
         return True
 
+    # -------------------------------------------------------------- streaming
+    def open_stream(
+        self,
+        stream_id: str,
+        system: WearableSystem | None = None,
+        slo_s: float | None = None,
+        spec: WindowSpec | None = None,
+    ) -> StreamSession:
+        """Open a per-window serving stream backed by a long-lived state slot.
+
+        The returned :class:`StreamSession` accepts single arriving
+        windows (:meth:`StreamSession.push`) that dispatch through
+        ``predict_fleet`` continuations: each stateful model keeps one
+        state slot per open stream, so a wearer's tracker state survives
+        across batches without replaying whole sessions.  ``slo_s``
+        overrides the scheduler deadline budget for this stream's
+        windows; ``spec`` declares the window geometry (defaults to the
+        corpus-wide :data:`~repro.data.dataset.DEFAULT_WINDOW_SPEC`).
+
+        Requires ``max_workers=1`` — continuations serialize on the
+        long-lived state, which is exactly the single-worker execution
+        order — and a ``stacked_state`` runtime (the per-(model, subject)
+        fallback path has no state slots to continue).
+        """
+        if self.max_workers != 1:
+            raise ValueError(
+                "streaming dispatch requires max_workers=1: predict_fleet "
+                "continuations serialize on the long-lived state slots"
+            )
+        if not self._runtime.stacked_state:
+            raise ValueError(
+                "streaming dispatch requires a stacked_state runtime "
+                "(state slots are what carries a stream across batches)"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._corrupted:
+                raise RuntimeError(
+                    "scheduler predictor streams could not be rebuilt after "
+                    "an earlier failure; results could no longer match "
+                    "sequential replay — create a fresh scheduler"
+                )
+            if stream_id in self._streams:
+                raise ValueError(f"stream {stream_id!r} is already open")
+            if not self._free_slots:
+                raise RuntimeError(
+                    f"all {self.max_streams} stream slots are in use "
+                    f"(close a stream or raise max_streams)"
+                )
+            if self._fleet_states is None:
+                self._fleet_states = {
+                    entry.name: entry.predictor.make_fleet_state(self.max_streams)
+                    for entry in self._runtime.zoo
+                }
+            stream = StreamSession(
+                self,
+                stream_id,
+                self._free_slots.pop(),
+                spec if spec is not None else DEFAULT_WINDOW_SPEC,
+                system,
+                slo_s,
+            )
+            self._streams[stream_id] = stream
+        return stream
+
+    def _push_window(
+        self,
+        stream: StreamSession,
+        ppg_window: np.ndarray,
+        accel_window: np.ndarray | None,
+        activity: int,
+        hr: float,
+    ) -> FleetSession:
+        """Enqueue one arriving window of a stream (see :meth:`StreamSession.push`)."""
+        ppg = np.atleast_2d(np.asarray(ppg_window, dtype=float))
+        if ppg.shape[0] != 1:
+            raise ValueError(
+                f"push() takes one window at a time, got {ppg.shape[0]} "
+                f"(shape {ppg.shape})"
+            )
+        if accel_window is None:
+            accel = np.zeros(ppg.shape + (3,))
+        else:
+            accel = np.asarray(accel_window, dtype=float)
+            if accel.ndim == 2:
+                accel = accel[None, ...]
+            if accel.shape != ppg.shape + (3,):
+                raise ValueError(
+                    f"accel window shape {accel.shape} does not match "
+                    f"PPG window shape {ppg.shape} (expected "
+                    f"{ppg.shape + (3,)})"
+                )
+        activity_arr = np.asarray([activity], dtype=int)
+        hr_arr = np.asarray([hr], dtype=float)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._corrupted:
+                raise RuntimeError(
+                    "scheduler predictor streams could not be rebuilt after "
+                    "an earlier failure; results could no longer match "
+                    "sequential replay — create a fresh scheduler"
+                )
+            if not stream._open:
+                raise RuntimeError(f"stream {stream.stream_id!r} is closed")
+            now = self._clock()
+            live = stream._live
+            if (
+                live is not None
+                and live.state is SessionState.QUEUED
+                and live in self._pending
+            ):
+                # Coalesce: the stream's queued window batch grows in
+                # place, so a stream has at most one queued session —
+                # which is what lets the deadline policy fuse a whole SLO
+                # window's worth of arrivals into one dispatch.
+                rec = live.recording
+                live.recording = dataclasses.replace(
+                    rec,
+                    ppg_windows=np.concatenate([rec.ppg_windows, ppg]),
+                    accel_windows=np.concatenate([rec.accel_windows, accel]),
+                    activity=np.concatenate([rec.activity, activity_arr]),
+                    hr=np.concatenate([rec.hr, hr_arr]),
+                )
+                live.arrivals_s.append(now)
+                return live
+            subject_id = f"{stream.stream_id}#{next(stream._pushes)}"
+            session = FleetSession(
+                subject_id=subject_id,
+                recording=WindowedSubject(
+                    subject_id=subject_id,
+                    ppg_windows=ppg,
+                    accel_windows=accel,
+                    activity=activity_arr,
+                    hr=hr_arr,
+                    spec=stream.spec,
+                ),
+                system=stream.system,
+                ticket=next(self._tickets),
+                slo_s=stream.slo_s,
+                arrivals_s=[now],
+                stream_slot=stream.slot,
+                stream=stream,
+            )
+            stream._live = session
+            stream._unresolved += 1
+            self._active_ids.add(subject_id)
+            self._pending.append(session)
+            self._unresolved += 1
+            self._arrivals.notify_all()
+        return session
+
+    def _close_stream(self, stream: StreamSession) -> None:
+        """Close a stream; recycle its slot once every push resolved."""
+        with self._lock:
+            if not stream._open:
+                return
+            stream._open = False
+            self._streams.pop(stream.stream_id, None)
+            if stream._unresolved == 0:
+                self._release_slot_locked(stream)
+
     # ------------------------------------------------------------ dispatching
+    def _release_due_locked(  # hot-path
+        self,
+    ) -> bool:  # unguarded-ok: _pending, _paused, _closed
+        """Whether the dispatcher should release a batch now (lock held).
+
+        The dispatch fast path, evaluated on every arrival and every
+        deadline re-poll: drain releases anything waiting; deadline
+        releases a full batch, or holds until the oldest queued window is
+        within ``deadline_slack_s`` of its deadline.  ``close()``
+        overrides everything so shutdown always drains.
+        """
+        if self._closed:
+            return True
+        if not self._pending or self._paused:
+            return False
+        if self.policy == "drain":
+            return True
+        if self.max_batch_size is not None and len(self._pending) >= self.max_batch_size:
+            return True
+        return self._clock() >= self._release_at_locked()
+
+    def _release_at_locked(self) -> float:  # unguarded-ok: _pending
+        """Deadline-policy release time of the oldest queued window (lock held)."""
+        head = self._pending[0]
+        budget = self.slo_s if head.slo_s is None else head.slo_s
+        return head.arrivals_s[0] + budget - self.deadline_slack_s
+
+    def _release_wait_locked(self) -> float | None:  # unguarded-ok: _pending, _paused, _closed
+        """How long the dispatcher may sleep before re-checking (lock held)."""
+        if self.policy == "drain" or self._paused or not self._pending:
+            return None
+        return min(_DEADLINE_POLL_S, max(0.0, self._release_at_locked() - self._clock()))
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._arrivals:
-                while (not self._pending or self._paused) and not self._closed:
-                    self._arrivals.wait()
+                while not self._release_due_locked():
+                    self._arrivals.wait(self._release_wait_locked())
                 if not self._pending and self._closed:
                     return
                 batch: list[FleetSession] = []
                 limit = self.max_batch_size or len(self._pending)
-                while self._pending and len(batch) < limit:
+                now = self._clock()
+                # Streaming and whole-recording sessions never share a
+                # batch (streams dispatch through long-lived state slots,
+                # recordings through fresh ones): a batch is the longest
+                # same-kind submission-order prefix of the queue.
+                streaming = self._pending[0].stream_slot is not None
+                while (
+                    self._pending
+                    and len(batch) < limit
+                    and (self._pending[0].stream_slot is not None) == streaming
+                ):
                     session = self._pending.popleft()
                     session.state = SessionState.RUNNING
+                    session.dispatch_s = now
+                    self._dispatch_latencies.extend(now - t for t in session.arrivals_s)
                     batch.append(session)
+                self._batch_windows.append(sum(s.recording.n_windows for s in batch))
             with self._lock:
                 corrupted = self._corrupted
             if corrupted:
@@ -337,13 +760,13 @@ class FleetScheduler:
                 )
                 continue
             try:
-                task_runtime, plans, systems, prior, post = self._prepare_batch(batch)
+                task_runtime, plans, systems, prior, post, slots = self._prepare_batch(batch)
             except BaseException as exc:  # noqa: BLE001 - reported per session
                 self._fail_batch(batch, exc)
                 continue
             try:
                 self._pool.submit(
-                    self._execute_batch, task_runtime, batch, plans, systems, prior, post
+                    self._execute_batch, task_runtime, batch, plans, systems, prior, post, slots
                 )
             except BaseException as exc:  # noqa: BLE001 - pool shut down mid-flight
                 if self.max_workers == 1:
@@ -358,7 +781,14 @@ class FleetScheduler:
 
     def _prepare_batch(
         self, batch: list[FleetSession]
-    ) -> tuple[CHRISRuntime, list, dict[str, WearableSystem], dict[str, int], dict[str, int]]:
+    ) -> tuple[
+        CHRISRuntime,
+        list,
+        dict[str, WearableSystem],
+        dict[str, int],
+        dict[str, int],
+        np.ndarray | None,
+    ]:
         """Plan a batch on the stream runtime and snapshot its execution state.
 
         Planning is side-effect free; the execution snapshot is taken
@@ -366,11 +796,18 @@ class FleetScheduler:
         per-model window counts, so the snapshot starts exactly where
         sequential replay would and the next batch starts exactly after
         it.  Returns ``(task_runtime, plans, systems, prior_totals,
-        post_totals)`` — the cumulative per-model window totals before and
-        after this batch, which retries and the serial restore path use to
-        rebuild stream positions.
+        post_totals, fleet_slots)`` — the cumulative per-model window
+        totals before and after this batch, which retries and the serial
+        restore path use to rebuild stream positions, plus the long-lived
+        state slot of each session for a streaming batch (``None``
+        otherwise; batches are kind-homogeneous by construction).
         """
         subjects = [s.recording for s in batch]
+        fleet_slots = (
+            np.array([s.stream_slot for s in batch], dtype=np.intp)
+            if batch[0].stream_slot is not None
+            else None
+        )
         traces = {
             s.subject_id: s.connected_trace
             for s in batch
@@ -397,7 +834,7 @@ class FleetScheduler:
             # so the stream runtime can execute them itself: execution
             # advances the predictor streams exactly like sequential
             # replay, with no snapshot and no double fast-forward.
-            return self._runtime, plans, systems, prior, post
+            return self._runtime, plans, systems, prior, post, fleet_slots
         # Concurrent batches must not share mutable predictor state:
         # snapshot only what execution mutates — the zoo.  The engine,
         # system and classifier are read-only during execution (cost
@@ -416,7 +853,7 @@ class FleetScheduler:
             # sessions silently diverge from sequential replay.
             self._mark_corrupt()
             raise
-        return task_runtime, plans, systems, prior, post
+        return task_runtime, plans, systems, prior, post, fleet_slots
 
     def _clone_runtime(self, zoo) -> CHRISRuntime:
         """A runtime sharing everything read-only with the stream runtime."""
@@ -475,6 +912,7 @@ class FleetScheduler:
         systems: dict[str, WearableSystem],
         prior_totals: dict[str, int],
         post_totals: dict[str, int],
+        fleet_slots: np.ndarray | None = None,
     ) -> None:
         """Execute one batch with retry/backoff and quarantine-on-exhaustion.
 
@@ -486,10 +924,18 @@ class FleetScheduler:
         batch, so the stream zoo is restored to the as-if-planned
         position (``post_totals``) before anything else happens —
         subsequent batches were planned assuming this batch's windows
-        were consumed.
+        were consumed.  A streaming batch (``fleet_slots``) additionally
+        snapshots the long-lived continuation states up front and
+        restores them on failure, so a retried or quarantined batch never
+        leaves a stream's tracker half-advanced.
         """
         subjects = [s.recording for s in batch]
         serial = runtime is self._runtime
+        state_snapshot = (
+            {name: copy.deepcopy(state) for name, state in self._fleet_states.items()}
+            if fleet_slots is not None
+            else None
+        )
         attempt = 0
         while True:
             attempt_runtime = runtime
@@ -503,10 +949,22 @@ class FleetScheduler:
             try:
                 faults.fire("scheduler.batch")
                 fleet = attempt_runtime._run_many_planned(
-                    subjects, plans, systems=systems
+                    subjects,
+                    plans,
+                    systems=systems,
+                    fleet_states=self._fleet_states if fleet_slots is not None else None,
+                    fleet_slots=fleet_slots,
                 )
                 results = [fleet.results[s.subject_id] for s in batch]
             except BaseException as exc:  # noqa: BLE001 - retried, then reported
+                if state_snapshot is not None:
+                    # The failed attempt may have scattered partial slot
+                    # values; reinstall the pre-batch continuation states
+                    # (a fresh copy per attempt, so retries are
+                    # bit-identical to a first attempt and a quarantined
+                    # batch's windows never reach any tracker).
+                    for name, snap in state_snapshot.items():
+                        self._fleet_states[name] = copy.deepcopy(snap)
                 if serial and attempt == 0:
                     # The failed attempt advanced the shared stream
                     # runtime partway through the batch; put it back on
@@ -525,11 +983,14 @@ class FleetScheduler:
                 time.sleep(self._backoff_delay(attempt - 1))
                 continue
             with self._lock:
+                now = self._clock()
                 for session, result in zip(batch, results):
                     if session.done:
                         continue  # resolved elsewhere (e.g. failed at close)
                     session.result = result
                     session.state = SessionState.DONE
+                    session.complete_s = now
+                    self._record_latency_locked(session, now)
                     self._resolve_locked(session, deliver=True)
             return
 
@@ -554,7 +1015,16 @@ class FleetScheduler:
                 session.state = SessionState.FAILED
                 self._resolve_locked(session, deliver=True)
 
-    def _resolve_locked(self, session: FleetSession, deliver: bool) -> None:  # unguarded-ok: _active_ids, _unresolved
+    def _record_latency_locked(
+        self, session: FleetSession, now: float
+    ) -> None:  # unguarded-ok: _complete_latencies, _deadline_misses
+        """Record a completed session's per-arrival latency samples (lock held)."""
+        budget = self.slo_s if session.slo_s is None else session.slo_s
+        waits = [now - t for t in session.arrivals_s]
+        self._complete_latencies.extend(waits)
+        self._deadline_misses += sum(1 for w in waits if w > budget)
+
+    def _resolve_locked(self, session: FleetSession, deliver: bool) -> None:  # unguarded-ok: _active_ids, _unresolved, _fleet_states, _free_slots
         """Bookkeeping for a session reaching a terminal state (lock held).
 
         Every caller (``retire``, ``_fail_batch``, ``_execute_batch``)
@@ -562,12 +1032,72 @@ class FleetScheduler:
         hence the attribute-scoped ``unguarded-ok`` pragma above.
         """
         self._active_ids.discard(session.subject_id)
+        stream = session.stream
+        if stream is not None:
+            stream._unresolved -= 1
+            if stream._live is session:
+                stream._live = None
+            if not stream._open and stream._unresolved == 0:
+                self._release_slot_locked(stream)
         if deliver:
             self._done_q.put(session)
         self._unresolved -= 1
         self._resolved.notify_all()
 
+    def _release_slot_locked(self, stream: StreamSession) -> None:  # unguarded-ok: _fleet_states, _free_slots
+        """Recycle a closed stream's state slot (lock held, stream drained).
+
+        Freeing the slot re-initializes it in every continuation state —
+        the per-subject ``reset()`` boundary of sequential replay — so
+        the next stream assigned this slot starts fresh.  Safe unlocked
+        on the state contents: the stream has no unresolved sessions, so
+        no in-flight batch references this slot, and concurrent batches
+        touch disjoint slots of the state arrays.
+        """
+        if self._fleet_states is not None:
+            for state in self._fleet_states.values():
+                state.free([stream.slot])
+        self._free_slots.append(stream.slot)
+
     # --------------------------------------------------------------- results
+    def latency_stats(self) -> dict[str, float | int]:
+        """Aggregated serving-latency statistics of everything completed so far.
+
+        Per arrival event (a whole-recording submit, or one pushed
+        window), two latencies are sampled: enqueue→dispatch (queueing
+        delay, ``dispatch_*``) and enqueue→complete (full serving
+        latency, ``complete_*``), each aggregated into p50/p95/p99
+        percentiles plus the mean.  ``deadline_miss_fraction`` is the
+        fraction of completed arrivals whose serving latency exceeded
+        their SLO budget; ``n_batches``/``mean_batch_windows`` describe
+        how much fusion the batching policy achieved.  Aggregation
+        happens here, lazily — the dispatch/resolve paths only append
+        raw timestamps — so instrumentation adds nothing measurable to
+        the batch hot path.  Percentiles are ``nan`` until a first
+        sample exists.
+        """
+        with self._lock:
+            dispatch = np.asarray(self._dispatch_latencies, dtype=float)
+            complete = np.asarray(self._complete_latencies, dtype=float)
+            misses = self._deadline_misses
+            batches = np.asarray(self._batch_windows, dtype=float)
+        stats: dict[str, float | int] = {
+            "n_windows": int(complete.size),
+            "n_batches": int(batches.size),
+            "mean_batch_windows": float(batches.mean()) if batches.size else 0.0,
+            "deadline_miss_fraction": (
+                float(misses / complete.size) if complete.size else 0.0
+            ),
+        }
+        for prefix, samples in (("dispatch", dispatch), ("complete", complete)):
+            has = samples.size > 0
+            stats[f"{prefix}_mean_s"] = float(samples.mean()) if has else float("nan")
+            for q in (50, 95, 99):
+                stats[f"{prefix}_p{q}_s"] = (
+                    float(np.percentile(samples, q)) if has else float("nan")
+                )
+        return stats
+
     def next_done(self, timeout: float | None = None) -> FleetSession | None:
         """The next completed (or failed) session, ``None`` on timeout."""
         try:

@@ -33,6 +33,7 @@ bit-identical by construction.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,6 +77,43 @@ class FleetState:
     def free(self, slots) -> None:
         """Re-initialize the given slots (a retired/finished session's reset)."""
         self.last_estimate[np.asarray(slots, dtype=np.intp)] = np.nan
+
+    # ----------------------------------------------- streaming continuations
+    def take_slots(self, slots) -> "FleetState":
+        """Gather ``slots`` into a batch-local sub-state (slot ``i`` = ``slots[i]``).
+
+        The streaming scheduler keeps one long-lived state per model whose
+        slots are stable stream ids, but a dispatched batch orders its
+        windows by *arrival* (the order every predictor's random stream
+        consumes), so the stream ids of a batch are an arbitrary — not
+        necessarily monotone — subset.  ``take_slots`` bridges the two
+        layouts: the returned sub-state's slots are batch positions
+        ``0..len(slots)-1`` (monotone, as :meth:`HeartRatePredictor.predict_fleet`
+        requires of ``subject_index``); after the fused call,
+        :meth:`restore_slots` scatters the advanced per-slot values back so
+        the next batch continues exactly where this one stopped.  Works
+        field-wise over the dataclass, so subclasses carrying extra
+        per-slot arrays (leading slot axis) inherit both helpers.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        if np.unique(slots).size != slots.size:
+            raise ValueError("take_slots requires unique slots (one stream per slot)")
+        return type(self)(
+            **{
+                f.name: getattr(self, f.name)[slots].copy()
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    def restore_slots(self, slots, sub_state: "FleetState") -> None:
+        """Scatter a :meth:`take_slots` sub-state back into the given slots."""
+        slots = np.asarray(slots, dtype=np.intp)
+        if sub_state.n_slots != slots.size:
+            raise ValueError(
+                f"sub-state has {sub_state.n_slots} slots, expected {slots.size}"
+            )
+        for f in dataclasses.fields(self):
+            getattr(self, f.name)[slots] = getattr(sub_state, f.name)
 
 
 class FleetStack:

@@ -205,6 +205,10 @@ class TimePPGPredictor(HeartRatePredictor):
         self.config = config
         self.network = network if network is not None else build_timeppg_network(config, seed=seed)
         self.quantized: QuantizedSequential | None = None
+        #: Integer-engine opt-in (``set_inference_dtype("int8")``): route
+        #: the quantized network through ``forward_integer`` instead of
+        #: the fake-quantize float forward.
+        self._integer = False
         self._frozen: Sequential | None = None
         #: Floating dtype of the inference path: input preparation builds
         #: the (batch, C, L) tensor in this dtype and the frozen network
@@ -277,7 +281,25 @@ class TimePPGPredictor(HeartRatePredictor):
         frozen on the spot when the requested dtype differs from the
         training network's (running reduced precision through the
         training stack would silently re-promote at every layer).
+
+        ``"int8"`` is the deployment opt-in for the true integer engine:
+        it requires a calibrated quantized network (:attr:`quantized`
+        with an input spec) and routes :meth:`_forward` through
+        :meth:`~repro.nn.quantization.QuantizedSequential.forward_integer`
+        — int8 codes and integer accumulation end to end — instead of
+        the fake-quantize float forward.  Any float dtype switches the
+        integer path back off.
         """
+        if isinstance(dtype, str) and dtype.lower() == "int8":
+            if self.quantized is None or self.quantized.input_spec is None:
+                raise RuntimeError(
+                    f"{self.config.name}: int8 inference requires a calibrated "
+                    "quantized network — assign `quantized` via "
+                    "quantize_network(...) (with a calibration batch) first"
+                )
+            self._integer = True
+            return self
+        self._integer = False
         dtype = resolve_dtype(dtype)
         if self._frozen is not None or dtype != self.network.dtype:
             self.freeze(dtype=dtype)
@@ -293,6 +315,8 @@ class TimePPGPredictor(HeartRatePredictor):
     # -------------------------------------------------------------- predict
     def _forward(self, batch: np.ndarray) -> np.ndarray:
         if self.quantized is not None:
+            if self._integer:
+                return self.quantized.forward_integer(batch)
             return self.quantized.forward(batch)
         if self._frozen is not None:
             return self._frozen.forward(batch, training=False)

@@ -174,6 +174,9 @@ def test_real_scheduler_and_registry_declarations_present():
     guarded = collect_guarded_declarations(scheduler, cls)
     assert set(guarded) == {
         "_pending", "_active_ids", "_unresolved", "_closed", "_paused", "_corrupted",
+        # Serving/latency state added with the deadline policy (PR 10).
+        "_streams", "_free_slots", "_dispatch_latencies", "_complete_latencies",
+        "_deadline_misses", "_batch_windows",
     }
     assert all(locks == frozenset({"_lock", "_arrivals", "_resolved"}) for locks in guarded.values())
 

@@ -196,6 +196,10 @@ def fleet_scenarios(draw):
         "order": draw(st.permutations(range(n_subjects))),
         "workers": draw(st.sampled_from([1, 2, 4])),
         "max_batch": draw(st.sampled_from([None, 1, 2])),
+        # Serving-policy axis: the deadline dispatcher may hold arrivals
+        # back (here with a tiny SLO so examples never stall), but batch
+        # composition must never move a decision bit.
+        "policy": draw(st.sampled_from(["drain", "deadline"])),
         "use_rf": draw(st.booleans()),
         # "none": all FLEET_BATCHABLE; "flag": one calibrated model forced
         # through the stateful dispatch; "zoo": the fully stateful zoo
@@ -301,6 +305,9 @@ def test_scheduler_matches_sequential_replay(scenario):
         max_workers=scenario["workers"],
         max_batch_size=scenario["max_batch"],
         use_oracle_difficulty=not scenario["use_rf"],
+        policy=scenario["policy"],
+        slo_s=0.01,
+        deadline_slack_s=0.0,
     )
     with scheduler:
         sessions = [
@@ -377,6 +384,9 @@ def test_tolerance_fused_timeppg_within_documented_bounds(scenario):
         max_workers=scenario["workers"],
         max_batch_size=scenario["max_batch"],
         use_oracle_difficulty=not scenario["use_rf"],
+        policy=scenario["policy"],
+        slo_s=0.01,
+        deadline_slack_s=0.0,
     )
     with scheduler:
         sessions = [

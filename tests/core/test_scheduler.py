@@ -9,13 +9,15 @@ wiring.
 """
 
 import copy
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.decision_engine import Constraint
 from repro.core.runtime import CHRISRuntime
-from repro.core.scheduler import FleetScheduler, SessionState
+from repro.core.scheduler import FleetScheduler, SessionState, VirtualClock
+from repro.eval.benchmarking import stateful_zoo
 from repro.data.dataset import WindowedSubject
 from repro.hw.platform import CostTableRegistry, WearableSystem
 from repro.signal.windowing import DEFAULT_WINDOW_SPEC
@@ -613,3 +615,315 @@ class TestCloseRacingFailingBatch:
         finally:
             GatedFailingPredictor.RELEASE.set()
             closer.join(timeout=5)
+
+
+def make_stateful_runtime(experiment) -> CHRISRuntime:
+    """A fully stateful zoo (spectral tracker + smoothed calibrated
+    trackers) — the hardest continuation case for per-window streaming."""
+    return CHRISRuntime(
+        zoo=stateful_zoo(copy.deepcopy(experiment.zoo)),
+        engine=experiment.engine,
+        system=experiment.system,
+    )
+
+
+def push_window(stream, subject: WindowedSubject, w: int):
+    return stream.push(
+        subject.ppg_windows[w],
+        subject.accel_windows[w],
+        activity=int(subject.activity[w]),
+        hr=float(subject.hr[w]),
+    )
+
+
+class TestVirtualClock:
+    def test_clock_advances_only_on_sleep(self):
+        clock = VirtualClock(start=5.0)
+        assert clock() == 5.0
+        clock.sleep(1.5)
+        assert clock() == 6.5
+        clock.advance(0.5)
+        assert clock() == 7.0
+        with pytest.raises(ValueError, match="negative"):
+            clock.sleep(-1.0)
+
+
+class TestServingValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "bogus"},
+            {"slo_s": 0.0},
+            {"deadline_slack_s": -0.1},
+            {"max_streams": 0},
+        ],
+    )
+    def test_serving_parameter_validation(self, calibrated_experiment, kwargs):
+        with pytest.raises(ValueError):
+            make_scheduler(calibrated_experiment, **kwargs)
+
+    def test_submit_slo_validated(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment) as scheduler:
+            with pytest.raises(ValueError, match="slo_s"):
+                scheduler.submit("s0", make_subject("s0"), slo_s=0.0)
+
+    def test_open_stream_requires_single_worker(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment, max_workers=2) as scheduler:
+            with pytest.raises(ValueError, match="max_workers"):
+                scheduler.open_stream("w0")
+
+    def test_open_stream_requires_stacked_state(self, calibrated_experiment):
+        runtime = CHRISRuntime(
+            zoo=copy.deepcopy(calibrated_experiment.zoo),
+            engine=calibrated_experiment.engine,
+            system=calibrated_experiment.system,
+            stacked_state=False,
+        )
+        with FleetScheduler(runtime, CONSTRAINT, use_oracle_difficulty=True) as scheduler:
+            with pytest.raises(ValueError, match="stacked_state"):
+                scheduler.open_stream("w0")
+
+    def test_duplicate_stream_id_rejected(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment) as scheduler:
+            scheduler.open_stream("w0")
+            with pytest.raises(ValueError, match="already open"):
+                scheduler.open_stream("w0")
+
+    def test_slot_exhaustion_rejected(self, calibrated_experiment):
+        with make_scheduler(calibrated_experiment, max_streams=1) as scheduler:
+            scheduler.open_stream("w0")
+            with pytest.raises(RuntimeError, match="streams"):
+                scheduler.open_stream("w1")
+
+    def test_push_shape_validated(self, calibrated_experiment):
+        subject = make_subject("w0", n_windows=4)
+        with make_scheduler(calibrated_experiment) as scheduler:
+            stream = scheduler.open_stream("w0")
+            with pytest.raises(ValueError):
+                stream.push(subject.ppg_windows[:2])
+            with pytest.raises(ValueError):
+                stream.push(subject.ppg_windows[0], np.zeros((16, 2)))
+
+    def test_push_after_stream_close_rejected(self, calibrated_experiment):
+        subject = make_subject("w0", n_windows=1)
+        with make_scheduler(calibrated_experiment) as scheduler:
+            stream = scheduler.open_stream("w0")
+            stream.close()
+            stream.close()  # idempotent
+            with pytest.raises(RuntimeError, match="closed"):
+                push_window(stream, subject, 0)
+
+    def test_open_stream_after_scheduler_close_rejected(self, calibrated_experiment):
+        scheduler = make_scheduler(calibrated_experiment)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.open_stream("w0")
+
+
+class TestDeadlinePolicy:
+    def test_deadline_release_fires_without_close(self, calibrated_experiment):
+        # One lone window, a queue that never fills: only the deadline
+        # can release it.  join() returning at all is the assertion.
+        with make_scheduler(
+            calibrated_experiment,
+            policy="deadline",
+            slo_s=0.05,
+            deadline_slack_s=0.0,
+            max_batch_size=64,
+        ) as scheduler:
+            stream = scheduler.open_stream("w0")
+            session = push_window(stream, make_subject("w0", n_windows=1), 0)
+            scheduler.join()
+            assert session.state is SessionState.DONE
+            stream.close()
+
+    def test_close_wait_drains_held_windows(self, calibrated_experiment):
+        # A far-future deadline on a virtual clock: nothing would ever
+        # dispatch on its own, so close(wait=True) must drain the queue
+        # without dropping a window.
+        clock = VirtualClock()
+        subject = make_subject("w0", n_windows=6)
+        scheduler = make_scheduler(
+            calibrated_experiment, policy="deadline", slo_s=1e6, clock=clock
+        )
+        stream = scheduler.open_stream("w0")
+        sessions = {push_window(stream, subject, w) for w in range(subject.n_windows)}
+        time.sleep(0.2)
+        assert all(s.state is SessionState.QUEUED for s in sessions)
+        scheduler.close(wait=True)
+        assert all(s.state is SessionState.DONE for s in sessions)
+        assert sum(s.recording.n_windows for s in sessions) == subject.n_windows
+
+    def test_pause_resume_under_deadline_policy(self, calibrated_experiment):
+        # Pause outranks an expired deadline; resume releases the batch.
+        subject = make_subject("w0", n_windows=4)
+        with make_scheduler(
+            calibrated_experiment, policy="deadline", slo_s=0.02, deadline_slack_s=0.0
+        ) as scheduler:
+            scheduler.pause()
+            stream = scheduler.open_stream("w0")
+            sessions = {push_window(stream, subject, w) for w in range(4)}
+            time.sleep(0.1)
+            assert all(s.state is SessionState.QUEUED for s in sessions)
+            scheduler.resume()
+            scheduler.join()
+            assert all(s.state is SessionState.DONE for s in sessions)
+            stats = scheduler.latency_stats()
+            assert stats["n_windows"] == 4
+            # The pause held every window past its 20 ms budget.
+            assert stats["deadline_miss_fraction"] == 1.0
+            stream.close()
+
+    def test_no_deadline_state_leaks_after_drain(self, calibrated_experiment):
+        subject = make_subject("w0", n_windows=5)
+        scheduler = make_scheduler(
+            calibrated_experiment, policy="deadline", slo_s=0.01, deadline_slack_s=0.0
+        )
+        streams = [scheduler.open_stream(f"w{i}") for i in range(3)]
+        for w in range(subject.n_windows):
+            push_window(streams[w % 3], subject, w)
+        scheduler.join()
+        for stream in streams:
+            stream.close()
+        assert not scheduler._pending
+        assert scheduler._unresolved == 0
+        assert sorted(scheduler._free_slots) == list(range(scheduler.max_streams))
+        assert scheduler.latency_stats()["n_windows"] == subject.n_windows
+        scheduler.close()
+
+
+class TestStreamingBitIdentity:
+    def test_one_batch_per_window_matches_replay(self, calibrated_experiment):
+        # The hardest continuation case: every window its own batch, on a
+        # fully stateful zoo.  Predictions, routing, and the final
+        # predictor streams must all equal whole-recording replay.
+        subject = make_subject("w0", n_windows=12, seed=3)
+        reference_runtime = make_stateful_runtime(calibrated_experiment)
+        reference = reference_runtime.run_many(
+            [subject], CONSTRAINT, use_oracle_difficulty=True
+        ).results["w0"]
+
+        scheduler = FleetScheduler(
+            make_stateful_runtime(calibrated_experiment),
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+        )
+        stream = scheduler.open_stream("w0")
+        sessions = []
+        for w in range(subject.n_windows):
+            sessions.append(push_window(stream, subject, w))
+            scheduler.join()
+        stats = scheduler.latency_stats()
+        assert stats["n_batches"] == subject.n_windows
+
+        predicted = np.concatenate([s.result.predicted_hr for s in sessions])
+        models = np.concatenate([s.result.model_names for s in sessions])
+        np.testing.assert_array_equal(models, reference.model_names)
+        np.testing.assert_array_equal(predicted, reference.predicted_hr)
+        for entry, ref_entry in zip(scheduler._runtime.zoo, reference_runtime.zoo):
+            assert (
+                entry.predictor.fleet_state_signature()
+                == ref_entry.predictor.fleet_state_signature()
+            )
+        stream.close()
+        scheduler.close()
+
+    def test_coalesced_burst_matches_replay(self, calibrated_experiment):
+        # Held deadline: every push coalesces into one growing session,
+        # released as a single batch — still bit-identical to replay.
+        clock = VirtualClock()
+        subject = make_subject("w0", n_windows=10, seed=4)
+        reference = (
+            make_stateful_runtime(calibrated_experiment)
+            .run_many([subject], CONSTRAINT, use_oracle_difficulty=True)
+            .results["w0"]
+        )
+        scheduler = FleetScheduler(
+            make_stateful_runtime(calibrated_experiment),
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            policy="deadline",
+            slo_s=1e6,
+            clock=clock,
+        )
+        stream = scheduler.open_stream("w0")
+        sessions = {push_window(stream, subject, w) for w in range(subject.n_windows)}
+        scheduler.close(wait=True)
+        assert scheduler.latency_stats()["n_batches"] == 1
+        ordered = sorted(sessions, key=lambda s: s.ticket)
+        predicted = np.concatenate([s.result.predicted_hr for s in ordered])
+        np.testing.assert_array_equal(predicted, reference.predicted_hr)
+
+    def test_multi_stream_round_robin_matches_replay(self, calibrated_experiment):
+        subjects = [make_subject(f"w{i}", n_windows=8, seed=10 + i) for i in range(3)]
+        reference = make_stateful_runtime(calibrated_experiment).run_many(
+            subjects, CONSTRAINT, use_oracle_difficulty=True
+        )
+        scheduler = FleetScheduler(
+            make_stateful_runtime(calibrated_experiment),
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+        )
+        streams = [scheduler.open_stream(s.subject_id) for s in subjects]
+        sessions = []
+        for w in range(subjects[0].n_windows):
+            for subject, stream in zip(subjects, streams):
+                sessions.append(push_window(stream, subject, w))
+        scheduler.join()
+        for stream in streams:
+            stream.close()
+
+        by_stream: dict[str, list] = {s.subject_id: [] for s in subjects}
+        for session in sessions:
+            by_stream[session.subject_id.split("#")[0]].append(session)
+        for subject in subjects:
+            chunks = sorted(set(by_stream[subject.subject_id]), key=lambda s: s.ticket)
+            predicted = np.concatenate([c.result.predicted_hr for c in chunks])
+            np.testing.assert_array_equal(
+                predicted, reference.results[subject.subject_id].predicted_hr
+            )
+        # Every state slot is recycled once its stream closed and drained.
+        assert sorted(scheduler._free_slots) == list(range(scheduler.max_streams))
+        scheduler.close()
+
+    def test_retired_stream_session_keeps_stream_usable(self, calibrated_experiment):
+        # Retiring a held (coalesced) streaming session drops its windows
+        # without touching the trackers: the stream keeps serving, and
+        # the next window predicts exactly like a fresh stream's first.
+        clock = VirtualClock()
+        subject = make_subject("w0", n_windows=3, seed=5)
+        reference = (
+            make_stateful_runtime(calibrated_experiment)
+            .run_many(
+                [
+                    WindowedSubject(
+                        subject_id="w0",
+                        ppg_windows=subject.ppg_windows[2:],
+                        accel_windows=subject.accel_windows[2:],
+                        activity=subject.activity[2:],
+                        hr=subject.hr[2:],
+                        spec=subject.spec,
+                    )
+                ],
+                CONSTRAINT,
+                use_oracle_difficulty=True,
+            )
+            .results["w0"]
+        )
+        scheduler = FleetScheduler(
+            make_stateful_runtime(calibrated_experiment),
+            CONSTRAINT,
+            use_oracle_difficulty=True,
+            policy="deadline",
+            slo_s=1e6,
+            clock=clock,
+        )
+        stream = scheduler.open_stream("w0")
+        held = push_window(stream, subject, 0)
+        assert push_window(stream, subject, 1) is held  # coalesced
+        assert scheduler.retire(held)
+        later = push_window(stream, subject, 2)
+        scheduler.close(wait=True)
+        assert held.state is SessionState.RETIRED
+        assert later.state is SessionState.DONE
+        np.testing.assert_array_equal(later.result.predicted_hr, reference.predicted_hr)

@@ -63,6 +63,14 @@ class TestExamples:
         assert "re-executed: identical=True" in result.stdout
         assert "subjects quarantined" in result.stdout
 
+    def test_streaming_arrivals_serves_under_the_slo(self):
+        result = run_example("streaming_arrivals.py")
+        assert result.returncode == 0, result.stderr
+        assert "policy='deadline'" in result.stdout
+        assert "policy='drain'" in result.stdout
+        assert "completion latency" in result.stdout
+        assert "deadline misses" in result.stdout
+
     def test_all_examples_are_present_and_importable_as_scripts(self):
         expected = {
             "quickstart.py",
@@ -71,6 +79,7 @@ class TestExamples:
             "activity_difficulty_detector.py",
             "fleet_simulation.py",
             "fleet_resume.py",
+            "streaming_arrivals.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present

@@ -346,3 +346,139 @@ class TestQuantizedMAEEnvelope:
         integer_pred = np.clip(integer_out.reshape(-1), 30.0, 220.0)
         integer_mae = np.mean(np.abs(integer_pred - subject.hr))
         assert abs(integer_mae - quant_mae) < 0.5
+
+
+class TestIntegerFleetDeployment:
+    """The int8 opt-in on the fleet runtime (``set_inference_dtype("int8")``)."""
+
+    def test_int8_fleet_run_routes_identically_with_bounded_mae_drift(self):
+        import copy
+
+        from repro.core.decision_engine import Constraint
+        from repro.core.runtime import CHRISRuntime
+        from repro.data.synthetic import SyntheticDaliaGenerator, SyntheticDatasetConfig
+        from repro.eval.experiment import CalibratedExperiment
+        from repro.models.timeppg import TimePPGConfig, TimePPGPredictor
+
+        experiment = CalibratedExperiment.build(
+            seed=0, n_subjects=3, activity_duration_s=40.0
+        )
+        subjects = (
+            SyntheticDaliaGenerator(
+                SyntheticDatasetConfig(n_subjects=3, activity_duration_s=30.0, seed=0)
+            )
+            .generate_windowed()
+            .subjects
+        )
+        config = TimePPGConfig(
+            name="TimePPG-Big",
+            input_length=subjects[0].ppg_windows.shape[1],
+            block_channels=(2, 2, 2),
+            kernel_size=3,
+            head_pool=2,
+            head_hidden=0,
+        )
+
+        def build_runtime(integer: bool):
+            zoo = copy.deepcopy(experiment.zoo)
+            predictor = TimePPGPredictor(config, seed=7).freeze()
+            calibration = predictor.prepare_input(
+                subjects[0].ppg_windows, subjects[0].accel_windows
+            )
+            predictor.quantized = quantize_network(
+                copy.deepcopy(predictor.network), np.asarray(calibration, dtype=float)
+            )
+            zoo.entry("TimePPG-Big").predictor = predictor
+            # The opt-in happens *after* runtime construction: the fleet
+            # keeps its float64 planning dtype, only TimePPG's forward
+            # switches to the integer engine.
+            runtime = CHRISRuntime(
+                zoo=zoo, engine=experiment.engine, system=experiment.system
+            )
+            if integer:
+                predictor.set_inference_dtype("int8")
+            return runtime, predictor
+
+        constraint = Constraint.max_mae(6.0)
+        float_runtime, _ = build_runtime(integer=False)
+        int8_runtime, int8_predictor = build_runtime(integer=True)
+
+        integer_calls = 0
+        real_forward_integer = int8_predictor.quantized.forward_integer
+
+        def counting_forward_integer(x, **kwargs):
+            nonlocal integer_calls
+            integer_calls += 1
+            return real_forward_integer(x, **kwargs)
+
+        int8_predictor.quantized.forward_integer = counting_forward_integer
+
+        float_fleet = float_runtime.run_many(
+            subjects, constraint, use_oracle_difficulty=True
+        )
+        int8_fleet = int8_runtime.run_many(
+            subjects, constraint, use_oracle_difficulty=True
+        )
+        assert integer_calls > 0, "int8 opt-in never reached forward_integer"
+
+        for subject in subjects:
+            ref = float_fleet.results[subject.subject_id]
+            res = int8_fleet.results[subject.subject_id]
+            # Planning never looks at predictions, so the int8 fleet must
+            # route every window exactly like the fake-quantized float one.
+            np.testing.assert_array_equal(ref.model_names, res.model_names)
+            routed = ref.model_names.astype(str) == "TimePPG-Big"
+            assert routed.any(), "no window was routed to the quantized model"
+            # Windows served by other models never touch the int8 engine.
+            np.testing.assert_array_equal(
+                ref.predicted_hr[~routed], res.predicted_hr[~routed]
+            )
+            # Paper envelope at fleet level: deploying the true integer
+            # engine moves the served MAE by well under a BPM relative to
+            # the fake-quantized reference.
+            float_mae = np.mean(np.abs(ref.predicted_hr[routed] - subject.hr[routed]))
+            int8_mae = np.mean(np.abs(res.predicted_hr[routed] - subject.hr[routed]))
+            assert abs(int8_mae - float_mae) < 1.0
+
+    def test_int8_optin_requires_calibrated_quantized_network(self):
+        from repro.models.timeppg import TimePPGConfig, TimePPGPredictor
+
+        predictor = TimePPGPredictor(
+            TimePPGConfig(
+                name="TimePPG-Big",
+                input_length=32,
+                block_channels=(2, 2),
+                kernel_size=3,
+                head_pool=2,
+                head_hidden=0,
+            ),
+            seed=7,
+        ).freeze()
+        with pytest.raises(RuntimeError, match="quantized"):
+            predictor.set_inference_dtype("int8")
+
+    def test_float_dtype_restores_fake_quantized_path(self):
+        import copy
+
+        from repro.models.timeppg import TimePPGConfig, TimePPGPredictor
+
+        rng = np.random.default_rng(0)
+        config = TimePPGConfig(
+            name="TimePPG-Big",
+            input_length=256,
+            block_channels=(2, 2, 2),
+            kernel_size=3,
+            head_pool=2,
+            head_hidden=0,
+        )
+        predictor = TimePPGPredictor(config, seed=7).freeze()
+        windows = rng.standard_normal((6, 256))
+        calibration = predictor.prepare_input(windows, None)
+        predictor.quantized = quantize_network(
+            copy.deepcopy(predictor.network), np.asarray(calibration, dtype=float)
+        )
+        reference = predictor.predict(windows)
+        predictor.set_inference_dtype("int8")
+        predictor.predict(windows)  # integer path runs
+        predictor.set_inference_dtype("float64")
+        np.testing.assert_array_equal(predictor.predict(windows), reference)
